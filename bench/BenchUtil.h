@@ -1,0 +1,108 @@
+//===- bench/BenchUtil.h - shared benchmark utilities -----------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing loops, table printing, and the evaluation workload builders
+/// (paper §4): integer arrays, rectangle-structure arrays, and directory
+/// entries padded so each encodes to exactly 256 bytes of XDR data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_BENCH_BENCHUTIL_H
+#define FLICK_BENCH_BENCHUTIL_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flickbench {
+
+/// Runs \p Fn repeatedly until ~MinMillis of wall time accumulates and
+/// returns the best-of-three average seconds per call.
+inline double timeIt(const std::function<void()> &Fn,
+                     double MinMillis = 30.0) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up and estimate.
+  Fn();
+  auto T0 = Clock::now();
+  Fn();
+  double Once = std::chrono::duration<double>(Clock::now() - T0).count();
+  size_t Iters = Once > 0 ? static_cast<size_t>(MinMillis / 1e3 / Once) : 64;
+  if (Iters < 3)
+    Iters = 3;
+  if (Iters > 2000000)
+    Iters = 2000000;
+  double Best = 1e100;
+  for (int Round = 0; Round != 3; ++Round) {
+    auto S = Clock::now();
+    for (size_t I = 0; I != Iters; ++I)
+      Fn();
+    double Secs =
+        std::chrono::duration<double>(Clock::now() - S).count() /
+        static_cast<double>(Iters);
+    if (Secs < Best)
+      Best = Secs;
+  }
+  return Best;
+}
+
+/// Pretty MB/s with adaptive precision.
+inline std::string fmtRate(double BytesPerSec) {
+  char Buf[64];
+  double MB = BytesPerSec / 1e6;
+  std::snprintf(Buf, sizeof(Buf), MB >= 100 ? "%8.0f" : "%8.2f", MB);
+  return Buf;
+}
+
+inline std::string fmtBytes(size_t N) {
+  char Buf[32];
+  if (N >= (1u << 20) && N % (1u << 20) == 0)
+    std::snprintf(Buf, sizeof(Buf), "%zuM", N >> 20);
+  else if (N >= 1024 && N % 1024 == 0)
+    std::snprintf(Buf, sizeof(Buf), "%zuK", N >> 10);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%zuB", N);
+  return Buf;
+}
+
+/// Message sizes used by Figure 3/4/5/6 for the int and rect workloads.
+inline std::vector<size_t> arraySizes() {
+  return {64,        256,       1024,      4096,     16384,
+          65536,     262144,    1048576,   4194304};
+}
+
+/// Directory-entry workload sizes (256 B to 512 KB, paper §4).
+inline std::vector<size_t> direntSizes() {
+  return {256, 1024, 4096, 16384, 65536, 262144, 524288};
+}
+
+/// Name length that makes one XDR-encoded dirent exactly 256 bytes:
+/// 4 (length word) + 116 (name, padded) + 120 (30 u32) + 16 (tag) = 256.
+inline constexpr size_t DirentNameLen = 116;
+
+/// Builds the directory-entry name pool (NUL-terminated, DirentNameLen).
+inline std::vector<std::string> makeNames(size_t Count) {
+  std::vector<std::string> Names;
+  Names.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string N(DirentNameLen, 'f');
+    std::snprintf(N.data(), N.size(), "file-%zu", I);
+    N[std::string("file-").size() + 8] = 'x'; // keep full length
+    for (char &C : N)
+      if (C == '\0')
+        C = 'p';
+    Names.push_back(std::move(N));
+  }
+  return Names;
+}
+
+} // namespace flickbench
+
+#endif // FLICK_BENCH_BENCHUTIL_H

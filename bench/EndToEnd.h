@@ -1,0 +1,131 @@
+//===- bench/EndToEnd.h - Figures 4-6 shared harness ------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end round-trip throughput over a simulated network (the
+/// substitute for the paper's Ethernet/Myrinet testbed; see DESIGN.md §3).
+/// Measured stub CPU time combines with modeled wire time, after scaling
+/// the 1997 network model so the wire-to-memory-bandwidth ratio matches
+/// the paper's testbed.  Expected shapes:
+///   Figure 4 (10 Mbit): every compiler saturates the slow wire -- ties.
+///   Figure 5 (100 Mbit, 70 eff): flick 2-3x naive on medium/large sizes.
+///   Figure 6 (Myrinet, 84.5 eff): flick up to ~3.7x naive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_BENCH_ENDTOEND_H
+#define FLICK_BENCH_ENDTOEND_H
+
+#include "BenchUtil.h"
+#include "b_flick.h"
+#include "b_naive.h"
+#include "runtime/Calibrate.h"
+#include "runtime/Channel.h"
+
+// Work functions for both dispatchers (payload is discarded; the paper's
+// methods are one-way data pushes with a void reply).
+int F_send_ints_1_svc(const F_intseq *) { return 0; }
+int F_send_rects_1_svc(const F_rectseq *) { return 0; }
+int F_send_dirents_1_svc(const F_direntseq *) { return 0; }
+int N_send_ints_1_svc(const N_intseq *) { return 0; }
+int N_send_rects_1_svc(const N_rectseq *) { return 0; }
+int N_send_dirents_1_svc(const N_direntseq *) { return 0; }
+
+namespace flickbench {
+
+/// One client/server pair over a modeled link.
+struct E2ERig {
+  flick::LocalLink Link;
+  flick::SimClock Clock;
+  flick_server Srv;
+  flick_client Cli;
+
+  E2ERig(flick_dispatch_fn Dispatch, const flick::NetworkModel &Model) {
+    Link.setModel(Model, &Clock);
+    flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
+    Link.setPump(
+        [this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+  }
+  ~E2ERig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+};
+
+/// Round-trip throughput in Mbit/s: payload bits over measured CPU time
+/// plus simulated wire time.
+template <typename Call>
+double e2eThroughput(E2ERig &Rig, size_t PayloadBytes, Call Invoke) {
+  Rig.Clock.reset();
+  size_t Calls = 0;
+  double CpuSecs = timeIt([&] {
+    ++Calls;
+    Invoke();
+  });
+  double SimSecsPerCall = Calls ? Rig.Clock.totalUs() * 1e-6 /
+                                      static_cast<double>(Calls)
+                                : 0;
+  double Total = CpuSecs + SimSecsPerCall;
+  return static_cast<double>(PayloadBytes) * 8.0 / Total / 1e6;
+}
+
+/// Runs the full figure for one network model.
+inline void runEndToEndFigure(const char *Title,
+                              flick::NetworkModel PaperModel) {
+  double HostBw = flick::measureCopyBandwidth();
+  flick::NetworkModel Model =
+      flick::scaleModelToHost(PaperModel, HostBw);
+  std::printf(
+      "=== %s ===\n"
+      "paper model: %.1f Mbit/s effective; host copy bw %.1f MB/s;\n"
+      "scaled model: %.0f Mbit/s effective (keeps the paper's wire/memory"
+      " ratio)\n\n",
+      Title, PaperModel.EffectiveBitsPerSec / 1e6, HostBw / 1e6,
+      Model.EffectiveBitsPerSec / 1e6);
+
+  auto RunWorkload = [&](const char *Name, bool Rects) {
+    std::printf("%s\n%8s %14s %14s %12s\n", Name, "size", "flick(Mb/s)",
+                "naive(Mb/s)", "flick/naive");
+    for (size_t Bytes : arraySizes()) {
+      E2ERig FR(F_BENCHPROG_dispatch, Model);
+      E2ERig NR(N_BENCHPROG_dispatch, Model);
+      double FT, NT;
+      if (!Rects) {
+        uint32_t N = static_cast<uint32_t>(Bytes / 4);
+        std::vector<int32_t> Data(N, 42);
+        F_intseq FS{N, Data.data()};
+        N_intseq NS{N, Data.data()};
+        FT = e2eThroughput(FR, Bytes,
+                           [&] { F_send_ints_1(&FS, &FR.Cli); });
+        NT = e2eThroughput(NR, Bytes,
+                           [&] { N_send_ints_1(&NS, &NR.Cli); });
+      } else {
+        uint32_t N = static_cast<uint32_t>(Bytes / sizeof(F_rect));
+        if (!N)
+          N = 1;
+        std::vector<F_rect> Data(N, F_rect{{1, 2}, {3, 4}});
+        F_rectseq FS{N, Data.data()};
+        N_rectseq NS{N, reinterpret_cast<N_rect *>(Data.data())};
+        size_t Payload = N * sizeof(F_rect);
+        FT = e2eThroughput(FR, Payload,
+                           [&] { F_send_rects_1(&FS, &FR.Cli); });
+        NT = e2eThroughput(NR, Payload,
+                           [&] { N_send_rects_1(&NS, &NR.Cli); });
+      }
+      std::printf("%8s %14.1f %14.1f %11.2fx\n", fmtBytes(Bytes).c_str(),
+                  FT, NT, NT > 0 ? FT / NT : 0.0);
+    }
+    std::printf("\n");
+  };
+  RunWorkload("integer arrays:", false);
+  RunWorkload("rect-structure arrays:", true);
+}
+
+} // namespace flickbench
+
+#endif // FLICK_BENCH_ENDTOEND_H

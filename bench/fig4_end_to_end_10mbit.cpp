@@ -1,0 +1,16 @@
+//===- bench/fig4_end_to_end_10mbit.cpp - Paper Figure 4 ------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "EndToEnd.h"
+
+int main() {
+  flickbench::runEndToEndFigure(
+      "Figure 4: end-to-end throughput, 10 Mbit Ethernet "
+      "(paper: all compilers tie at ~6-7.5 Mbit)",
+      flick::NetworkModel::ethernet10());
+  return 0;
+}

@@ -1,0 +1,16 @@
+//===- bench/fig5_end_to_end_100mbit.cpp - Paper Figure 5 -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "EndToEnd.h"
+
+int main() {
+  flickbench::runEndToEndFigure(
+      "Figure 5: end-to-end throughput, 100 Mbit Ethernet "
+      "(paper: flick 2-3x for medium, up to 3.2x for large messages)",
+      flick::NetworkModel::ethernet100());
+  return 0;
+}

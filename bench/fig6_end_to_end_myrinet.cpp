@@ -1,0 +1,16 @@
+//===- bench/fig6_end_to_end_myrinet.cpp - Paper Figure 6 -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "EndToEnd.h"
+
+int main() {
+  flickbench::runEndToEndFigure(
+      "Figure 6: end-to-end throughput, 640 Mbit Myrinet "
+      "(84.5 Mbit effective; paper: flick up to 3.7x on large messages)",
+      flick::NetworkModel::myrinet640());
+  return 0;
+}

@@ -1,0 +1,190 @@
+//===- examples/bank_teller.cpp - exceptions, attributes, inheritance -----===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A richer CORBA service (idl/bank.idl over IIOP) showing the parts of
+/// the presentation beyond plain calls: user exceptions travel through the
+/// CORBA_Environment, attributes become _get_/_set_ accessor pairs, unions
+/// carry an event log, and the derived Savings interface inherits every
+/// Account operation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ex_bank.h" // generated from idl/bank.idl
+#include "runtime/Channel.h"
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+//===----------------------------------------------------------------------===//
+// Servant
+//===----------------------------------------------------------------------===//
+
+namespace {
+int64_t TheBalance = 100;
+std::string TheOwner = "ada";
+std::vector<Event> TheLog;
+} // namespace
+
+int32_t Account__get_id_server(CORBA_Environment *) { return 7; }
+
+char *Account__get_owner_server(CORBA_Environment *) {
+  return strdup(TheOwner.c_str());
+}
+
+void Account__set_owner_server(const char *value, CORBA_Environment *) {
+  TheOwner = value;
+}
+
+Money *Account_balance_server(CORBA_Environment *) {
+  auto *M = static_cast<Money *>(malloc(sizeof(Money)));
+  *M = Money{USD, TheBalance};
+  return M;
+}
+
+void Account_deposit_server(const Money *m, CORBA_Environment *) {
+  TheBalance += m->amount;
+  Event E{};
+  E._d = 1;
+  E._u.deposit = *m;
+  TheLog.push_back(E);
+}
+
+void Account_withdraw_server(const Money *m, CORBA_Environment *ev) {
+  if (m->amount > TheBalance) {
+    auto *Ex = static_cast<InsufficientFunds *>(
+        malloc(sizeof(InsufficientFunds)));
+    Ex->balance = Money{USD, TheBalance};
+    Ex->requested = *m;
+    ev->_major = CORBA_USER_EXCEPTION;
+    ev->_exc_code = InsufficientFunds_CODE;
+    ev->_exc_value = Ex;
+    return;
+  }
+  TheBalance -= m->amount;
+  Event E{};
+  E._d = 2;
+  E._u.withdrawal = *m;
+  TheLog.push_back(E);
+}
+
+void Account_history_server(EventLog **log, CORBA_Environment *) {
+  auto *L = static_cast<EventLog *>(malloc(sizeof(EventLog)));
+  L->_maximum = L->_length = static_cast<uint32_t>(TheLog.size());
+  L->_buffer =
+      static_cast<Event *>(malloc(sizeof(Event) * (TheLog.size() + 1)));
+  std::memcpy(L->_buffer, TheLog.data(), sizeof(Event) * TheLog.size());
+  *log = L;
+}
+
+void Account_rename_server(char **name, CORBA_Environment *) {
+  std::string Renamed = "acct-" + std::string(*name);
+  *name = strdup(Renamed.c_str());
+}
+
+// The Savings dispatcher calls Savings-prefixed work functions; forward
+// the inherited ones to the Account servant.
+int32_t Savings__get_id_server(CORBA_Environment *E) {
+  return Account__get_id_server(E);
+}
+char *Savings__get_owner_server(CORBA_Environment *E) {
+  return Account__get_owner_server(E);
+}
+void Savings__set_owner_server(const char *v, CORBA_Environment *E) {
+  Account__set_owner_server(v, E);
+}
+Money *Savings_balance_server(CORBA_Environment *E) {
+  return Account_balance_server(E);
+}
+void Savings_deposit_server(const Money *m, CORBA_Environment *E) {
+  Account_deposit_server(m, E);
+}
+void Savings_withdraw_server(const Money *m, CORBA_Environment *E) {
+  Account_withdraw_server(m, E);
+}
+void Savings_history_server(EventLog **l, CORBA_Environment *E) {
+  Account_history_server(l, E);
+}
+void Savings_rename_server(char **n, CORBA_Environment *E) {
+  Account_rename_server(n, E);
+}
+static double TheRate = 0.031;
+double Savings_rate_server(CORBA_Environment *) { return TheRate; }
+void Savings_set_rate_server(double r, CORBA_Environment *) {
+  TheRate = r;
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+int main() {
+  flick::LocalLink Link;
+  flick_server Server;
+  flick_server_init(&Server, &Link.serverEnd(), Savings_dispatch);
+  Link.setPump([&] { return flick_server_handle_one(&Server) == FLICK_OK; });
+  flick_client Client;
+  flick_client_init(&Client, &Link.clientEnd());
+  flick_obj Ref{&Client};
+  Savings Acct = &Ref;
+  CORBA_Environment Ev;
+
+  std::printf("teller connected to account #%d (owner %s)\n",
+              Savings__get_id(Acct, &Ev), TheOwner.c_str());
+
+  Money Pay{USD, 1250};
+  Savings_deposit(Acct, &Pay, &Ev);
+  Money *Bal = Savings_balance(Acct, &Ev);
+  std::printf("after payday deposit: balance = %lld\n",
+              static_cast<long long>(Bal->amount));
+  free(Bal);
+
+  // An overdraft: the servant raises InsufficientFunds, the stub fills
+  // the environment, and the client inspects the typed exception value.
+  Money TooMuch{USD, 99999};
+  Savings_withdraw(Acct, &TooMuch, &Ev);
+  if (Ev._major == CORBA_USER_EXCEPTION &&
+      Ev._exc_code == InsufficientFunds_CODE) {
+    auto *Ex = static_cast<InsufficientFunds *>(Ev._exc_value);
+    std::printf("overdraft refused: wanted %lld, only %lld available\n",
+                static_cast<long long>(Ex->requested.amount),
+                static_cast<long long>(Ex->balance.amount));
+    CORBA_exception_free(&Ev);
+  }
+
+  Money Rent{USD, 800};
+  Savings_withdraw(Acct, &Rent, &Ev);
+
+  // Attributes and the derived-interface operation.
+  Savings__set_owner(Acct, "ada lovelace", &Ev);
+  Savings_set_rate(Acct, 0.05, &Ev);
+  char *Owner = Savings__get_owner(Acct, &Ev);
+  std::printf("owner now %s, rate %.2f%%\n", Owner,
+              Savings_rate(Acct, &Ev) * 100);
+  free(Owner);
+
+  // The union-bearing event log.
+  EventLog *Log = nullptr;
+  Savings_history(Acct, &Log, &Ev);
+  std::printf("history (%u events):\n", Log->_length);
+  for (uint32_t I = 0; I != Log->_length; ++I) {
+    const Event &E = Log->_buffer[I];
+    if (E._d == 1)
+      std::printf("  deposit   %lld\n",
+                  static_cast<long long>(E._u.deposit.amount));
+    else if (E._d == 2)
+      std::printf("  withdraw  %lld\n",
+                  static_cast<long long>(E._u.withdrawal.amount));
+  }
+  free(Log->_buffer);
+  free(Log);
+
+  flick_client_destroy(&Client);
+  flick_server_destroy(&Server);
+  return 0;
+}

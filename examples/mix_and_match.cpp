@@ -1,0 +1,83 @@
+//===- examples/mix_and_match.cpp - one IDL, three transports -------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's kit idea in one program: the SAME CORBA interface
+/// (idl/mail.idl) compiled through three different back ends -- IIOP/CDR,
+/// Mach 3 typed messages, and Fluke register IPC -- each running over a
+/// matching simulated transport.  The client code is identical except for
+/// the name prefix; only the messages differ, and the program prints each
+/// wire format's first bytes to show it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ex_mail_iiop.h"
+#include "ex_mail_mach.h"
+#include "ex_mail_fluke.h"
+#include "runtime/Channel.h"
+#include <cstdio>
+
+static const char *LastTransport = "?";
+void IIOP_Mail_send_server(const char *msg, CORBA_Environment *) {
+  std::printf("  [%s server] got \"%s\"\n", LastTransport, msg);
+}
+void MACH_Mail_send_server(const char *msg, CORBA_Environment *) {
+  std::printf("  [%s server] got \"%s\"\n", LastTransport, msg);
+}
+void FLK_Mail_send_server(const char *msg, CORBA_Environment *) {
+  std::printf("  [%s server] got \"%s\"\n", LastTransport, msg);
+}
+
+namespace {
+
+template <typename SendFn>
+void runOne(const char *Name, flick_dispatch_fn Dispatch,
+            flick::NetworkModel Model, SendFn Send) {
+  LastTransport = Name;
+  flick::LocalLink Link;
+  flick::SimClock Clock;
+  Link.setModel(Model, &Clock);
+  flick_server Srv;
+  flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
+  Link.setPump([&] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+  flick_client Cli;
+  flick_client_init(&Cli, &Link.clientEnd());
+
+  std::printf("[%s over %s]\n", Name, Model.Name.c_str());
+  Send(&Cli);
+  // Show the wire format of the last request.
+  std::printf("  request bytes:");
+  for (size_t I = 0; I < 16 && I < Cli.req.len; ++I)
+    std::printf(" %02x", Cli.req.data[I]);
+  std::printf("  (%zu total, %.1f simulated us)\n\n", Cli.req.len,
+              Clock.totalUs());
+  flick_client_destroy(&Cli);
+  flick_server_destroy(&Srv);
+}
+
+} // namespace
+
+int main() {
+  std::printf("one interface, three transports (paper Figure 1):\n\n");
+  CORBA_Environment Ev;
+  runOne("iiop", IIOP_Mail_dispatch, flick::NetworkModel::ethernet100(),
+         [&](flick_client *C) {
+           flick_obj O{C};
+           IIOP_Mail_send(&O, "over TCP/IIOP", &Ev);
+         });
+  runOne("mach", MACH_Mail_dispatch, flick::NetworkModel::machIpc(),
+         [&](flick_client *C) {
+           flick_obj O{C};
+           MACH_Mail_send(&O, "over Mach 3 messages", &Ev);
+         });
+  runOne("fluke", FLK_Mail_dispatch, flick::NetworkModel::flukeIpc(),
+         [&](flick_client *C) {
+           flick_obj O{C};
+           FLK_Mail_send(&O, "over Fluke kernel IPC", &Ev);
+         });
+  return 0;
+}

@@ -1,0 +1,438 @@
+//===- aoi/Aoi.h - Abstract Object Interface IR -----------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AOI is Flick's front-end intermediate representation (paper §2.1.1): a
+/// high-level, IDL-independent description of interfaces -- the data types,
+/// operations, attributes, and exceptions an IDL file declares.  Both the
+/// CORBA and ONC RPC front ends produce AOI; every presentation generator
+/// consumes it.  AOI deliberately says nothing about target-language mapping
+/// or message encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_AOI_AOI_H
+#define FLICK_AOI_AOI_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flick {
+
+class DiagnosticEngine;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Base class of all AOI types.  Types are owned by an AoiModule and referred
+/// to by raw pointer everywhere else.
+class AoiType {
+public:
+  enum class Kind {
+    Primitive,
+    String,
+    Sequence,
+    Array,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Optional,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Strips typedef layers and returns the underlying type.
+  const AoiType *resolved() const;
+  AoiType *resolved() {
+    return const_cast<AoiType *>(
+        static_cast<const AoiType *>(this)->resolved());
+  }
+
+  virtual ~AoiType() = default;
+
+protected:
+  AoiType(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLoc Loc;
+};
+
+/// The IDL built-in scalar types.  `Void` only appears as a return type.
+enum class AoiPrimKind {
+  Void,
+  Boolean,
+  Char,
+  Octet,
+  Short,
+  UShort,
+  Long,
+  ULong,
+  LongLong,
+  ULongLong,
+  Float,
+  Double,
+};
+
+/// Returns a stable lowercase spelling ("long", "octet", ...) for dumps.
+const char *primKindName(AoiPrimKind K);
+
+/// Returns true for the integer kinds (not float/char/bool/void).
+bool isIntegerPrim(AoiPrimKind K);
+
+/// A built-in scalar type.
+class AoiPrimitive : public AoiType {
+public:
+  AoiPrimitive(AoiPrimKind Prim, SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Primitive, Loc), Prim(Prim) {}
+
+  AoiPrimKind prim() const { return Prim; }
+
+  static bool classof(const AoiType *T) {
+    return T->kind() == Kind::Primitive;
+  }
+
+private:
+  AoiPrimKind Prim;
+};
+
+/// `string` / `string<N>`.  Bound 0 means unbounded.
+class AoiString : public AoiType {
+public:
+  explicit AoiString(uint64_t Bound, SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::String, Loc), Bound(Bound) {}
+
+  uint64_t bound() const { return Bound; }
+
+  static bool classof(const AoiType *T) { return T->kind() == Kind::String; }
+
+private:
+  uint64_t Bound;
+};
+
+/// `sequence<T>` / `sequence<T, N>` (CORBA) or `T name<N>` (XDR variable
+/// array).  Bound 0 means unbounded.
+class AoiSequence : public AoiType {
+public:
+  AoiSequence(AoiType *Elem, uint64_t Bound, SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Sequence, Loc), Elem(Elem), Bound(Bound) {}
+
+  AoiType *elem() const { return Elem; }
+  uint64_t bound() const { return Bound; }
+
+  static bool classof(const AoiType *T) {
+    return T->kind() == Kind::Sequence;
+  }
+
+private:
+  AoiType *Elem;
+  uint64_t Bound;
+};
+
+/// Fixed-size array `T name[N]...`; multidimensional via Dims.
+class AoiArray : public AoiType {
+public:
+  AoiArray(AoiType *Elem, std::vector<uint64_t> Dims,
+           SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Array, Loc), Elem(Elem), Dims(std::move(Dims)) {}
+
+  AoiType *elem() const { return Elem; }
+  const std::vector<uint64_t> &dims() const { return Dims; }
+
+  /// Product of all dimensions.
+  uint64_t totalElems() const;
+
+  static bool classof(const AoiType *T) { return T->kind() == Kind::Array; }
+
+private:
+  AoiType *Elem;
+  std::vector<uint64_t> Dims;
+};
+
+/// One named, typed member of a struct or exception.
+struct AoiField {
+  std::string Name;
+  AoiType *Type = nullptr;
+  SourceLoc Loc;
+};
+
+/// A struct type.  Exceptions reuse this shape via AoiExceptionDecl.
+class AoiStruct : public AoiType {
+public:
+  AoiStruct(std::string Name, std::vector<AoiField> Fields,
+            SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Struct, Loc), Name(std::move(Name)),
+        Fields(std::move(Fields)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<AoiField> &fields() const { return Fields; }
+
+  /// Fills the fields after construction; parsers declare the struct first
+  /// so members can reference it through sequences/optionals.
+  void setFields(std::vector<AoiField> F) { Fields = std::move(F); }
+
+  static bool classof(const AoiType *T) { return T->kind() == Kind::Struct; }
+
+private:
+  std::string Name;
+  std::vector<AoiField> Fields;
+};
+
+/// One case label of a discriminated union.  `IsDefault` cases ignore Value.
+struct AoiCaseLabel {
+  bool IsDefault = false;
+  int64_t Value = 0;
+};
+
+/// One arm of a discriminated union.
+struct AoiUnionCase {
+  std::vector<AoiCaseLabel> Labels;
+  std::string FieldName;
+  /// Null for XDR `void` arms (no data for this case).
+  AoiType *Type = nullptr;
+  SourceLoc Loc;
+};
+
+/// A discriminated union (CORBA `union` / XDR `union ... switch`).
+class AoiUnion : public AoiType {
+public:
+  AoiUnion(std::string Name, AoiType *Disc, std::vector<AoiUnionCase> Cases,
+           SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Union, Loc), Name(std::move(Name)), Disc(Disc),
+        Cases(std::move(Cases)) {}
+
+  const std::string &name() const { return Name; }
+  AoiType *disc() const { return Disc; }
+  const std::vector<AoiUnionCase> &cases() const { return Cases; }
+
+  /// Returns the default case or null.
+  const AoiUnionCase *defaultCase() const;
+
+  static bool classof(const AoiType *T) { return T->kind() == Kind::Union; }
+
+private:
+  std::string Name;
+  AoiType *Disc;
+  std::vector<AoiUnionCase> Cases;
+};
+
+/// One enumerator of an enum type.
+struct AoiEnumerator {
+  std::string Name;
+  int64_t Value = 0;
+};
+
+/// An enum type.
+class AoiEnum : public AoiType {
+public:
+  AoiEnum(std::string Name, std::vector<AoiEnumerator> Enumerators,
+          SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Enum, Loc), Name(std::move(Name)),
+        Enumerators(std::move(Enumerators)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<AoiEnumerator> &enumerators() const {
+    return Enumerators;
+  }
+
+  static bool classof(const AoiType *T) { return T->kind() == Kind::Enum; }
+
+private:
+  std::string Name;
+  std::vector<AoiEnumerator> Enumerators;
+};
+
+/// A named alias (`typedef`).
+class AoiTypedef : public AoiType {
+public:
+  AoiTypedef(std::string Name, AoiType *Aliased, SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Typedef, Loc), Name(std::move(Name)), Aliased(Aliased) {
+  }
+
+  const std::string &name() const { return Name; }
+  AoiType *aliased() const { return Aliased; }
+
+  static bool classof(const AoiType *T) {
+    return T->kind() == Kind::Typedef;
+  }
+
+private:
+  std::string Name;
+  AoiType *Aliased;
+};
+
+/// XDR "optional" pointer `T *x` -- zero or one element.  This is how XDR
+/// expresses self-referential types (linked lists), which matter to the back
+/// end's recursive-type handling (paper §3.3).
+class AoiOptional : public AoiType {
+public:
+  explicit AoiOptional(AoiType *Elem, SourceLoc Loc = SourceLoc())
+      : AoiType(Kind::Optional, Loc), Elem(Elem) {}
+
+  AoiType *elem() const { return Elem; }
+
+  /// Allows the parser to patch the element after construction; XDR
+  /// self-referential types need a forward placeholder.
+  void setElem(AoiType *T) { Elem = T; }
+
+  static bool classof(const AoiType *T) {
+    return T->kind() == Kind::Optional;
+  }
+
+private:
+  AoiType *Elem;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Parameter direction (`in` / `out` / `inout`).
+enum class AoiParamDir { In, Out, InOut };
+
+/// One parameter of an operation.
+struct AoiParam {
+  AoiParamDir Dir = AoiParamDir::In;
+  std::string Name;
+  AoiType *Type = nullptr;
+  SourceLoc Loc;
+};
+
+/// A user exception declaration (CORBA `exception`).
+struct AoiExceptionDecl {
+  std::string Name;
+  std::vector<AoiField> Members;
+  /// Identifier assigned by the front end, unique within the module; used as
+  /// the wire discriminator for exceptional replies.
+  uint32_t ExceptionCode = 0;
+  SourceLoc Loc;
+};
+
+/// One operation (method / RPC procedure) of an interface.
+struct AoiOperation {
+  std::string Name;
+  AoiType *ReturnType = nullptr; // AoiPrimitive Void when none
+  std::vector<AoiParam> Params;
+  std::vector<AoiExceptionDecl *> Raises;
+  bool Oneway = false;
+  /// The request discriminator (procedure number).  For ONC RPC this is the
+  /// declared procedure number; for CORBA the front end numbers operations
+  /// sequentially (IIOP also matches on the operation name string).
+  uint32_t RequestCode = 0;
+  SourceLoc Loc;
+};
+
+/// An interface attribute; presentation generators lower these to get/set
+/// operation pairs.
+struct AoiAttribute {
+  std::string Name;
+  AoiType *Type = nullptr;
+  bool ReadOnly = false;
+  SourceLoc Loc;
+};
+
+/// The value of an IDL constant.
+struct AoiConstValue {
+  enum class Kind { Int, String } K = Kind::Int;
+  int64_t IntValue = 0;
+  std::string StrValue;
+};
+
+/// A named constant.
+struct AoiConst {
+  std::string Name;
+  AoiType *Type = nullptr;
+  AoiConstValue Value;
+  SourceLoc Loc;
+};
+
+/// An interface: a named set of operations and attributes.
+struct AoiInterface {
+  /// Unqualified name (`Mail`).
+  std::string Name;
+  /// Fully scoped name with `::` separators (`Mod::Mail`).
+  std::string ScopedName;
+  /// Base interfaces (inherited operations are *not* flattened; presgen
+  /// walks the bases).
+  std::vector<AoiInterface *> Bases;
+  std::vector<AoiOperation> Operations;
+  std::vector<AoiAttribute> Attributes;
+  /// ONC RPC program/version numbers; zero for CORBA interfaces.
+  uint32_t ProgramNumber = 0;
+  uint32_t VersionNumber = 0;
+  SourceLoc Loc;
+};
+
+/// A whole parsed IDL file: the root of AOI.  Owns every type node.
+class AoiModule {
+public:
+  /// Creates and owns a type node.
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Types.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  /// Creates and owns an interface.
+  AoiInterface *makeInterface() {
+    Interfaces.push_back(std::make_unique<AoiInterface>());
+    return Interfaces.back().get();
+  }
+
+  /// Creates and owns an exception declaration.
+  AoiExceptionDecl *makeException() {
+    Exceptions.push_back(std::make_unique<AoiExceptionDecl>());
+    Exceptions.back()->ExceptionCode =
+        static_cast<uint32_t>(Exceptions.size());
+    return Exceptions.back().get();
+  }
+
+  /// Registers a type that needs a C declaration emitted (structs, unions,
+  /// enums, typedefs), in declaration order.
+  void addNamedType(AoiType *T) { NamedTypes.push_back(T); }
+
+  void addConst(AoiConst C) { Consts.push_back(std::move(C)); }
+
+  const std::vector<std::unique_ptr<AoiInterface>> &interfaces() const {
+    return Interfaces;
+  }
+  const std::vector<std::unique_ptr<AoiExceptionDecl>> &exceptions() const {
+    return Exceptions;
+  }
+  const std::vector<AoiType *> &namedTypes() const { return NamedTypes; }
+  const std::vector<AoiConst> &consts() const { return Consts; }
+
+  /// Finds an interface by unqualified or scoped name; null if absent.
+  AoiInterface *findInterface(const std::string &Name) const;
+
+  /// Checks structural invariants (see Verify.cpp); reports via \p Diags and
+  /// returns true when the module is well-formed.
+  bool verify(DiagnosticEngine &Diags) const;
+
+  /// Renders a stable textual dump of the whole module (for tests and
+  /// `flickc --emit-aoi`).
+  std::string dump() const;
+
+private:
+  std::vector<std::unique_ptr<AoiType>> Types;
+  std::vector<std::unique_ptr<AoiInterface>> Interfaces;
+  std::vector<std::unique_ptr<AoiExceptionDecl>> Exceptions;
+  std::vector<AoiType *> NamedTypes;
+  std::vector<AoiConst> Consts;
+};
+
+} // namespace flick
+
+#endif // FLICK_AOI_AOI_H

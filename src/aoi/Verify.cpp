@@ -1,0 +1,204 @@
+//===- aoi/Verify.cpp - Structural checks for AOI modules -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Well-formedness checks run after a front end builds an AOI module and
+/// before presentation generation: unique names, legal union discriminators,
+/// no infinitely-sized recursion (recursion is only legal through an
+/// optional pointer or sequence, which can terminate), and sane operation
+/// signatures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aoi/Aoi.h"
+#include "support/Diagnostics.h"
+#include <set>
+#include <string>
+
+using namespace flick;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const AoiModule &M, DiagnosticEngine &Diags)
+      : M(M), Diags(Diags) {}
+
+  bool run() {
+    checkUniqueTypeNames();
+    for (const AoiType *T : M.namedTypes())
+      checkType(T);
+    for (const auto &If : M.interfaces())
+      checkInterface(*If);
+    return !Failed;
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Failed = true;
+  }
+
+  static std::string typeName(const AoiType *T) {
+    if (const auto *S = dyn_cast<AoiStruct>(T))
+      return S->name();
+    if (const auto *U = dyn_cast<AoiUnion>(T))
+      return U->name();
+    if (const auto *E = dyn_cast<AoiEnum>(T))
+      return E->name();
+    if (const auto *TD = dyn_cast<AoiTypedef>(T))
+      return TD->name();
+    return std::string();
+  }
+
+  void checkUniqueTypeNames() {
+    std::set<std::string> Seen;
+    for (const AoiType *T : M.namedTypes()) {
+      std::string Name = typeName(T);
+      if (Name.empty())
+        continue;
+      if (!Seen.insert(Name).second)
+        error(T->loc(), "redefinition of type '" + Name + "'");
+    }
+  }
+
+  /// Walks \p T checking union legality and rejecting recursion that does
+  /// not pass through an optional pointer (which would imply infinite size).
+  void checkType(const AoiType *T) {
+    if (!T) {
+      Failed = true;
+      return;
+    }
+    if (!InProgress.insert(T).second) {
+      error(T->loc(), "type '" + typeName(T) +
+                          "' contains itself without an intervening "
+                          "optional pointer or sequence");
+      return;
+    }
+    switch (T->kind()) {
+    case AoiType::Kind::Primitive:
+    case AoiType::Kind::String:
+    case AoiType::Kind::Enum:
+    case AoiType::Kind::Sequence:
+    case AoiType::Kind::Optional:
+      // Sequence/optional elements may legally recurse (bounded by the
+      // runtime length), so do not walk into them for the size check; still
+      // sanity-check the element exists.
+      break;
+    case AoiType::Kind::Array:
+      checkType(cast<AoiArray>(T)->elem());
+      break;
+    case AoiType::Kind::Struct: {
+      const auto *S = cast<AoiStruct>(T);
+      std::set<std::string> Names;
+      for (const AoiField &F : S->fields()) {
+        if (!Names.insert(F.Name).second)
+          error(F.Loc, "duplicate field '" + F.Name + "' in struct '" +
+                           S->name() + "'");
+        checkType(F.Type);
+      }
+      break;
+    }
+    case AoiType::Kind::Union:
+      checkUnion(cast<AoiUnion>(T));
+      break;
+    case AoiType::Kind::Typedef:
+      checkType(cast<AoiTypedef>(T)->aliased());
+      break;
+    }
+    InProgress.erase(T);
+  }
+
+  void checkUnion(const AoiUnion *U) {
+    const AoiType *Disc = U->disc() ? U->disc()->resolved() : nullptr;
+    bool DiscOk = false;
+    if (const auto *P = dyn_cast_or_null<AoiPrimitive>(Disc))
+      DiscOk = isIntegerPrim(P->prim()) ||
+               P->prim() == AoiPrimKind::Boolean ||
+               P->prim() == AoiPrimKind::Char;
+    if (Disc && isa<AoiEnum>(Disc))
+      DiscOk = true;
+    if (!DiscOk)
+      error(U->loc(), "union '" + U->name() +
+                          "' discriminator must be an integer, char, "
+                          "boolean, or enum type");
+
+    std::set<int64_t> SeenLabels;
+    unsigned DefaultCount = 0;
+    for (const AoiUnionCase &C : U->cases()) {
+      for (const AoiCaseLabel &L : C.Labels) {
+        if (L.IsDefault) {
+          ++DefaultCount;
+          continue;
+        }
+        if (!SeenLabels.insert(L.Value).second)
+          error(C.Loc, "duplicate case label " + std::to_string(L.Value) +
+                           " in union '" + U->name() + "'");
+      }
+      if (C.Type)
+        checkType(C.Type);
+    }
+    if (DefaultCount > 1)
+      error(U->loc(),
+            "union '" + U->name() + "' has more than one default case");
+  }
+
+  void checkInterface(const AoiInterface &If) {
+    std::set<std::string> OpNames;
+    std::set<uint32_t> OpCodes;
+    for (const AoiOperation &Op : If.Operations) {
+      if (!OpNames.insert(Op.Name).second)
+        error(Op.Loc, "duplicate operation '" + Op.Name +
+                          "' in interface '" + If.ScopedName + "'");
+      if (!OpCodes.insert(Op.RequestCode).second)
+        error(Op.Loc, "duplicate request code " +
+                          std::to_string(Op.RequestCode) +
+                          " for operation '" + Op.Name + "'");
+      if (!Op.ReturnType) {
+        error(Op.Loc, "operation '" + Op.Name + "' has no return type");
+        continue;
+      }
+      checkType(Op.ReturnType);
+      std::set<std::string> ParamNames;
+      for (const AoiParam &P : Op.Params) {
+        if (!ParamNames.insert(P.Name).second)
+          error(P.Loc, "duplicate parameter '" + P.Name +
+                           "' in operation '" + Op.Name + "'");
+        checkType(P.Type);
+        if (const auto *Prim =
+                dyn_cast_or_null<AoiPrimitive>(P.Type->resolved()))
+          if (Prim->prim() == AoiPrimKind::Void)
+            error(P.Loc, "parameter '" + P.Name + "' has void type");
+      }
+      if (Op.Oneway) {
+        if (!Op.Raises.empty())
+          error(Op.Loc,
+                "oneway operation '" + Op.Name + "' cannot raise exceptions");
+        for (const AoiParam &P : Op.Params)
+          if (P.Dir != AoiParamDir::In)
+            error(P.Loc, "oneway operation '" + Op.Name +
+                             "' cannot have out or inout parameters");
+        if (const auto *Prim =
+                dyn_cast_or_null<AoiPrimitive>(Op.ReturnType->resolved()))
+          if (Prim->prim() != AoiPrimKind::Void)
+            error(Op.Loc,
+                  "oneway operation '" + Op.Name + "' must return void");
+      }
+    }
+  }
+
+  const AoiModule &M;
+  DiagnosticEngine &Diags;
+  std::set<const AoiType *> InProgress;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool AoiModule::verify(DiagnosticEngine &Diags) const {
+  return Verifier(*this, Diags).run();
+}

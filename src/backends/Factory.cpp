@@ -1,0 +1,25 @@
+//===- backends/Factory.cpp - back-end registry ---------------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/Backend.h"
+
+using namespace flick;
+
+std::unique_ptr<Backend> flick::createBackend(const std::string &Name,
+                                              BackendOptions Opts) {
+  if (Name == "xdr")
+    return std::make_unique<XdrBackend>(Opts);
+  if (Name == "iiop")
+    return std::make_unique<IiopBackend>(Opts);
+  if (Name == "naive")
+    return std::make_unique<NaiveBackend>(Opts);
+  if (Name == "mach")
+    return std::make_unique<MachBackend>(Opts);
+  if (Name == "fluke")
+    return std::make_unique<FlukeBackend>(Opts);
+  return nullptr;
+}

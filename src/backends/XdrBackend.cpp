@@ -1,0 +1,95 @@
+//===- backends/XdrBackend.cpp - ONC RPC / XDR message framing ------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "backends/Backend.h"
+#include "support/StringExtras.h"
+#include <cassert>
+
+using namespace flick;
+
+//===----------------------------------------------------------------------===//
+// ONC RPC / XDR
+//===----------------------------------------------------------------------===//
+
+static uint32_t oncProg(const PresCInterface &If) {
+  return If.ProgramNumber ? If.ProgramNumber : 0x20000000u;
+}
+
+static uint32_t oncVers(const PresCInterface &If) {
+  return If.VersionNumber ? If.VersionNumber : 1u;
+}
+
+void XdrBackend::emitRequestHeader(StubGen &G, const PresCInterface &If,
+                                   const PresCOperation &Op) {
+  CastBuilder &B = G.builder();
+  // RFC 1831 call header: xid, CALL, rpcvers=2, prog, vers, proc, and
+  // empty AUTH_NONE credential and verifier -- ten words, one chunk.
+  G.openChunk(40);
+  G.putU32(B.id("_xid"));
+  G.putU32(B.num(0)); // CALL
+  G.putU32(B.num(2)); // RPC version
+  G.putU32(B.unum(oncProg(If)));
+  G.putU32(B.unum(oncVers(If)));
+  G.putU32(B.unum(Op.RequestCode));
+  G.putU32(B.num(0)); // cred flavor AUTH_NONE
+  G.putU32(B.num(0)); // cred length
+  G.putU32(B.num(0)); // verf flavor
+  G.putU32(B.num(0)); // verf length
+  G.closeChunk();
+}
+
+void XdrBackend::emitReplyHeader(StubGen &G, const PresCInterface &If,
+                                 CastExpr *Status) {
+  CastBuilder &B = G.builder();
+  // RFC 1831 accepted reply plus this runtime's reply-status word.
+  G.openChunk(28);
+  G.putU32(B.id("_xid"));
+  G.putU32(B.num(1)); // REPLY
+  G.putU32(B.num(0)); // MSG_ACCEPTED
+  G.putU32(B.num(0)); // verf flavor
+  G.putU32(B.num(0)); // verf length
+  G.putU32(B.num(0)); // accept_stat SUCCESS
+  G.putU32(Status);
+  G.closeChunk();
+}
+
+void XdrBackend::emitReplyHeaderDecode(StubGen &G,
+                                       const PresCInterface &If) {
+  CastBuilder &B = G.builder();
+  G.openChunk(28);
+  G.getU32(); // xid (single outstanding call; not matched)
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.num(1)),
+                  B.ret(B.id("FLICK_ERR_DECODE")))); // REPLY
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.num(0)),
+                  B.ret(B.id("FLICK_ERR_DECODE")))); // MSG_ACCEPTED
+  G.getU32();                                        // verf flavor
+  G.getU32();                                        // verf length
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.num(0)),
+                  B.ret(B.id("FLICK_ERR_DECODE")))); // accept_stat
+  G.stmt(B.varDecl(B.prim("uint32_t"), "_status", G.getU32()));
+  G.closeChunk();
+}
+
+void XdrBackend::emitRequestHeaderDecode(StubGen &G,
+                                         const PresCInterface &If) {
+  CastBuilder &B = G.builder();
+  G.openChunk(40);
+  G.stmt(B.varDecl(B.prim("uint32_t"), "_xid", G.getU32()));
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.num(0)),
+                  B.ret(B.id("FLICK_ERR_DECODE")))); // CALL
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.num(2)),
+                  B.ret(B.id("FLICK_ERR_DECODE")))); // rpcvers
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.unum(oncProg(If))),
+                  B.ret(B.id("FLICK_ERR_NO_SUCH_OP"))));
+  G.stmt(B.ifStmt(B.ne(G.getU32(), B.unum(oncVers(If))),
+                  B.ret(B.id("FLICK_ERR_NO_SUCH_OP"))));
+  G.stmt(B.varDecl(B.prim("uint32_t"), "_opcode", G.getU32()));
+  // cred/verf words are consumed with the chunk; nothing to validate for
+  // AUTH_NONE.
+  G.closeChunk();
+}
+

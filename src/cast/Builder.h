@@ -1,0 +1,158 @@
+//===- cast/Builder.h - Terse CAST construction helpers ---------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CastBuilder wraps a CastContext with short factory methods so the back
+/// ends can assemble marshal code without drowning in `Ctx.make<...>` noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_CAST_BUILDER_H
+#define FLICK_CAST_BUILDER_H
+
+#include "cast/Cast.h"
+
+namespace flick {
+
+/// Factory facade over a CastContext.  All returned nodes are owned by the
+/// underlying context.
+class CastBuilder {
+public:
+  explicit CastBuilder(CastContext &Ctx) : Ctx(Ctx) {}
+
+  CastContext &context() { return Ctx; }
+
+  // --- Types ---
+  CastType *prim(const std::string &Name) { return Ctx.make<CastPrim>(Name); }
+  CastType *voidTy() { return prim("void"); }
+  CastType *structTy(const std::string &Name) {
+    return Ctx.make<CastNamed>(CastTag::Struct, Name);
+  }
+  CastType *unionTy(const std::string &Name) {
+    return Ctx.make<CastNamed>(CastTag::Union, Name);
+  }
+  CastType *enumTy(const std::string &Name) {
+    return Ctx.make<CastNamed>(CastTag::Enum, Name);
+  }
+  CastType *ptr(CastType *T) { return Ctx.make<CastPointer>(T, false); }
+  CastType *constPtr(CastType *T) { return Ctx.make<CastPointer>(T, true); }
+  CastType *arr(CastType *T, uint64_t N) { return Ctx.make<CastArray>(T, N); }
+
+  // --- Expressions ---
+  CastExpr *id(const std::string &Name) { return Ctx.make<CEIdent>(Name); }
+  CastExpr *num(int64_t V) {
+    return Ctx.make<CEIntLit>(static_cast<uint64_t>(V), false);
+  }
+  CastExpr *unum(uint64_t V) { return Ctx.make<CEIntLit>(V, true); }
+  CastExpr *str(const std::string &S) { return Ctx.make<CEStrLit>(S); }
+  CastExpr *chr(char C) { return Ctx.make<CECharLit>(C); }
+  CastExpr *call(const std::string &Fn, std::vector<CastExpr *> Args) {
+    return Ctx.make<CECall>(id(Fn), std::move(Args));
+  }
+  CastExpr *callE(CastExpr *Fn, std::vector<CastExpr *> Args) {
+    return Ctx.make<CECall>(Fn, std::move(Args));
+  }
+  CastExpr *mem(CastExpr *Base, const std::string &Field) {
+    return Ctx.make<CEMember>(Base, Field, /*Arrow=*/false);
+  }
+  CastExpr *arrow(CastExpr *Base, const std::string &Field) {
+    return Ctx.make<CEMember>(Base, Field, /*Arrow=*/true);
+  }
+  CastExpr *idx(CastExpr *Base, CastExpr *I) {
+    return Ctx.make<CEIndex>(Base, I);
+  }
+  CastExpr *un(const std::string &Op, CastExpr *E) {
+    return Ctx.make<CEUnary>(Op, E);
+  }
+  CastExpr *deref(CastExpr *E) { return un("*", E); }
+  CastExpr *addr(CastExpr *E) { return un("&", E); }
+  CastExpr *nt(CastExpr *E) { return un("!", E); }
+  CastExpr *bin(const std::string &Op, CastExpr *L, CastExpr *R) {
+    return Ctx.make<CEBinary>(Op, L, R);
+  }
+  CastExpr *assign(CastExpr *L, CastExpr *R) { return bin("=", L, R); }
+  CastExpr *add(CastExpr *L, CastExpr *R) { return bin("+", L, R); }
+  CastExpr *sub(CastExpr *L, CastExpr *R) { return bin("-", L, R); }
+  CastExpr *mul(CastExpr *L, CastExpr *R) { return bin("*", L, R); }
+  CastExpr *eq(CastExpr *L, CastExpr *R) { return bin("==", L, R); }
+  CastExpr *ne(CastExpr *L, CastExpr *R) { return bin("!=", L, R); }
+  CastExpr *lt(CastExpr *L, CastExpr *R) { return bin("<", L, R); }
+  CastExpr *castTo(CastType *T, CastExpr *E) {
+    return Ctx.make<CECast>(T, E);
+  }
+  CastExpr *sizeofTy(CastType *T) { return Ctx.make<CESizeofType>(T); }
+  CastExpr *ternary(CastExpr *C, CastExpr *T, CastExpr *E) {
+    return Ctx.make<CETernary>(C, T, E);
+  }
+  CastExpr *rawE(const std::string &Text) { return Ctx.make<CERaw>(Text); }
+
+  // --- Statements ---
+  CastStmt *exprStmt(CastExpr *E) { return Ctx.make<CSExpr>(E); }
+  CastStmt *varDecl(CastType *T, const std::string &Name,
+                    CastExpr *Init = nullptr) {
+    return Ctx.make<CSVarDecl>(T, Name, Init);
+  }
+  CSBlock *block(std::vector<CastStmt *> Stmts = {}) {
+    return Ctx.make<CSBlock>(std::move(Stmts));
+  }
+  CastStmt *ifStmt(CastExpr *Cond, CastStmt *Then, CastStmt *Else = nullptr) {
+    return Ctx.make<CSIf>(Cond, Then, Else);
+  }
+  CastStmt *whileStmt(CastExpr *Cond, CastStmt *Body) {
+    return Ctx.make<CSWhile>(Cond, Body);
+  }
+  CastStmt *forStmt(CastStmt *Init, CastExpr *Cond, CastExpr *Step,
+                    CastStmt *Body) {
+    return Ctx.make<CSFor>(Init, Cond, Step, Body);
+  }
+  CSSwitch *switchStmt(CastExpr *Cond, std::vector<CastSwitchCase> Cases) {
+    return Ctx.make<CSSwitch>(Cond, std::move(Cases));
+  }
+  CastStmt *ret(CastExpr *E = nullptr) { return Ctx.make<CSReturn>(E); }
+  CastStmt *brk() { return Ctx.make<CSBreak>(); }
+  CastStmt *comment(const std::string &Text) {
+    return Ctx.make<CSComment>(Text);
+  }
+  CastStmt *rawStmt(const std::string &Text) {
+    return Ctx.make<CSRaw>(Text);
+  }
+
+  // --- Declarations ---
+  CDFunc *func(CastType *Ret, const std::string &Name,
+               std::vector<CastParam> Params, CSBlock *Body,
+               bool Static = false, bool Inline = false) {
+    return Ctx.make<CDFunc>(Ret, Name, std::move(Params), Body, Static,
+                            Inline);
+  }
+  CDAggregateDef *structDef(const std::string &Name,
+                            std::vector<CastParam> Fields) {
+    return Ctx.make<CDAggregateDef>(CastTag::Struct, Name,
+                                    std::move(Fields));
+  }
+  CDAggregateDef *unionDef(const std::string &Name,
+                           std::vector<CastParam> Fields) {
+    return Ctx.make<CDAggregateDef>(CastTag::Union, Name, std::move(Fields));
+  }
+  CDEnumDef *enumDef(const std::string &Name,
+                     std::vector<CastEnumerator> Enumerators) {
+    return Ctx.make<CDEnumDef>(Name, std::move(Enumerators));
+  }
+  CDTypedef *typedefDecl(CastType *T, const std::string &Name) {
+    return Ctx.make<CDTypedef>(T, Name);
+  }
+  CastDecl *declComment(const std::string &Text) {
+    return Ctx.make<CDComment>(Text);
+  }
+  CastDecl *rawDecl(const std::string &Text) { return Ctx.make<CDRaw>(Text); }
+
+private:
+  CastContext &Ctx;
+};
+
+} // namespace flick
+
+#endif // FLICK_CAST_BUILDER_H

@@ -1,0 +1,275 @@
+//===- driver/flickc.cpp - The Flick IDL compiler driver ------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flickc command line: choose a front end, a presentation generator,
+/// and a back end (the paper's "mix and match components at IDL
+/// compilation time"), then write the generated header and client/server
+/// sources.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backends/Backend.h"
+#include "frontends/corba/CorbaFrontEnd.h"
+#include "frontends/mig/MigFrontEnd.h"
+#include "frontends/oncrpc/OncFrontEnd.h"
+#include "presgen/PresGen.h"
+#include "support/Diagnostics.h"
+#include "support/StringExtras.h"
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace flick;
+
+namespace {
+
+struct DriverOptions {
+  std::string Input;
+  std::string Idl;        // corba | oncrpc (default from extension)
+  std::string Pres;       // corba | rpcgen | fluke
+  std::string BackendTag; // xdr | iiop | naive | mach | fluke | mig
+  std::string OutputBase; // directory/basename
+  std::string Prefix;
+  std::string SrcExt = "cc";
+  bool PresStringLen = false;
+  BackendOptions BOpts;
+  bool EmitAoi = false;
+  bool EmitPresC = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: flickc [options] <input.idl|input.x>\n"
+      "  -i, --idl <corba|oncrpc>      front end (default: by extension)\n"
+      "  -p, --pres <corba|rpcgen|fluke>  presentation generator\n"
+      "  -b, --backend <xdr|iiop|naive|mach|fluke|mig>  back end\n"
+      "  -o, --output <dir/base>       output basename\n"
+      "      --prefix <p>              prefix for generated identifiers\n"
+      "      --src-ext <cc|c>          source-file extension (default cc)\n"
+      "      --emit-aoi                dump the AOI and stop\n"
+      "      --emit-presc              dump the PRES_C and stop\n"
+      "      --no-inline --no-memcpy --no-chunk --no-scratch --no-alias\n"
+      "                                disable individual optimizations\n"
+      "      --threshold <bytes>       bounded-segment threshold\n");
+}
+
+bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "flickc: missing value for %s\n", A.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (A == "-i" || A == "--idl") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Idl = V;
+    } else if (A == "-p" || A == "--pres") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Pres = V;
+    } else if (A == "-b" || A == "--backend") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.BackendTag = V;
+    } else if (A == "-o" || A == "--output") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.OutputBase = V;
+    } else if (A == "--prefix") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Prefix = V;
+    } else if (A == "--src-ext") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.SrcExt = V;
+    } else if (A == "--emit-aoi") {
+      O.EmitAoi = true;
+    } else if (A == "--emit-presc") {
+      O.EmitPresC = true;
+    } else if (A == "--string-len-params") {
+      O.PresStringLen = true;
+    } else if (A == "--no-inline") {
+      O.BOpts.Inline = false;
+    } else if (A == "--no-memcpy") {
+      O.BOpts.Memcpy = false;
+    } else if (A == "--no-chunk") {
+      O.BOpts.Chunk = false;
+    } else if (A == "--no-scratch") {
+      O.BOpts.ScratchAlloc = false;
+    } else if (A == "--no-alias") {
+      O.BOpts.BufferAlias = false;
+    } else if (A == "--threshold") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.BOpts.BoundedThreshold = std::strtoull(V, nullptr, 10);
+    } else if (A == "-h" || A == "--help") {
+      usage();
+      return false;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "flickc: unknown option '%s'\n", A.c_str());
+      usage();
+      return false;
+    } else {
+      if (!O.Input.empty()) {
+        std::fprintf(stderr, "flickc: multiple inputs not supported\n");
+        return false;
+      }
+      O.Input = A;
+    }
+  }
+  if (O.Input.empty()) {
+    usage();
+    return false;
+  }
+  // Defaults inferred from the input and each other.
+  if (O.Idl.empty())
+    O.Idl = endsWith(O.Input, ".x")      ? "oncrpc"
+            : endsWith(O.Input, ".defs") ? "mig"
+                                         : "corba";
+  if (O.Pres.empty())
+    O.Pres = O.Idl == "oncrpc" ? "rpcgen"
+             : O.Idl == "mig"  ? "mig"
+                               : "corba";
+  if (O.BackendTag.empty())
+    O.BackendTag = O.Pres == "corba"  ? "iiop"
+                   : O.Pres == "mig"  ? "mach"
+                                      : "xdr";
+  if (O.OutputBase.empty()) {
+    std::string Base = O.Input;
+    size_t Slash = Base.find_last_of('/');
+    if (Slash != std::string::npos)
+      Base = Base.substr(Slash + 1);
+    size_t Dot = Base.find_last_of('.');
+    if (Dot != std::string::npos)
+      Base = Base.substr(0, Dot);
+    O.OutputBase = Base;
+  }
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "flickc: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Contents;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 1;
+
+  std::ifstream In(O.Input, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "flickc: cannot read '%s'\n", O.Input.c_str());
+    return 1;
+  }
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  std::string Source = Ss.str();
+
+  DiagnosticEngine Diags;
+
+  // Front end.
+  std::unique_ptr<AoiModule> Module;
+  if (O.Idl == "corba") {
+    Module = parseCorbaIdl(Source, O.Input, Diags);
+  } else if (O.Idl == "oncrpc") {
+    Module = parseOncIdl(Source, O.Input, Diags);
+  } else if (O.Idl == "mig") {
+    Module = parseMigDefs(Source, O.Input, Diags);
+  } else {
+    std::fprintf(stderr, "flickc: unknown IDL '%s'\n", O.Idl.c_str());
+    return 1;
+  }
+  if (!Module) {
+    std::fputs(Diags.renderAll().c_str(), stderr);
+    return 1;
+  }
+  if (!Module->verify(Diags)) {
+    std::fputs(Diags.renderAll().c_str(), stderr);
+    return 1;
+  }
+  if (O.EmitAoi) {
+    std::fputs(Module->dump().c_str(), stdout);
+    return 0;
+  }
+
+  // Presentation generation.
+  PresGenOptions PO;
+  PO.NamePrefix = O.Prefix;
+  PO.StringLenParams = O.PresStringLen;
+  std::unique_ptr<PresGen> PG;
+  if (O.Pres == "corba")
+    PG = std::make_unique<CorbaPresGen>(PO);
+  else if (O.Pres == "rpcgen")
+    PG = std::make_unique<RpcgenPresGen>(PO);
+  else if (O.Pres == "fluke")
+    PG = std::make_unique<FlukePresGen>(PO);
+  else if (O.Pres == "mig")
+    PG = std::make_unique<MigPresGen>(PO);
+  else {
+    std::fprintf(stderr, "flickc: unknown presentation '%s'\n",
+                 O.Pres.c_str());
+    return 1;
+  }
+  std::unique_ptr<PresC> Pres = PG->generate(*Module, Diags);
+  if (!Pres) {
+    std::fputs(Diags.renderAll().c_str(), stderr);
+    return 1;
+  }
+  if (O.EmitPresC) {
+    std::fputs(Pres->dump().c_str(), stdout);
+    return 0;
+  }
+
+  // Back end.
+  std::unique_ptr<Backend> BE = createBackend(O.BackendTag, O.BOpts);
+  if (!BE) {
+    std::fprintf(stderr, "flickc: unknown backend '%s'\n",
+                 O.BackendTag.c_str());
+    return 1;
+  }
+  std::string Base = O.OutputBase;
+  size_t Slash = Base.find_last_of('/');
+  std::string LeafBase =
+      Slash == std::string::npos ? Base : Base.substr(Slash + 1);
+  BackendOutput Out = BE->generate(*Pres, LeafBase);
+
+  if (!writeFile(Base + ".h", Out.Header) ||
+      !writeFile(Base + "_client." + O.SrcExt, Out.ClientSrc) ||
+      !writeFile(Base + "_server." + O.SrcExt, Out.ServerSrc))
+    return 1;
+  if (!Out.CommonSrc.empty() &&
+      !writeFile(Base + "_xdr." + O.SrcExt, Out.CommonSrc))
+    return 1;
+
+  if (Diags.errorCount() == 0 && !Diags.diagnostics().empty())
+    std::fputs(Diags.renderAll().c_str(), stderr);
+  return 0;
+}

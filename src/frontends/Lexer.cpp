@@ -1,0 +1,233 @@
+//===- frontends/Lexer.cpp - Shared IDL lexer -----------------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/Lexer.h"
+#include <cctype>
+
+using namespace flick;
+
+Lexer::Lexer(std::string Source, int FileId, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), FileId(FileId), Diags(Diags) {
+  Cur = lexOne();
+}
+
+SourceLoc Lexer::here() const { return SourceLoc(FileId, Line, Col); }
+
+void Lexer::advance() {
+  if (Pos >= Source.size())
+    return;
+  if (Source[Pos] == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  while (true) {
+    char C = at();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && at(1) == '/') {
+      while (at() && at() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && at(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (at() && !(at() == '*' && at(1) == '/'))
+        advance();
+      if (!at()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    // Preprocessor lines (#include, #pragma, cpp line markers): skip.
+    if (C == '#' && Col == 1) {
+      while (at() && at() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+const Token &Lexer::peek2() {
+  if (!HasAhead) {
+    Ahead = lexOne();
+    HasAhead = true;
+  }
+  return Ahead;
+}
+
+Token Lexer::next() {
+  Token Out = Cur;
+  if (HasAhead) {
+    Cur = Ahead;
+    HasAhead = false;
+  } else {
+    Cur = lexOne();
+  }
+  return Out;
+}
+
+Token Lexer::lexOne() {
+  skipTrivia();
+  Token T;
+  T.Loc = here();
+  char C = at();
+  if (!C) {
+    T.K = Token::Kind::Eof;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Id;
+    while (std::isalnum(static_cast<unsigned char>(at())) || at() == '_') {
+      Id += at();
+      advance();
+    }
+    T.K = Token::Kind::Ident;
+    T.Text = std::move(Id);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    uint64_t V = 0;
+    if (C == '0' && (at(1) == 'x' || at(1) == 'X')) {
+      advance();
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(at()))) {
+        char D = at();
+        unsigned Dig = std::isdigit(static_cast<unsigned char>(D))
+                           ? unsigned(D - '0')
+                           : unsigned(std::tolower(D) - 'a') + 10;
+        V = V * 16 + Dig;
+        advance();
+      }
+    } else if (C == '0' && std::isdigit(static_cast<unsigned char>(at(1)))) {
+      // Octal, per C tradition.
+      while (at() >= '0' && at() <= '7') {
+        V = V * 8 + unsigned(at() - '0');
+        advance();
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(at()))) {
+        V = V * 10 + unsigned(at() - '0');
+        advance();
+      }
+    }
+    // Swallow integer suffixes (uUlL).
+    while (at() == 'u' || at() == 'U' || at() == 'l' || at() == 'L')
+      advance();
+    T.K = Token::Kind::IntLit;
+    T.IntValue = V;
+    return T;
+  }
+
+  if (C == '"') {
+    advance();
+    std::string S;
+    while (at() && at() != '"') {
+      char Ch = at();
+      if (Ch == '\\') {
+        advance();
+        switch (at()) {
+        case 'n':
+          Ch = '\n';
+          break;
+        case 't':
+          Ch = '\t';
+          break;
+        case '\\':
+          Ch = '\\';
+          break;
+        case '"':
+          Ch = '"';
+          break;
+        case '0':
+          Ch = '\0';
+          break;
+        default:
+          Ch = at();
+        }
+      }
+      S += Ch;
+      advance();
+    }
+    if (!at())
+      Diags.error(T.Loc, "unterminated string literal");
+    else
+      advance();
+    T.K = Token::Kind::StrLit;
+    T.Text = std::move(S);
+    return T;
+  }
+
+  if (C == '\'') {
+    advance();
+    char Ch = at();
+    if (Ch == '\\') {
+      advance();
+      switch (at()) {
+      case 'n':
+        Ch = '\n';
+        break;
+      case 't':
+        Ch = '\t';
+        break;
+      case '0':
+        Ch = '\0';
+        break;
+      default:
+        Ch = at();
+      }
+    }
+    advance();
+    if (at() != '\'')
+      Diags.error(T.Loc, "unterminated character literal");
+    else
+      advance();
+    T.K = Token::Kind::CharLit;
+    T.IntValue = static_cast<unsigned char>(Ch);
+    return T;
+  }
+
+  // Punctuation; multi-character first.
+  static const char *Multi[] = {"::", "<<", ">>"};
+  for (const char *M : Multi) {
+    if (C == M[0] && at(1) == M[1]) {
+      advance();
+      advance();
+      T.K = Token::Kind::Punct;
+      T.Text = M;
+      return T;
+    }
+  }
+  static const char Single[] = "{}()[]<>;:,=*+-/%|&^~";
+  for (char S : Single) {
+    if (C == S) {
+      advance();
+      T.K = Token::Kind::Punct;
+      T.Text = std::string(1, S);
+      return T;
+    }
+  }
+
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  advance();
+  return lexOne();
+}

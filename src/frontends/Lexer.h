@@ -1,0 +1,95 @@
+//===- frontends/Lexer.h - Shared IDL lexer ---------------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer shared by the IDL front ends.  The CORBA and ONC
+/// RPC IDLs have C-like surface syntax: identifiers, integer/char/string
+/// literals, punctuation (including `::` and shift operators), `//` and
+/// `/* */` comments, and preprocessor lines (skipped).  Keywords are the
+/// parsers' business -- the lexer returns identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_FRONTENDS_LEXER_H
+#define FLICK_FRONTENDS_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <string>
+
+namespace flick {
+
+/// One lexed token.
+struct Token {
+  enum class Kind {
+    Eof,
+    Ident,
+    IntLit,
+    StrLit,
+    CharLit,
+    Punct,
+  };
+
+  Kind K = Kind::Eof;
+  /// Identifier spelling, punctuation spelling, or string literal value.
+  std::string Text;
+  /// Value for IntLit / CharLit.
+  uint64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(Kind Kd) const { return K == Kd; }
+  bool isPunct(const char *P) const {
+    return K == Kind::Punct && Text == P;
+  }
+  bool isIdent(const char *Id) const {
+    return K == Kind::Ident && Text == Id;
+  }
+};
+
+/// Lexes a whole IDL source buffer.  Errors (bad characters, unterminated
+/// literals) are reported to the DiagnosticEngine and the offending input
+/// is skipped.
+class Lexer {
+public:
+  Lexer(std::string Source, int FileId, DiagnosticEngine &Diags);
+
+  /// Returns the current token without consuming it.
+  const Token &peek() const { return Cur; }
+
+  /// Returns the token after the current one.
+  const Token &peek2();
+
+  /// Consumes and returns the current token.
+  Token next();
+
+  SourceLoc loc() const { return Cur.Loc; }
+
+private:
+  Token lexOne();
+  void skipTrivia();
+  SourceLoc here() const;
+
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  int FileId;
+  DiagnosticEngine &Diags;
+  Token Cur;
+  Token Ahead;
+  bool HasAhead = false;
+
+  char at(size_t Off = 0) const {
+    return Pos + Off < Source.size() ? Source[Pos + Off] : '\0';
+  }
+  void advance();
+};
+
+} // namespace flick
+
+#endif // FLICK_FRONTENDS_LEXER_H

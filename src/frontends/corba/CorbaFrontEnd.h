@@ -1,0 +1,36 @@
+//===- frontends/corba/CorbaFrontEnd.h - CORBA IDL parser -------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CORBA IDL front end (paper §2.1): parses the CORBA 2.0 IDL subset
+/// used by the paper's experiments -- modules, interfaces with inheritance,
+/// operations with in/out/inout parameters and raises clauses, attributes,
+/// exceptions, structs, discriminated unions, enums, typedefs, sequences,
+/// strings, arrays, and constants -- into AOI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_FRONTENDS_CORBA_CORBAFRONTEND_H
+#define FLICK_FRONTENDS_CORBA_CORBAFRONTEND_H
+
+#include "aoi/Aoi.h"
+#include <memory>
+#include <string>
+
+namespace flick {
+
+class DiagnosticEngine;
+
+/// Parses CORBA IDL source into an AOI module.  Returns null when parsing
+/// reported errors (all diagnostics go to \p Diags).
+std::unique_ptr<AoiModule> parseCorbaIdl(const std::string &Source,
+                                         const std::string &Filename,
+                                         DiagnosticEngine &Diags);
+
+} // namespace flick
+
+#endif // FLICK_FRONTENDS_CORBA_CORBAFRONTEND_H

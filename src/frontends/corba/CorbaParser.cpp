@@ -1,0 +1,816 @@
+//===- frontends/corba/CorbaParser.cpp - CORBA IDL parser -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/corba/CorbaFrontEnd.h"
+#include "frontends/Lexer.h"
+#include "support/Diagnostics.h"
+#include <map>
+#include <vector>
+
+using namespace flick;
+
+namespace {
+
+class CorbaParser {
+public:
+  CorbaParser(const std::string &Source, const std::string &Filename,
+              DiagnosticEngine &Diags)
+      : Diags(Diags), FileId(Diags.addFile(Filename)),
+        Lex(Source, FileId, Diags), Module(std::make_unique<AoiModule>()) {}
+
+  std::unique_ptr<AoiModule> run() {
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      if (!parseDefinition())
+        synchronize();
+    }
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(Module);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token utilities
+  //===------------------------------------------------------------------===//
+
+  bool expectPunct(const char *P) {
+    if (Lex.peek().isPunct(P)) {
+      Lex.next();
+      return true;
+    }
+    error("expected '" + std::string(P) + "' but found '" +
+          describe(Lex.peek()) + "'");
+    return false;
+  }
+
+  bool acceptPunct(const char *P) {
+    if (!Lex.peek().isPunct(P))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  bool acceptIdent(const char *Id) {
+    if (!Lex.peek().isIdent(Id))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  std::string expectIdent(const char *What) {
+    if (Lex.peek().is(Token::Kind::Ident))
+      return Lex.next().Text;
+    error(std::string("expected ") + What + " but found '" +
+          describe(Lex.peek()) + "'");
+    return std::string();
+  }
+
+  static std::string describe(const Token &T) {
+    switch (T.K) {
+    case Token::Kind::Eof:
+      return "end of file";
+    case Token::Kind::Ident:
+    case Token::Kind::Punct:
+      return T.Text;
+    case Token::Kind::IntLit:
+      return std::to_string(T.IntValue);
+    case Token::Kind::StrLit:
+      return "string literal";
+    case Token::Kind::CharLit:
+      return "character literal";
+    }
+    return "?";
+  }
+
+  void error(const std::string &Msg) { Diags.error(Lex.loc(), Msg); }
+
+  /// Skips to the next ';' or '}' so one syntax error does not cascade.
+  void synchronize() {
+    unsigned Depth = 0;
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      const Token &T = Lex.peek();
+      if (T.isPunct("{"))
+        ++Depth;
+      if (T.isPunct("}")) {
+        if (Depth == 0) {
+          Lex.next();
+          acceptPunct(";");
+          return;
+        }
+        --Depth;
+      }
+      if (T.isPunct(";") && Depth == 0) {
+        Lex.next();
+        return;
+      }
+      Lex.next();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scopes and symbol tables
+  //===------------------------------------------------------------------===//
+
+  std::string scopedName(const std::string &Name) const {
+    return ScopePrefix.empty() ? Name : ScopePrefix + "::" + Name;
+  }
+
+  void declareType(const std::string &Name, AoiType *T) {
+    std::string Scoped = scopedName(Name);
+    if (Types.count(Scoped)) {
+      error("redefinition of '" + Scoped + "'");
+      return;
+    }
+    Types[Scoped] = T;
+  }
+
+  AoiType *lookupType(const std::string &Name) {
+    // Absolute or already-qualified names first, then enclosing scopes.
+    auto It = Types.find(Name);
+    if (It != Types.end())
+      return It->second;
+    std::string Prefix = ScopePrefix;
+    while (!Prefix.empty()) {
+      It = Types.find(Prefix + "::" + Name);
+      if (It != Types.end())
+        return It->second;
+      size_t Pos = Prefix.rfind("::");
+      Prefix = Pos == std::string::npos ? std::string()
+                                        : Prefix.substr(0, Pos);
+    }
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Constant expressions
+  //===------------------------------------------------------------------===//
+
+  bool parseConstPrimary(int64_t &Out) {
+    const Token &T = Lex.peek();
+    if (T.is(Token::Kind::IntLit) || T.is(Token::Kind::CharLit)) {
+      Out = static_cast<int64_t>(Lex.next().IntValue);
+      return true;
+    }
+    if (T.isIdent("TRUE")) {
+      Lex.next();
+      Out = 1;
+      return true;
+    }
+    if (T.isIdent("FALSE")) {
+      Lex.next();
+      Out = 0;
+      return true;
+    }
+    if (T.isPunct("-")) {
+      Lex.next();
+      if (!parseConstPrimary(Out))
+        return false;
+      Out = -Out;
+      return true;
+    }
+    if (T.isPunct("(")) {
+      Lex.next();
+      if (!parseConstExpr(Out))
+        return false;
+      return expectPunct(")");
+    }
+    if (T.is(Token::Kind::Ident)) {
+      std::string Name = parseScopedNameText();
+      auto It = Consts.find(Name);
+      if (It == Consts.end()) {
+        // Retry with scope resolution.
+        std::string Prefix = ScopePrefix;
+        while (!Prefix.empty() && It == Consts.end()) {
+          It = Consts.find(Prefix + "::" + Name);
+          size_t Pos = Prefix.rfind("::");
+          Prefix = Pos == std::string::npos ? std::string()
+                                            : Prefix.substr(0, Pos);
+        }
+      }
+      if (It == Consts.end()) {
+        error("unknown constant '" + Name + "'");
+        return false;
+      }
+      Out = It->second;
+      return true;
+    }
+    error("expected constant expression");
+    return false;
+  }
+
+  bool parseConstExpr(int64_t &Out) {
+    if (!parseConstPrimary(Out))
+      return false;
+    while (true) {
+      const Token &T = Lex.peek();
+      const char *Ops[] = {"+", "-", "*", "/", "<<", ">>", "|", "&", "^"};
+      const char *Op = nullptr;
+      for (const char *O : Ops)
+        if (T.isPunct(O)) {
+          Op = O;
+          break;
+        }
+      if (!Op)
+        return true;
+      Lex.next();
+      int64_t Rhs = 0;
+      if (!parseConstPrimary(Rhs))
+        return false;
+      switch (Op[0]) {
+      case '+':
+        Out += Rhs;
+        break;
+      case '-':
+        Out -= Rhs;
+        break;
+      case '*':
+        Out *= Rhs;
+        break;
+      case '/':
+        if (Rhs == 0) {
+          error("division by zero in constant expression");
+          return false;
+        }
+        Out /= Rhs;
+        break;
+      case '<':
+        Out <<= Rhs;
+        break;
+      case '>':
+        Out >>= Rhs;
+        break;
+      case '|':
+        Out |= Rhs;
+        break;
+      case '&':
+        Out &= Rhs;
+        break;
+      case '^':
+        Out ^= Rhs;
+        break;
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types
+  //===------------------------------------------------------------------===//
+
+  std::string parseScopedNameText() {
+    std::string Name;
+    if (Lex.peek().isPunct("::"))
+      Lex.next(); // absolute names resolve from the global scope anyway
+    Name = expectIdent("a name");
+    while (Lex.peek().isPunct("::")) {
+      Lex.next();
+      Name += "::";
+      Name += expectIdent("a name after '::'");
+    }
+    return Name;
+  }
+
+  AoiPrimitive *prim(AoiPrimKind K) {
+    return Module->make<AoiPrimitive>(K, Lex.loc());
+  }
+
+  /// Parses a type specifier; null on error.  \p AllowVoid permits the
+  /// `void` return type.
+  AoiType *parseTypeSpec(bool AllowVoid = false) {
+    const Token &T = Lex.peek();
+    if (!T.is(Token::Kind::Ident)) {
+      error("expected a type name");
+      return nullptr;
+    }
+
+    if (acceptIdent("void")) {
+      if (!AllowVoid)
+        error("'void' is only valid as an operation return type");
+      return prim(AoiPrimKind::Void);
+    }
+    if (acceptIdent("boolean"))
+      return prim(AoiPrimKind::Boolean);
+    if (acceptIdent("char"))
+      return prim(AoiPrimKind::Char);
+    if (acceptIdent("octet"))
+      return prim(AoiPrimKind::Octet);
+    if (acceptIdent("short"))
+      return prim(AoiPrimKind::Short);
+    if (acceptIdent("float"))
+      return prim(AoiPrimKind::Float);
+    if (acceptIdent("double"))
+      return prim(AoiPrimKind::Double);
+    if (acceptIdent("long")) {
+      if (acceptIdent("long"))
+        return prim(AoiPrimKind::LongLong);
+      if (Lex.peek().isIdent("double")) {
+        error("'long double' is not supported");
+        Lex.next();
+        return nullptr;
+      }
+      return prim(AoiPrimKind::Long);
+    }
+    if (acceptIdent("unsigned")) {
+      if (acceptIdent("short"))
+        return prim(AoiPrimKind::UShort);
+      if (acceptIdent("long")) {
+        if (acceptIdent("long"))
+          return prim(AoiPrimKind::ULongLong);
+        return prim(AoiPrimKind::ULong);
+      }
+      error("expected 'short' or 'long' after 'unsigned'");
+      return nullptr;
+    }
+    if (acceptIdent("string")) {
+      uint64_t Bound = 0;
+      if (acceptPunct("<")) {
+        int64_t B = 0;
+        if (!parseConstExpr(B))
+          return nullptr;
+        Bound = static_cast<uint64_t>(B);
+        if (!expectPunct(">"))
+          return nullptr;
+      }
+      return Module->make<AoiString>(Bound, Lex.loc());
+    }
+    if (acceptIdent("sequence")) {
+      if (!expectPunct("<"))
+        return nullptr;
+      AoiType *Elem = parseTypeSpec();
+      if (!Elem)
+        return nullptr;
+      uint64_t Bound = 0;
+      if (acceptPunct(",")) {
+        int64_t B = 0;
+        if (!parseConstExpr(B))
+          return nullptr;
+        Bound = static_cast<uint64_t>(B);
+      }
+      if (!expectPunct(">"))
+        return nullptr;
+      return Module->make<AoiSequence>(Elem, Bound, Lex.loc());
+    }
+    if (T.isIdent("struct") || T.isIdent("union") || T.isIdent("enum")) {
+      // Inline aggregate definitions inside other types.
+      return parseTypeDcl(/*Inline=*/true);
+    }
+    if (T.isIdent("any") || T.isIdent("Object") || T.isIdent("wchar") ||
+        T.isIdent("wstring") || T.isIdent("fixed")) {
+      error("type '" + T.Text + "' is not supported");
+      Lex.next();
+      return nullptr;
+    }
+
+    std::string Name = parseScopedNameText();
+    AoiType *Found = lookupType(Name);
+    if (!Found)
+      error("unknown type '" + Name + "'");
+    return Found;
+  }
+
+  /// Parses `typedef`, `struct`, `union`, or `enum`; returns the declared
+  /// type (for Inline use) or null on error.
+  AoiType *parseTypeDcl(bool Inline = false) {
+    SourceLoc Loc = Lex.loc();
+    if (acceptIdent("typedef")) {
+      AoiType *Base = parseTypeSpec();
+      if (!Base)
+        return nullptr;
+      // Declarators, possibly with array dimensions.
+      AoiType *First = nullptr;
+      do {
+        std::string Name = expectIdent("a typedef name");
+        if (Name.empty())
+          return nullptr;
+        AoiType *T = parseArraySuffix(Base);
+        auto *TD = Module->make<AoiTypedef>(Name, T, Loc);
+        declareType(Name, TD);
+        Module->addNamedType(TD);
+        if (!First)
+          First = TD;
+      } while (acceptPunct(","));
+      return First;
+    }
+
+    if (acceptIdent("struct")) {
+      std::string Name = expectIdent("a struct name");
+      if (!expectPunct("{"))
+        return nullptr;
+      // Allow self-reference through sequences: declare a placeholder
+      // struct first.
+      auto *S = Module->make<AoiStruct>(Name, std::vector<AoiField>{}, Loc);
+      declareType(Name, S);
+      std::vector<AoiField> Fields;
+      while (!Lex.peek().isPunct("}") &&
+             !Lex.peek().is(Token::Kind::Eof)) {
+        AoiType *FT = parseTypeSpec();
+        if (!FT)
+          return nullptr;
+        do {
+          AoiField F;
+          F.Loc = Lex.loc();
+          F.Name = expectIdent("a field name");
+          F.Type = parseArraySuffix(FT);
+          Fields.push_back(std::move(F));
+        } while (acceptPunct(","));
+        if (!expectPunct(";"))
+          return nullptr;
+      }
+      expectPunct("}");
+      S->setFields(std::move(Fields));
+      Module->addNamedType(S);
+      return S;
+    }
+
+    if (acceptIdent("union")) {
+      std::string Name = expectIdent("a union name");
+      if (!acceptIdent("switch")) {
+        error("expected 'switch' in union declaration");
+        return nullptr;
+      }
+      if (!expectPunct("("))
+        return nullptr;
+      AoiType *Disc = parseTypeSpec();
+      if (!Disc || !expectPunct(")") || !expectPunct("{"))
+        return nullptr;
+      std::vector<AoiUnionCase> Cases;
+      while (!Lex.peek().isPunct("}") &&
+             !Lex.peek().is(Token::Kind::Eof)) {
+        AoiUnionCase C;
+        C.Loc = Lex.loc();
+        bool AnyLabel = false;
+        while (true) {
+          if (acceptIdent("case")) {
+            int64_t V = 0;
+            if (!parseCaseLabelValue(Disc, V))
+              return nullptr;
+            if (!expectPunct(":"))
+              return nullptr;
+            C.Labels.push_back(AoiCaseLabel{false, V});
+            AnyLabel = true;
+            continue;
+          }
+          if (acceptIdent("default")) {
+            if (!expectPunct(":"))
+              return nullptr;
+            C.Labels.push_back(AoiCaseLabel{true, 0});
+            AnyLabel = true;
+            continue;
+          }
+          break;
+        }
+        if (!AnyLabel) {
+          error("expected 'case' or 'default' in union body");
+          return nullptr;
+        }
+        AoiType *ET = parseTypeSpec();
+        if (!ET)
+          return nullptr;
+        C.FieldName = expectIdent("an element name");
+        C.Type = parseArraySuffix(ET);
+        if (!expectPunct(";"))
+          return nullptr;
+        Cases.push_back(std::move(C));
+      }
+      expectPunct("}");
+      auto *U = Module->make<AoiUnion>(Name, Disc, std::move(Cases), Loc);
+      declareType(Name, U);
+      Module->addNamedType(U);
+      return U;
+    }
+
+    if (acceptIdent("enum")) {
+      std::string Name = expectIdent("an enum name");
+      if (!expectPunct("{"))
+        return nullptr;
+      std::vector<AoiEnumerator> Ens;
+      int64_t Next = 0;
+      do {
+        std::string EName = expectIdent("an enumerator");
+        if (EName.empty())
+          return nullptr;
+        Ens.push_back(AoiEnumerator{EName, Next});
+        Consts[scopedName(EName)] = Next;
+        ++Next;
+      } while (acceptPunct(","));
+      expectPunct("}");
+      auto *E = Module->make<AoiEnum>(Name, std::move(Ens), Loc);
+      declareType(Name, E);
+      Module->addNamedType(E);
+      // Remember enumerator membership for case-label resolution.
+      for (const AoiEnumerator &En : E->enumerators())
+        EnumOf[En.Name] = E;
+      return E;
+    }
+
+    error("expected a type declaration");
+    return nullptr;
+  }
+
+  /// Parses optional `[N]...` dimensions after a declarator name.
+  AoiType *parseArraySuffix(AoiType *Base) {
+    std::vector<uint64_t> Dims;
+    while (acceptPunct("[")) {
+      int64_t N = 0;
+      if (!parseConstExpr(N))
+        return Base;
+      if (N <= 0)
+        error("array dimension must be positive");
+      Dims.push_back(static_cast<uint64_t>(N));
+      expectPunct("]");
+    }
+    if (Dims.empty())
+      return Base;
+    return Module->make<AoiArray>(Base, std::move(Dims), Lex.loc());
+  }
+
+  bool parseCaseLabelValue(AoiType *Disc, int64_t &Out) {
+    // Enum discriminators accept enumerator names.
+    const AoiType *R = Disc->resolved();
+    if (const auto *E = dyn_cast<AoiEnum>(R)) {
+      if (Lex.peek().is(Token::Kind::Ident)) {
+        std::string Name = parseScopedNameText();
+        // Strip scope for enumerator comparison.
+        size_t Pos = Name.rfind("::");
+        std::string Last =
+            Pos == std::string::npos ? Name : Name.substr(Pos + 2);
+        for (const AoiEnumerator &En : E->enumerators())
+          if (En.Name == Last) {
+            Out = En.Value;
+            return true;
+          }
+        error("'" + Name + "' is not an enumerator of the discriminator");
+        return false;
+      }
+    }
+    return parseConstExpr(Out);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  bool parseConstDcl() {
+    SourceLoc Loc = Lex.loc();
+    AoiType *T = parseTypeSpec();
+    if (!T)
+      return false;
+    std::string Name = expectIdent("a constant name");
+    if (!expectPunct("="))
+      return false;
+    AoiConst C;
+    C.Name = Name;
+    C.Type = T;
+    C.Loc = Loc;
+    if (Lex.peek().is(Token::Kind::StrLit)) {
+      C.Value.K = AoiConstValue::Kind::String;
+      C.Value.StrValue = Lex.next().Text;
+    } else {
+      int64_t V = 0;
+      if (!parseConstExpr(V))
+        return false;
+      C.Value.K = AoiConstValue::Kind::Int;
+      C.Value.IntValue = V;
+      Consts[scopedName(Name)] = V;
+    }
+    Module->addConst(std::move(C));
+    return expectPunct(";");
+  }
+
+  bool parseExceptDcl() {
+    SourceLoc Loc = Lex.loc();
+    std::string Name = expectIdent("an exception name");
+    if (!expectPunct("{"))
+      return false;
+    AoiExceptionDecl *Ex = Module->makeException();
+    Ex->Name = Name;
+    Ex->Loc = Loc;
+    while (!Lex.peek().isPunct("}") && !Lex.peek().is(Token::Kind::Eof)) {
+      AoiType *FT = parseTypeSpec();
+      if (!FT)
+        return false;
+      do {
+        AoiField F;
+        F.Loc = Lex.loc();
+        F.Name = expectIdent("a member name");
+        F.Type = parseArraySuffix(FT);
+        Ex->Members.push_back(std::move(F));
+      } while (acceptPunct(","));
+      if (!expectPunct(";"))
+        return false;
+    }
+    expectPunct("}");
+    Exceptions[scopedName(Name)] = Ex;
+    return expectPunct(";");
+  }
+
+  bool parseInterface() {
+    SourceLoc Loc = Lex.loc();
+    std::string Name = expectIdent("an interface name");
+    // Forward declaration `interface X;`.
+    if (acceptPunct(";"))
+      return true;
+
+    AoiInterface *If = Module->makeInterface();
+    If->Name = Name;
+    If->ScopedName = scopedName(Name);
+    If->Loc = Loc;
+    InterfaceMap[If->ScopedName] = If;
+
+    if (acceptPunct(":")) {
+      do {
+        std::string BaseName = parseScopedNameText();
+        AoiInterface *Base = nullptr;
+        auto It = InterfaceMap.find(BaseName);
+        if (It != InterfaceMap.end())
+          Base = It->second;
+        else if (auto It2 = InterfaceMap.find(scopedName(BaseName));
+                 It2 != InterfaceMap.end())
+          Base = It2->second;
+        if (!Base) {
+          error("unknown base interface '" + BaseName + "'");
+          return false;
+        }
+        If->Bases.push_back(Base);
+      } while (acceptPunct(","));
+    }
+    if (!expectPunct("{"))
+      return false;
+
+    std::string SavedPrefix = ScopePrefix;
+    ScopePrefix = If->ScopedName;
+    uint32_t NextCode = 1;
+    while (!Lex.peek().isPunct("}") && !Lex.peek().is(Token::Kind::Eof)) {
+      if (!parseExport(*If, NextCode)) {
+        ScopePrefix = SavedPrefix;
+        return false;
+      }
+    }
+    ScopePrefix = SavedPrefix;
+    expectPunct("}");
+    return expectPunct(";");
+  }
+
+  bool parseExport(AoiInterface &If, uint32_t &NextCode) {
+    const Token &T = Lex.peek();
+    if (T.isIdent("typedef") || T.isIdent("struct") || T.isIdent("union") ||
+        T.isIdent("enum")) {
+      if (!parseTypeDcl())
+        return false;
+      return expectPunct(";");
+    }
+    if (acceptIdent("const"))
+      return parseConstDcl();
+    if (acceptIdent("exception"))
+      return parseExceptDcl();
+    if (T.isIdent("readonly") || T.isIdent("attribute"))
+      return parseAttribute(If);
+    return parseOperation(If, NextCode);
+  }
+
+  bool parseAttribute(AoiInterface &If) {
+    AoiAttribute A;
+    A.Loc = Lex.loc();
+    A.ReadOnly = acceptIdent("readonly");
+    if (!acceptIdent("attribute")) {
+      error("expected 'attribute'");
+      return false;
+    }
+    AoiType *T = parseTypeSpec();
+    if (!T)
+      return false;
+    do {
+      AoiAttribute Copy = A;
+      Copy.Type = T;
+      Copy.Name = expectIdent("an attribute name");
+      If.Attributes.push_back(std::move(Copy));
+    } while (acceptPunct(","));
+    return expectPunct(";");
+  }
+
+  bool parseOperation(AoiInterface &If, uint32_t &NextCode) {
+    AoiOperation Op;
+    Op.Loc = Lex.loc();
+    Op.Oneway = acceptIdent("oneway");
+    Op.ReturnType = parseTypeSpec(/*AllowVoid=*/true);
+    if (!Op.ReturnType)
+      return false;
+    Op.Name = expectIdent("an operation name");
+    if (Op.Name.empty() || !expectPunct("("))
+      return false;
+    if (!acceptPunct(")")) {
+      do {
+        AoiParam P;
+        P.Loc = Lex.loc();
+        if (acceptIdent("in"))
+          P.Dir = AoiParamDir::In;
+        else if (acceptIdent("out"))
+          P.Dir = AoiParamDir::Out;
+        else if (acceptIdent("inout"))
+          P.Dir = AoiParamDir::InOut;
+        else {
+          error("expected parameter direction (in/out/inout)");
+          return false;
+        }
+        P.Type = parseTypeSpec();
+        if (!P.Type)
+          return false;
+        P.Name = expectIdent("a parameter name");
+        Op.Params.push_back(std::move(P));
+      } while (acceptPunct(","));
+      if (!expectPunct(")"))
+        return false;
+    }
+    if (acceptIdent("raises")) {
+      if (!expectPunct("("))
+        return false;
+      do {
+        std::string EName = parseScopedNameText();
+        AoiExceptionDecl *Ex = nullptr;
+        auto It = Exceptions.find(EName);
+        if (It != Exceptions.end())
+          Ex = It->second;
+        else {
+          std::string Prefix = ScopePrefix;
+          while (!Prefix.empty() && !Ex) {
+            auto It2 = Exceptions.find(Prefix + "::" + EName);
+            if (It2 != Exceptions.end())
+              Ex = It2->second;
+            size_t Pos = Prefix.rfind("::");
+            Prefix = Pos == std::string::npos ? std::string()
+                                              : Prefix.substr(0, Pos);
+          }
+        }
+        if (!Ex) {
+          error("unknown exception '" + EName + "' in raises clause");
+          return false;
+        }
+        Op.Raises.push_back(Ex);
+      } while (acceptPunct(","));
+      if (!expectPunct(")"))
+        return false;
+    }
+    Op.RequestCode = NextCode++;
+    If.Operations.push_back(std::move(Op));
+    return expectPunct(";");
+  }
+
+  bool parseDefinition() {
+    const Token &T = Lex.peek();
+    if (T.is(Token::Kind::Eof))
+      return true;
+    if (acceptIdent("module")) {
+      std::string Name = expectIdent("a module name");
+      if (!expectPunct("{"))
+        return false;
+      std::string Saved = ScopePrefix;
+      ScopePrefix = scopedName(Name);
+      while (!Lex.peek().isPunct("}") &&
+             !Lex.peek().is(Token::Kind::Eof)) {
+        if (!parseDefinition()) {
+          ScopePrefix = Saved;
+          return false;
+        }
+      }
+      ScopePrefix = Saved;
+      expectPunct("}");
+      return expectPunct(";");
+    }
+    if (acceptIdent("interface"))
+      return parseInterface();
+    if (acceptIdent("exception"))
+      return parseExceptDcl();
+    if (acceptIdent("const"))
+      return parseConstDcl();
+    if (T.isIdent("typedef") || T.isIdent("struct") || T.isIdent("union") ||
+        T.isIdent("enum")) {
+      if (!parseTypeDcl())
+        return false;
+      return expectPunct(";");
+    }
+    error("expected a definition but found '" + describe(T) + "'");
+    return false;
+  }
+
+  DiagnosticEngine &Diags;
+  int FileId;
+  Lexer Lex;
+  std::unique_ptr<AoiModule> Module;
+  std::string ScopePrefix;
+  std::map<std::string, AoiType *> Types;
+  std::map<std::string, AoiExceptionDecl *> Exceptions;
+  std::map<std::string, AoiInterface *> InterfaceMap;
+  std::map<std::string, int64_t> Consts;
+  std::map<std::string, AoiEnum *> EnumOf;
+};
+
+} // namespace
+
+std::unique_ptr<AoiModule> flick::parseCorbaIdl(const std::string &Source,
+                                                const std::string &Filename,
+                                                DiagnosticEngine &Diags) {
+  return CorbaParser(Source, Filename, Diags).run();
+}

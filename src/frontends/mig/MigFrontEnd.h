@@ -1,0 +1,40 @@
+//===- frontends/mig/MigFrontEnd.h - MIG .defs parser -----------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIG front end (paper §2.1).  MIG's input language is deliberately
+/// restricted -- "essentially just scalars and arrays of scalars" (paper
+/// §5) -- and its constructs assume C and Mach, which is why the paper
+/// conjoins the MIG front end with a special MIG presentation generator
+/// instead of going through AOI alone.  This reproduction parses the
+/// common subset (`subsystem`, `type` aliases, `routine` /
+/// `simpleroutine` with in/out parameters and arrays) into AOI restricted
+/// to MIG's type universe; MigPresGen (presgen/MigStyle.cpp) supplies the
+/// conjoined presentation policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_FRONTENDS_MIG_MIGFRONTEND_H
+#define FLICK_FRONTENDS_MIG_MIGFRONTEND_H
+
+#include "aoi/Aoi.h"
+#include <memory>
+#include <string>
+
+namespace flick {
+
+class DiagnosticEngine;
+
+/// Parses a MIG `.defs` subsystem into an AOI module (one interface,
+/// MIG-restricted types).  Returns null when parsing reported errors.
+std::unique_ptr<AoiModule> parseMigDefs(const std::string &Source,
+                                        const std::string &Filename,
+                                        DiagnosticEngine &Diags);
+
+} // namespace flick
+
+#endif // FLICK_FRONTENDS_MIG_MIGFRONTEND_H

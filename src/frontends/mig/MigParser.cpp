@@ -1,0 +1,294 @@
+//===- frontends/mig/MigParser.cpp - MIG .defs parser ---------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/mig/MigFrontEnd.h"
+#include "frontends/Lexer.h"
+#include "support/Diagnostics.h"
+#include <map>
+
+using namespace flick;
+
+namespace {
+
+class MigParser {
+public:
+  MigParser(const std::string &Source, const std::string &Filename,
+            DiagnosticEngine &Diags)
+      : Diags(Diags), Lex(Source, Diags.addFile(Filename), Diags),
+        Module(std::make_unique<AoiModule>()) {}
+
+  std::unique_ptr<AoiModule> run() {
+    if (!parseSubsystem())
+      return nullptr;
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      if (!parseStatement())
+        synchronize();
+    }
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(Module);
+  }
+
+private:
+  void error(const std::string &Msg) { Diags.error(Lex.loc(), Msg); }
+
+  bool expectPunct(const char *P) {
+    if (Lex.peek().isPunct(P)) {
+      Lex.next();
+      return true;
+    }
+    error("expected '" + std::string(P) + "'");
+    return false;
+  }
+
+  bool acceptPunct(const char *P) {
+    if (!Lex.peek().isPunct(P))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  bool acceptIdent(const char *Id) {
+    if (!Lex.peek().isIdent(Id))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  std::string expectIdent(const char *What) {
+    if (Lex.peek().is(Token::Kind::Ident))
+      return Lex.next().Text;
+    error(std::string("expected ") + What);
+    return std::string();
+  }
+
+  void synchronize() {
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      if (Lex.peek().isPunct(";")) {
+        Lex.next();
+        return;
+      }
+      Lex.next();
+    }
+  }
+
+  bool parseSubsystem() {
+    if (!acceptIdent("subsystem")) {
+      error("a MIG definition file starts with 'subsystem <name> <id>;'");
+      return false;
+    }
+    If = Module->makeInterface();
+    If->Name = expectIdent("a subsystem name");
+    If->ScopedName = If->Name;
+    If->Loc = Lex.loc();
+    if (!Lex.peek().is(Token::Kind::IntLit)) {
+      error("expected the subsystem message-id base");
+      return false;
+    }
+    If->ProgramNumber = static_cast<uint32_t>(Lex.next().IntValue);
+    If->VersionNumber = 1;
+    return expectPunct(";");
+  }
+
+  /// MIG's builtin scalar universe (MIG cannot express aggregates).
+  AoiType *builtinType(const std::string &Name) {
+    auto Prim = [&](AoiPrimKind K) {
+      return Module->make<AoiPrimitive>(K, Lex.loc());
+    };
+    if (Name == "int" || Name == "int32" || Name == "integer_t")
+      return Prim(AoiPrimKind::Long);
+    if (Name == "unsigned" || Name == "uint32" || Name == "natural_t")
+      return Prim(AoiPrimKind::ULong);
+    if (Name == "int64")
+      return Prim(AoiPrimKind::LongLong);
+    if (Name == "char" || Name == "int8")
+      return Prim(AoiPrimKind::Char);
+    if (Name == "byte" || Name == "uint8")
+      return Prim(AoiPrimKind::Octet);
+    if (Name == "int16")
+      return Prim(AoiPrimKind::Short);
+    if (Name == "boolean_t")
+      return Prim(AoiPrimKind::Boolean);
+    if (Name == "float")
+      return Prim(AoiPrimKind::Float);
+    if (Name == "double")
+      return Prim(AoiPrimKind::Double);
+    return nullptr;
+  }
+
+  /// type-spec := id | 'array' '[' [n] ']' 'of' type-spec
+  ///            | id '[' n ']' (c-style string form)
+  AoiType *parseTypeSpec() {
+    if (acceptIdent("array")) {
+      if (!expectPunct("["))
+        return nullptr;
+      uint64_t Count = 0;
+      bool Variable = true;
+      if (Lex.peek().is(Token::Kind::IntLit)) {
+        Count = Lex.next().IntValue;
+        Variable = false;
+      } else if (Lex.peek().isPunct("*")) {
+        // `array[*:N]` bounded-variable form.
+        Lex.next();
+        if (acceptPunct(":")) {
+          if (!Lex.peek().is(Token::Kind::IntLit)) {
+            error("expected a bound after ':'");
+            return nullptr;
+          }
+          Count = Lex.next().IntValue;
+        }
+      }
+      if (!expectPunct("]"))
+        return nullptr;
+      if (!acceptIdent("of")) {
+        error("expected 'of' in array type");
+        return nullptr;
+      }
+      AoiType *Elem = parseTypeSpec();
+      if (!Elem)
+        return nullptr;
+      // MIG arrays carry only scalars.
+      if (!isa<AoiPrimitive>(Elem->resolved())) {
+        error("MIG arrays may only hold scalar types");
+        return nullptr;
+      }
+      if (Variable || Count == 0)
+        return Module->make<AoiSequence>(Elem, Count, Lex.loc());
+      return Module->make<AoiArray>(
+          Elem, std::vector<uint64_t>{Count}, Lex.loc());
+    }
+
+    std::string Name = expectIdent("a type name");
+    if (Name.empty())
+      return nullptr;
+    if (Name == "string") {
+      uint64_t Bound = 0;
+      if (acceptPunct("[")) {
+        if (Lex.peek().is(Token::Kind::IntLit))
+          Bound = Lex.next().IntValue;
+        if (!expectPunct("]"))
+          return nullptr;
+      }
+      return Module->make<AoiString>(Bound, Lex.loc());
+    }
+    auto It = Aliases.find(Name);
+    if (It != Aliases.end())
+      return It->second;
+    if (AoiType *T = builtinType(Name))
+      return T;
+    error("unknown MIG type '" + Name + "'");
+    return nullptr;
+  }
+
+  bool parseTypeAlias() {
+    std::string Name = expectIdent("a type name");
+    if (Name.empty() || !expectPunct("="))
+      return false;
+    // Accept either a type spec or a MACH_MSG_TYPE_* constant name, which
+    // maps onto the matching scalar.
+    AoiType *T = nullptr;
+    const Token &Tok = Lex.peek();
+    if (Tok.is(Token::Kind::Ident) &&
+        Tok.Text.rfind("MACH_MSG_TYPE_", 0) == 0) {
+      std::string C = Lex.next().Text;
+      if (C == "MACH_MSG_TYPE_INTEGER_32")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::Long, Lex.loc());
+      else if (C == "MACH_MSG_TYPE_INTEGER_64")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::LongLong, Lex.loc());
+      else if (C == "MACH_MSG_TYPE_INTEGER_16")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::Short, Lex.loc());
+      else if (C == "MACH_MSG_TYPE_CHAR")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::Char, Lex.loc());
+      else if (C == "MACH_MSG_TYPE_BYTE")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::Octet, Lex.loc());
+      else if (C == "MACH_MSG_TYPE_BOOLEAN")
+        T = Module->make<AoiPrimitive>(AoiPrimKind::Boolean, Lex.loc());
+      else {
+        error("unsupported Mach type constant '" + C + "'");
+        return false;
+      }
+    } else {
+      T = parseTypeSpec();
+    }
+    if (!T)
+      return false;
+    auto *TD = Module->make<AoiTypedef>(Name, T, Lex.loc());
+    Aliases[Name] = TD;
+    Module->addNamedType(TD);
+    return expectPunct(";");
+  }
+
+  bool parseRoutine(bool Simple) {
+    AoiOperation Op;
+    Op.Loc = Lex.loc();
+    Op.Oneway = Simple;
+    Op.ReturnType = Module->make<AoiPrimitive>(AoiPrimKind::Void, Op.Loc);
+    Op.Name = expectIdent("a routine name");
+    if (Op.Name.empty() || !expectPunct("("))
+      return false;
+    if (!Lex.peek().isPunct(")")) {
+      do {
+        AoiParam P;
+        P.Loc = Lex.loc();
+        P.Dir = AoiParamDir::In;
+        if (acceptIdent("out"))
+          P.Dir = AoiParamDir::Out;
+        else if (acceptIdent("inout"))
+          P.Dir = AoiParamDir::InOut;
+        else
+          acceptIdent("in");
+        P.Name = expectIdent("a parameter name");
+        if (P.Name.empty() || !expectPunct(":"))
+          return false;
+        P.Type = parseTypeSpec();
+        if (!P.Type)
+          return false;
+        Op.Params.push_back(std::move(P));
+      } while (acceptPunct(";") && !Lex.peek().isPunct(")"));
+    }
+    if (!expectPunct(")"))
+      return false;
+    if (Simple)
+      for (const AoiParam &P : Op.Params)
+        if (P.Dir != AoiParamDir::In)
+          error("simpleroutine '" + Op.Name +
+                "' cannot have out parameters");
+    Op.RequestCode = NextProc++;
+    If->Operations.push_back(std::move(Op));
+    return expectPunct(";");
+  }
+
+  bool parseStatement() {
+    if (acceptIdent("type"))
+      return parseTypeAlias();
+    if (acceptIdent("routine"))
+      return parseRoutine(/*Simple=*/false);
+    if (acceptIdent("simpleroutine"))
+      return parseRoutine(/*Simple=*/true);
+    if (acceptIdent("skip")) {
+      ++NextProc; // MIG's placeholder for retired message ids
+      return expectPunct(";");
+    }
+    error("expected 'type', 'routine', 'simpleroutine', or 'skip'");
+    return false;
+  }
+
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  std::unique_ptr<AoiModule> Module;
+  AoiInterface *If = nullptr;
+  std::map<std::string, AoiType *> Aliases;
+  uint32_t NextProc = 1;
+};
+
+} // namespace
+
+std::unique_ptr<AoiModule> flick::parseMigDefs(const std::string &Source,
+                                               const std::string &Filename,
+                                               DiagnosticEngine &Diags) {
+  return MigParser(Source, Filename, Diags).run();
+}

@@ -1,0 +1,36 @@
+//===- frontends/oncrpc/OncFrontEnd.h - ONC RPC IDL parser ------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ONC RPC front end (paper §2.1): parses the Sun rpcgen input language
+/// (RFC 1832 XDR type definitions plus `program`/`version` blocks) into
+/// AOI.  Each `version` becomes an AOI interface carrying its program and
+/// version numbers; each procedure becomes an operation whose request code
+/// is the declared procedure number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_FRONTENDS_ONCRPC_ONCFRONTEND_H
+#define FLICK_FRONTENDS_ONCRPC_ONCFRONTEND_H
+
+#include "aoi/Aoi.h"
+#include <memory>
+#include <string>
+
+namespace flick {
+
+class DiagnosticEngine;
+
+/// Parses ONC RPC (rpcgen) IDL source into an AOI module.  Returns null
+/// when parsing reported errors.
+std::unique_ptr<AoiModule> parseOncIdl(const std::string &Source,
+                                       const std::string &Filename,
+                                       DiagnosticEngine &Diags);
+
+} // namespace flick
+
+#endif // FLICK_FRONTENDS_ONCRPC_ONCFRONTEND_H

@@ -1,0 +1,570 @@
+//===- frontends/oncrpc/OncParser.cpp - ONC RPC IDL parser ----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/oncrpc/OncFrontEnd.h"
+#include "frontends/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/StringExtras.h"
+#include <map>
+
+using namespace flick;
+
+namespace {
+
+class OncParser {
+public:
+  OncParser(const std::string &Source, const std::string &Filename,
+            DiagnosticEngine &Diags)
+      : Diags(Diags), Lex(Source, Diags.addFile(Filename), Diags),
+        Module(std::make_unique<AoiModule>()) {}
+
+  std::unique_ptr<AoiModule> run() {
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      if (!parseDefinition())
+        synchronize();
+    }
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(Module);
+  }
+
+private:
+  void error(const std::string &Msg) { Diags.error(Lex.loc(), Msg); }
+
+  bool expectPunct(const char *P) {
+    if (Lex.peek().isPunct(P)) {
+      Lex.next();
+      return true;
+    }
+    error("expected '" + std::string(P) + "'");
+    return false;
+  }
+
+  bool acceptPunct(const char *P) {
+    if (!Lex.peek().isPunct(P))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  bool acceptIdent(const char *Id) {
+    if (!Lex.peek().isIdent(Id))
+      return false;
+    Lex.next();
+    return true;
+  }
+
+  std::string expectIdent(const char *What) {
+    if (Lex.peek().is(Token::Kind::Ident))
+      return Lex.next().Text;
+    error(std::string("expected ") + What);
+    return std::string();
+  }
+
+  void synchronize() {
+    unsigned Depth = 0;
+    while (!Lex.peek().is(Token::Kind::Eof)) {
+      const Token &T = Lex.peek();
+      if (T.isPunct("{"))
+        ++Depth;
+      if (T.isPunct("}")) {
+        if (Depth == 0) {
+          Lex.next();
+          acceptPunct(";");
+          return;
+        }
+        --Depth;
+      }
+      if (T.isPunct(";") && Depth == 0) {
+        Lex.next();
+        return;
+      }
+      Lex.next();
+    }
+  }
+
+  bool parseValue(int64_t &Out) {
+    const Token &T = Lex.peek();
+    if (T.is(Token::Kind::IntLit)) {
+      Out = static_cast<int64_t>(Lex.next().IntValue);
+      return true;
+    }
+    if (T.isPunct("-")) {
+      Lex.next();
+      if (!parseValue(Out))
+        return false;
+      Out = -Out;
+      return true;
+    }
+    if (T.is(Token::Kind::Ident)) {
+      auto It = Consts.find(T.Text);
+      if (It == Consts.end()) {
+        error("unknown constant '" + T.Text + "'");
+        return false;
+      }
+      Lex.next();
+      Out = It->second;
+      return true;
+    }
+    error("expected a value");
+    return false;
+  }
+
+  AoiPrimitive *prim(AoiPrimKind K) {
+    return Module->make<AoiPrimitive>(K, Lex.loc());
+  }
+
+  /// Parses an XDR type specifier (not including the declarator).  The
+  /// `opaque` and `string` pseudo-types are handled by parseDeclaration
+  /// because their meaning depends on the declarator.
+  AoiType *parseTypeSpecifier(bool AllowVoid) {
+    if (acceptIdent("void")) {
+      if (!AllowVoid)
+        error("'void' only allowed for procedure argument/result");
+      return prim(AoiPrimKind::Void);
+    }
+    if (acceptIdent("unsigned")) {
+      if (acceptIdent("int"))
+        return prim(AoiPrimKind::ULong);
+      if (acceptIdent("long"))
+        return prim(AoiPrimKind::ULong);
+      if (acceptIdent("short"))
+        return prim(AoiPrimKind::UShort);
+      if (acceptIdent("char"))
+        return prim(AoiPrimKind::Octet);
+      if (acceptIdent("hyper"))
+        return prim(AoiPrimKind::ULongLong);
+      // Bare `unsigned` means unsigned int in rpcgen.
+      return prim(AoiPrimKind::ULong);
+    }
+    if (acceptIdent("int"))
+      return prim(AoiPrimKind::Long);
+    if (acceptIdent("long"))
+      return prim(AoiPrimKind::Long);
+    if (acceptIdent("short"))
+      return prim(AoiPrimKind::Short);
+    if (acceptIdent("char"))
+      return prim(AoiPrimKind::Char);
+    if (acceptIdent("hyper"))
+      return prim(AoiPrimKind::LongLong);
+    if (acceptIdent("u_int"))
+      return prim(AoiPrimKind::ULong);
+    if (acceptIdent("u_long"))
+      return prim(AoiPrimKind::ULong);
+    if (acceptIdent("u_short"))
+      return prim(AoiPrimKind::UShort);
+    if (acceptIdent("u_char"))
+      return prim(AoiPrimKind::Octet);
+    if (acceptIdent("float"))
+      return prim(AoiPrimKind::Float);
+    if (acceptIdent("double"))
+      return prim(AoiPrimKind::Double);
+    if (acceptIdent("bool"))
+      return prim(AoiPrimKind::Boolean);
+    if (acceptIdent("bool_t"))
+      return prim(AoiPrimKind::Boolean);
+
+    const Token &T = Lex.peek();
+    if (T.isIdent("struct") || T.isIdent("union") || T.isIdent("enum")) {
+      // Inline body or forward reference: `struct foo` as a type spec.
+      if (Lex.peek2().is(Token::Kind::Ident)) {
+        std::string Tag = Lex.peek2().Text;
+        // `struct name` used as a reference (next token after name is not
+        // '{'): look it up.
+        Lex.next(); // struct/union/enum
+        std::string Name = expectIdent("a tag name");
+        if (!Lex.peek().isPunct("{")) {
+          auto It = Types.find(Name);
+          if (It == Types.end()) {
+            error("unknown type '" + Name + "'");
+            return nullptr;
+          }
+          return It->second;
+        }
+        error("inline aggregate definitions must appear at top level");
+        return nullptr;
+      }
+      error("anonymous aggregates are not supported");
+      return nullptr;
+    }
+
+    if (T.is(Token::Kind::Ident)) {
+      auto It = Types.find(T.Text);
+      if (It != Types.end()) {
+        Lex.next();
+        return It->second;
+      }
+      error("unknown type '" + T.Text + "'");
+      Lex.next();
+      return nullptr;
+    }
+    error("expected a type specifier");
+    return nullptr;
+  }
+
+  /// Parses one XDR declaration `type-specifier declarator` and returns
+  /// the field.  Handles `opaque`, `string`, pointers (`*`), fixed `[n]`
+  /// and variable `<n>` suffixes.
+  bool parseDeclaration(AoiField &Out, bool AllowVoid = false) {
+    Out.Loc = Lex.loc();
+
+    if (acceptIdent("opaque")) {
+      Out.Name = expectIdent("a declarator");
+      if (acceptPunct("[")) {
+        int64_t N = 0;
+        if (!parseValue(N) || !expectPunct("]"))
+          return false;
+        Out.Type = Module->make<AoiArray>(
+            prim(AoiPrimKind::Octet), std::vector<uint64_t>{uint64_t(N)},
+            Out.Loc);
+        return true;
+      }
+      if (acceptPunct("<")) {
+        uint64_t Bound = 0;
+        if (!Lex.peek().isPunct(">")) {
+          int64_t N = 0;
+          if (!parseValue(N))
+            return false;
+          Bound = static_cast<uint64_t>(N);
+        }
+        if (!expectPunct(">"))
+          return false;
+        Out.Type = Module->make<AoiSequence>(prim(AoiPrimKind::Octet),
+                                             Bound, Out.Loc);
+        return true;
+      }
+      error("opaque requires an array declarator");
+      return false;
+    }
+
+    if (acceptIdent("string")) {
+      Out.Name = expectIdent("a declarator");
+      if (!expectPunct("<"))
+        return false;
+      uint64_t Bound = 0;
+      if (!Lex.peek().isPunct(">")) {
+        int64_t N = 0;
+        if (!parseValue(N))
+          return false;
+        Bound = static_cast<uint64_t>(N);
+      }
+      if (!expectPunct(">"))
+        return false;
+      Out.Type = Module->make<AoiString>(Bound, Out.Loc);
+      return true;
+    }
+
+    if (Lex.peek().isIdent("void") && AllowVoid) {
+      Lex.next();
+      Out.Type = prim(AoiPrimKind::Void);
+      Out.Name.clear();
+      return true;
+    }
+
+    AoiType *Base = parseTypeSpecifier(false);
+    if (!Base)
+      return false;
+    bool Optional = acceptPunct("*");
+    Out.Name = expectIdent("a declarator");
+    if (Optional) {
+      Out.Type = Module->make<AoiOptional>(Base, Out.Loc);
+      return true;
+    }
+    if (acceptPunct("[")) {
+      int64_t N = 0;
+      if (!parseValue(N) || !expectPunct("]"))
+        return false;
+      Out.Type = Module->make<AoiArray>(
+          Base, std::vector<uint64_t>{uint64_t(N)}, Out.Loc);
+      return true;
+    }
+    if (acceptPunct("<")) {
+      uint64_t Bound = 0;
+      if (!Lex.peek().isPunct(">")) {
+        int64_t N = 0;
+        if (!parseValue(N))
+          return false;
+        Bound = static_cast<uint64_t>(N);
+      }
+      if (!expectPunct(">"))
+        return false;
+      Out.Type = Module->make<AoiSequence>(Base, Bound, Out.Loc);
+      return true;
+    }
+    Out.Type = Base;
+    return true;
+  }
+
+  bool parseEnum() {
+    SourceLoc Loc = Lex.loc();
+    std::string Name = expectIdent("an enum name");
+    if (!expectPunct("{"))
+      return false;
+    std::vector<AoiEnumerator> Ens;
+    int64_t Next = 0;
+    do {
+      std::string EName = expectIdent("an enumerator");
+      if (EName.empty())
+        return false;
+      if (acceptPunct("=")) {
+        if (!parseValue(Next))
+          return false;
+      }
+      Ens.push_back(AoiEnumerator{EName, Next});
+      Consts[EName] = Next;
+      ++Next;
+    } while (acceptPunct(","));
+    if (!expectPunct("}"))
+      return false;
+    auto *E = Module->make<AoiEnum>(Name, std::move(Ens), Loc);
+    Types[Name] = E;
+    Module->addNamedType(E);
+    EnumTypes[Name] = E;
+    return expectPunct(";");
+  }
+
+  bool parseStruct() {
+    SourceLoc Loc = Lex.loc();
+    std::string Name = expectIdent("a struct name");
+    if (!expectPunct("{"))
+      return false;
+    auto *S = Module->make<AoiStruct>(Name, std::vector<AoiField>{}, Loc);
+    Types[Name] = S; // visible to self-referential members via '*'
+    std::vector<AoiField> Fields;
+    while (!Lex.peek().isPunct("}") && !Lex.peek().is(Token::Kind::Eof)) {
+      AoiField F;
+      if (!parseDeclaration(F))
+        return false;
+      Fields.push_back(std::move(F));
+      if (!expectPunct(";"))
+        return false;
+    }
+    expectPunct("}");
+    S->setFields(std::move(Fields));
+    Module->addNamedType(S);
+    return expectPunct(";");
+  }
+
+  bool parseUnion() {
+    SourceLoc Loc = Lex.loc();
+    std::string Name = expectIdent("a union name");
+    if (!acceptIdent("switch")) {
+      error("expected 'switch' in union declaration");
+      return false;
+    }
+    if (!expectPunct("("))
+      return false;
+    AoiField DiscDecl;
+    if (!parseDeclaration(DiscDecl))
+      return false;
+    if (!expectPunct(")") || !expectPunct("{"))
+      return false;
+    std::vector<AoiUnionCase> Cases;
+    while (!Lex.peek().isPunct("}") && !Lex.peek().is(Token::Kind::Eof)) {
+      AoiUnionCase C;
+      C.Loc = Lex.loc();
+      bool Any = false;
+      while (true) {
+        if (acceptIdent("case")) {
+          int64_t V = 0;
+          // Enum discriminators accept enumerator names (already in
+          // Consts).
+          if (!parseValue(V))
+            return false;
+          if (!expectPunct(":"))
+            return false;
+          C.Labels.push_back(AoiCaseLabel{false, V});
+          Any = true;
+          continue;
+        }
+        if (acceptIdent("default")) {
+          if (!expectPunct(":"))
+            return false;
+          C.Labels.push_back(AoiCaseLabel{true, 0});
+          Any = true;
+          continue;
+        }
+        break;
+      }
+      if (!Any) {
+        error("expected 'case' or 'default'");
+        return false;
+      }
+      if (acceptIdent("void")) {
+        C.Type = nullptr;
+      } else {
+        AoiField F;
+        if (!parseDeclaration(F))
+          return false;
+        C.FieldName = F.Name;
+        C.Type = F.Type;
+      }
+      if (!expectPunct(";"))
+        return false;
+      Cases.push_back(std::move(C));
+    }
+    expectPunct("}");
+    auto *U = Module->make<AoiUnion>(Name, DiscDecl.Type, std::move(Cases),
+                                     Loc);
+    Types[Name] = U;
+    Module->addNamedType(U);
+    return expectPunct(";");
+  }
+
+  bool parseTypedef() {
+    AoiField F;
+    if (!parseDeclaration(F))
+      return false;
+    auto *TD = Module->make<AoiTypedef>(F.Name, F.Type, F.Loc);
+    Types[F.Name] = TD;
+    Module->addNamedType(TD);
+    return expectPunct(";");
+  }
+
+  bool parseConst() {
+    std::string Name = expectIdent("a constant name");
+    if (!expectPunct("="))
+      return false;
+    int64_t V = 0;
+    if (!parseValue(V))
+      return false;
+    Consts[Name] = V;
+    AoiConst C;
+    C.Name = Name;
+    C.Type = prim(AoiPrimKind::Long);
+    C.Value.K = AoiConstValue::Kind::Int;
+    C.Value.IntValue = V;
+    Module->addConst(std::move(C));
+    return expectPunct(";");
+  }
+
+  /// A procedure argument/result type: a type specifier or `void` (plus
+  /// `string<>`-style specs rpcgen allows).
+  AoiType *parseProcType() {
+    if (acceptIdent("void"))
+      return prim(AoiPrimKind::Void);
+    if (acceptIdent("string")) {
+      uint64_t Bound = 0;
+      if (acceptPunct("<")) {
+        if (!Lex.peek().isPunct(">")) {
+          int64_t N = 0;
+          if (!parseValue(N))
+            return nullptr;
+          Bound = static_cast<uint64_t>(N);
+        }
+        if (!expectPunct(">"))
+          return nullptr;
+      }
+      return Module->make<AoiString>(Bound, Lex.loc());
+    }
+    return parseTypeSpecifier(false);
+  }
+
+  bool parseProgram() {
+    std::string ProgName = expectIdent("a program name");
+    if (!expectPunct("{"))
+      return false;
+    struct VersionAcc {
+      std::string Name;
+      AoiInterface *If;
+    };
+    std::vector<AoiInterface *> Versions;
+    while (acceptIdent("version")) {
+      std::string VersName = expectIdent("a version name");
+      if (!expectPunct("{"))
+        return false;
+      AoiInterface *If = Module->makeInterface();
+      If->Name = ProgName;
+      If->ScopedName = ProgName + "::" + VersName;
+      If->Loc = Lex.loc();
+      while (!Lex.peek().isPunct("}") &&
+             !Lex.peek().is(Token::Kind::Eof)) {
+        AoiOperation Op;
+        Op.Loc = Lex.loc();
+        Op.ReturnType = parseProcType();
+        if (!Op.ReturnType)
+          return false;
+        Op.Name = expectIdent("a procedure name");
+        if (!expectPunct("("))
+          return false;
+        unsigned ArgIdx = 0;
+        if (!Lex.peek().isPunct(")")) {
+          do {
+            AoiType *ArgT = parseProcType();
+            if (!ArgT)
+              return false;
+            const auto *Prim = dyn_cast<AoiPrimitive>(ArgT);
+            if (Prim && Prim->prim() == AoiPrimKind::Void)
+              break; // `proc(void)`
+            AoiParam P;
+            P.Dir = AoiParamDir::In;
+            P.Name = "arg" + std::to_string(++ArgIdx);
+            P.Type = ArgT;
+            P.Loc = Lex.loc();
+            Op.Params.push_back(std::move(P));
+          } while (acceptPunct(","));
+        }
+        if (!expectPunct(")") || !expectPunct("="))
+          return false;
+        int64_t Proc = 0;
+        if (!parseValue(Proc) || !expectPunct(";"))
+          return false;
+        Op.RequestCode = static_cast<uint32_t>(Proc);
+        If->Operations.push_back(std::move(Op));
+      }
+      if (!expectPunct("}") || !expectPunct("="))
+        return false;
+      int64_t Vers = 0;
+      if (!parseValue(Vers) || !expectPunct(";"))
+        return false;
+      If->VersionNumber = static_cast<uint32_t>(Vers);
+      Versions.push_back(If);
+    }
+    if (!expectPunct("}") || !expectPunct("="))
+      return false;
+    int64_t Prog = 0;
+    if (!parseValue(Prog) || !expectPunct(";"))
+      return false;
+    for (AoiInterface *If : Versions)
+      If->ProgramNumber = static_cast<uint32_t>(Prog);
+    if (Versions.empty())
+      error("program '" + ProgName + "' declares no versions");
+    return true;
+  }
+
+  bool parseDefinition() {
+    if (acceptIdent("const"))
+      return parseConst();
+    if (acceptIdent("typedef"))
+      return parseTypedef();
+    if (acceptIdent("enum"))
+      return parseEnum();
+    if (acceptIdent("struct"))
+      return parseStruct();
+    if (acceptIdent("union"))
+      return parseUnion();
+    if (acceptIdent("program"))
+      return parseProgram();
+    error("expected a definition");
+    return false;
+  }
+
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  std::unique_ptr<AoiModule> Module;
+  std::map<std::string, AoiType *> Types;
+  std::map<std::string, AoiEnum *> EnumTypes;
+  std::map<std::string, int64_t> Consts;
+};
+
+} // namespace
+
+std::unique_ptr<AoiModule> flick::parseOncIdl(const std::string &Source,
+                                              const std::string &Filename,
+                                              DiagnosticEngine &Diags) {
+  return OncParser(Source, Filename, Diags).run();
+}

@@ -1,0 +1,228 @@
+//===- mint/Mint.h - Message INterface Types IR -----------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MINT is Flick's message-type intermediate representation (paper §2.2.1):
+/// a directed graph describing every message exchanged between client and
+/// server -- value ranges and structure, but *not* the byte-level encoding
+/// (that is the back end's wire format) and *not* the target-language
+/// types (that is CAST).  MINT sits between the two; PRES nodes glue a MINT
+/// node to a CAST type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_MINT_MINT_H
+#define FLICK_MINT_MINT_H
+
+#include "support/Casting.h"
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flick {
+
+/// Base class of all MINT types.  Nodes are owned by a MintModule; graphs
+/// may be cyclic (self-referential types reached through a variable-length
+/// array of zero-or-one elements).
+class MintType {
+public:
+  enum class Kind {
+    Void,
+    Integer,
+    Float,
+    Char,
+    Boolean,
+    Array,
+    Struct,
+    Union,
+  };
+
+  Kind kind() const { return K; }
+
+  virtual ~MintType() = default;
+
+protected:
+  explicit MintType(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+/// The absence of data (e.g. a void reply body or empty union arm).
+class MintVoid : public MintType {
+public:
+  MintVoid() : MintType(Kind::Void) {}
+  static bool classof(const MintType *T) { return T->kind() == Kind::Void; }
+};
+
+/// An integer constrained to an 8/16/32/64-bit signed or unsigned range.
+/// MINT specifies the range only; the byte encoding belongs to the wire
+/// format below it.
+class MintInteger : public MintType {
+public:
+  MintInteger(unsigned Bits, bool Signed)
+      : MintType(Kind::Integer), Bits(Bits), Signed(Signed) {}
+
+  unsigned bits() const { return Bits; }
+  bool isSigned() const { return Signed; }
+
+  static bool classof(const MintType *T) {
+    return T->kind() == Kind::Integer;
+  }
+
+private:
+  unsigned Bits;
+  bool Signed;
+};
+
+/// An IEEE float of 32 or 64 bits.
+class MintFloat : public MintType {
+public:
+  explicit MintFloat(unsigned Bits) : MintType(Kind::Float), Bits(Bits) {}
+
+  unsigned bits() const { return Bits; }
+
+  static bool classof(const MintType *T) { return T->kind() == Kind::Float; }
+
+private:
+  unsigned Bits;
+};
+
+/// A character (ISO 8859-1 octet in the paper's encodings).
+class MintChar : public MintType {
+public:
+  MintChar() : MintType(Kind::Char) {}
+  static bool classof(const MintType *T) { return T->kind() == Kind::Char; }
+};
+
+/// A boolean value.
+class MintBoolean : public MintType {
+public:
+  MintBoolean() : MintType(Kind::Boolean) {}
+  static bool classof(const MintType *T) {
+    return T->kind() == Kind::Boolean;
+  }
+};
+
+/// Sentinel meaning "no static bound" for MintArray::maxLen().
+inline constexpr uint64_t MintUnboundedLen =
+    std::numeric_limits<uint64_t>::max();
+
+/// A counted array: a length in [MinLen, MaxLen] followed by that many
+/// elements.  Fixed-size arrays have MinLen == MaxLen (and no length word on
+/// most encodings); strings are arrays of MintChar; XDR optional pointers
+/// are arrays with range [0, 1].
+class MintArray : public MintType {
+public:
+  MintArray(MintType *Elem, uint64_t MinLen, uint64_t MaxLen)
+      : MintType(Kind::Array), Elem(Elem), MinLen(MinLen), MaxLen(MaxLen) {}
+
+  MintType *elem() const { return Elem; }
+  uint64_t minLen() const { return MinLen; }
+  uint64_t maxLen() const { return MaxLen; }
+  bool isFixed() const { return MinLen == MaxLen; }
+  bool isBounded() const { return MaxLen != MintUnboundedLen; }
+
+  /// Patches the element; used to tie self-referential type knots.
+  void setElem(MintType *T) { Elem = T; }
+
+  static bool classof(const MintType *T) { return T->kind() == Kind::Array; }
+
+private:
+  MintType *Elem;
+  uint64_t MinLen;
+  uint64_t MaxLen;
+};
+
+/// One positional member of a MintStruct.  Labels exist for dumps only.
+struct MintStructElem {
+  MintType *Type = nullptr;
+  std::string Label;
+};
+
+/// A sequence of heterogeneous members marshaled in order.
+class MintStruct : public MintType {
+public:
+  explicit MintStruct(std::vector<MintStructElem> Elems)
+      : MintType(Kind::Struct), Elems(std::move(Elems)) {}
+
+  const std::vector<MintStructElem> &elems() const { return Elems; }
+  std::vector<MintStructElem> &elems() { return Elems; }
+
+  static bool classof(const MintType *T) {
+    return T->kind() == Kind::Struct;
+  }
+
+private:
+  std::vector<MintStructElem> Elems;
+};
+
+/// One arm of a MintUnion: a typed literal discriminator value selects Body.
+struct MintUnionCase {
+  int64_t Value = 0;
+  MintType *Body = nullptr;
+  std::string Label;
+};
+
+/// A discriminated union: the discriminator is marshaled, then the arm whose
+/// literal matches.  Request messages are modeled as a union over operation
+/// request codes (the typed-literal-constant role from the paper).
+class MintUnion : public MintType {
+public:
+  MintUnion(MintInteger *Disc, std::vector<MintUnionCase> Cases,
+            MintType *DefaultBody)
+      : MintType(Kind::Union), Disc(Disc), Cases(std::move(Cases)),
+        DefaultBody(DefaultBody) {}
+
+  MintInteger *disc() const { return Disc; }
+  const std::vector<MintUnionCase> &cases() const { return Cases; }
+  /// Null when an unmatched discriminator is a protocol error.
+  MintType *defaultBody() const { return DefaultBody; }
+
+  static bool classof(const MintType *T) { return T->kind() == Kind::Union; }
+
+private:
+  MintInteger *Disc;
+  std::vector<MintUnionCase> Cases;
+  MintType *DefaultBody;
+};
+
+/// Owns MINT nodes and provides conveniences for the common ones.
+class MintModule {
+public:
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  /// Shared leaves (created on first use).
+  MintVoid *voidType();
+  MintInteger *integer(unsigned Bits, bool Signed);
+  MintFloat *floatType(unsigned Bits);
+  MintChar *charType();
+  MintBoolean *boolType();
+
+  /// Renders a stable textual dump rooted at \p Root (tests, --emit-mint).
+  static std::string dump(const MintType *Root);
+
+private:
+  std::vector<std::unique_ptr<MintType>> Nodes;
+  MintVoid *VoidCache = nullptr;
+  MintChar *CharCache = nullptr;
+  MintBoolean *BoolCache = nullptr;
+  // [signed][log2(bits)-3]
+  MintInteger *IntCache[2][4] = {};
+  MintFloat *FloatCache[2] = {};
+};
+
+} // namespace flick
+
+#endif // FLICK_MINT_MINT_H

@@ -1,0 +1,347 @@
+//===- pres/Pres.h - Message presentation IR (PRES / PRES_C) ----*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PRES nodes (paper §2.2.3) define the *type conversion* between a MINT
+/// message type and a CAST target-language type: how `char *` presents a
+/// counted character array, how a null pointer presents a zero-length
+/// optional, and so on.  PRES_C (paper §2.2.4) bundles, for every stub, the
+/// CAST declaration, the request/reply MINT graphs, and the PRES trees
+/// linking them -- everything a back end needs, with no trace of the IDL or
+/// presentation rules that produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_PRES_PRES_H
+#define FLICK_PRES_PRES_H
+
+#include "aoi/Aoi.h"
+#include "cast/Cast.h"
+#include "mint/Mint.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flick {
+
+/// How unmarshaled storage for a pointer-presented value may be obtained.
+/// The presentation generator records what the programmer's contract
+/// *allows*; the back end picks the cheapest legal strategy (paper §3.1,
+/// "Parameter Management").
+struct AllocSemantics {
+  /// Callee may point the presented pointer into the marshal buffer itself
+  /// (valid only when the server contract forbids keeping references after
+  /// the work function returns).
+  bool AllowBufferAlias = false;
+  /// Callee may use stack/scratch storage with request lifetime.
+  bool AllowStackAlloc = false;
+  /// Fallback: heap allocation owned by the receiver.
+  bool AllowHeap = true;
+};
+
+/// Base class of PRES nodes.  Each node links one MINT type with one CAST
+/// type.  Owned by a PresC.
+class PresNode {
+public:
+  enum class Kind {
+    Void,
+    Prim,      ///< atomic MINT value <-> C scalar
+    Enum,      ///< MINT integer <-> C enum
+    Struct,    ///< MINT struct <-> C struct, field by field
+    FixedArray,///< fixed MINT array <-> C array member
+    Counted,   ///< variable MINT array <-> counted struct {len, buf}
+    String,    ///< MINT char array <-> NUL-terminated char *
+    OptPtr,    ///< MINT array [0..1] <-> nullable pointer
+    Union,     ///< MINT union <-> C {disc, union} struct
+  };
+
+  Kind kind() const { return K; }
+  MintType *mint() const { return M; }
+  CastType *ctype() const { return CT; }
+
+  /// Patches the presented C type; used when tying self-referential
+  /// presentation knots (the pointer type exists only after the element
+  /// mapping completes).
+  void setCType(CastType *T) { CT = T; }
+
+  virtual ~PresNode() = default;
+
+protected:
+  PresNode(Kind K, MintType *M, CastType *CT) : K(K), M(M), CT(CT) {}
+
+private:
+  const Kind K;
+  MintType *M;
+  CastType *CT;
+};
+
+/// No data: void return values and empty union arms.
+class PresVoid : public PresNode {
+public:
+  explicit PresVoid(MintType *M) : PresNode(Kind::Void, M, nullptr) {}
+  static bool classof(const PresNode *P) { return P->kind() == Kind::Void; }
+};
+
+/// A direct atomic mapping (paper Figure 2, example 1): the MINT value and
+/// the C scalar hold the same value; only representation may change.
+class PresPrim : public PresNode {
+public:
+  PresPrim(MintType *M, CastType *CT) : PresNode(Kind::Prim, M, CT) {}
+  static bool classof(const PresNode *P) { return P->kind() == Kind::Prim; }
+};
+
+/// MINT integer presented as a C enum type (marshals as its integer value).
+class PresEnum : public PresNode {
+public:
+  PresEnum(MintType *M, CastType *CT) : PresNode(Kind::Enum, M, CT) {}
+  static bool classof(const PresNode *P) { return P->kind() == Kind::Enum; }
+};
+
+/// One presented field of a PresStruct.
+struct PresField {
+  std::string CName;
+  PresNode *Pres = nullptr;
+};
+
+/// MINT struct presented as a C struct; MINT members correspond
+/// positionally to the listed C fields.
+class PresStruct : public PresNode {
+public:
+  PresStruct(MintType *M, CastType *CT, std::vector<PresField> Fields)
+      : PresNode(Kind::Struct, M, CT), Fields(std::move(Fields)) {}
+
+  const std::vector<PresField> &fields() const { return Fields; }
+  /// Mutable access so generators can build self-referential types in two
+  /// phases (create empty, then fill).
+  std::vector<PresField> &fieldsMut() { return Fields; }
+
+  static bool classof(const PresNode *P) {
+    return P->kind() == Kind::Struct;
+  }
+
+private:
+  std::vector<PresField> Fields;
+};
+
+/// Fixed-length MINT array presented as a C array.
+class PresFixedArray : public PresNode {
+public:
+  PresFixedArray(MintType *M, CastType *CT, PresNode *Elem, uint64_t Count)
+      : PresNode(Kind::FixedArray, M, CT), Elem(Elem), Count(Count) {}
+
+  PresNode *elem() const { return Elem; }
+  uint64_t count() const { return Count; }
+
+  static bool classof(const PresNode *P) {
+    return P->kind() == Kind::FixedArray;
+  }
+
+private:
+  PresNode *Elem;
+  uint64_t Count;
+};
+
+/// Variable-length MINT array presented as a counted struct
+/// `{ <LenField>; <BufField> }` -- the shape of both CORBA sequences
+/// (`_length` / `_buffer`) and rpcgen variable arrays (`x_len` / `x_val`).
+class PresCounted : public PresNode {
+public:
+  PresCounted(MintType *M, CastType *CT, PresNode *Elem,
+              std::string LenField, std::string BufField,
+              std::string MaxField, AllocSemantics Alloc)
+      : PresNode(Kind::Counted, M, CT), Elem(Elem),
+        LenField(std::move(LenField)), BufField(std::move(BufField)),
+        MaxField(std::move(MaxField)), Alloc(Alloc) {}
+
+  PresNode *elem() const { return Elem; }
+  const std::string &lenField() const { return LenField; }
+  const std::string &bufField() const { return BufField; }
+  /// Empty when the presentation has no capacity member.
+  const std::string &maxField() const { return MaxField; }
+  const AllocSemantics &alloc() const { return Alloc; }
+
+  static bool classof(const PresNode *P) {
+    return P->kind() == Kind::Counted;
+  }
+
+private:
+  PresNode *Elem;
+  std::string LenField;
+  std::string BufField;
+  std::string MaxField;
+  AllocSemantics Alloc;
+};
+
+/// Counted MINT char array presented as a NUL-terminated `char *`.
+class PresString : public PresNode {
+public:
+  PresString(MintType *M, CastType *CT, AllocSemantics Alloc)
+      : PresNode(Kind::String, M, CT), Alloc(Alloc) {}
+
+  const AllocSemantics &alloc() const { return Alloc; }
+
+  static bool classof(const PresNode *P) {
+    return P->kind() == Kind::String;
+  }
+
+private:
+  AllocSemantics Alloc;
+};
+
+/// MINT array of zero-or-one elements presented as a nullable pointer
+/// (the paper's OPT_PTR node, Figure 2 example 2's cousin); the vehicle for
+/// XDR linked lists.
+class PresOptPtr : public PresNode {
+public:
+  PresOptPtr(MintType *M, CastType *CT, PresNode *Elem, AllocSemantics Alloc)
+      : PresNode(Kind::OptPtr, M, CT), Elem(Elem), Alloc(Alloc) {}
+
+  PresNode *elem() const { return Elem; }
+  const AllocSemantics &alloc() const { return Alloc; }
+
+  /// Ties self-referential presentation knots.
+  void setElem(PresNode *P) { Elem = P; }
+
+  static bool classof(const PresNode *P) {
+    return P->kind() == Kind::OptPtr;
+  }
+
+private:
+  PresNode *Elem;
+  AllocSemantics Alloc;
+};
+
+/// One arm of a presented union.
+struct PresUnionArm {
+  std::vector<int64_t> CaseValues;
+  bool IsDefault = false;
+  std::string ArmField; ///< member name inside the C union
+  PresNode *Pres = nullptr; ///< null for void arms
+};
+
+/// MINT discriminated union presented as a C struct containing the
+/// discriminator and an anonymous-style union member.
+class PresUnion : public PresNode {
+public:
+  PresUnion(MintType *M, CastType *CT, PresNode *DiscPres,
+            std::string DiscField, std::string UnionField,
+            std::vector<PresUnionArm> Arms)
+      : PresNode(Kind::Union, M, CT), DiscPres(DiscPres),
+        DiscField(std::move(DiscField)), UnionField(std::move(UnionField)),
+        Arms(std::move(Arms)) {}
+
+  PresNode *discPres() const { return DiscPres; }
+  const std::string &discField() const { return DiscField; }
+  const std::string &unionField() const { return UnionField; }
+  const std::vector<PresUnionArm> &arms() const { return Arms; }
+
+  static bool classof(const PresNode *P) { return P->kind() == Kind::Union; }
+
+private:
+  PresNode *DiscPres;
+  std::string DiscField;
+  std::string UnionField;
+  std::vector<PresUnionArm> Arms;
+};
+
+//===----------------------------------------------------------------------===//
+// PRES_C: the complete per-interface presentation description
+//===----------------------------------------------------------------------===//
+
+/// One presented stub parameter (or return value).
+struct PresCParam {
+  std::string Name;
+  /// Non-empty when the presentation adds an explicit length parameter
+  /// for this string (paper §2's `Mail_send(obj, msg, len)` example).
+  std::string LenParamName;
+  AoiParamDir Dir = AoiParamDir::In;
+  /// Presentation of the value; null only for a void return.
+  PresNode *Pres = nullptr;
+  /// Type as it appears in the stub signature (may add pointer/const over
+  /// Pres->ctype(): `in struct` passes `const S *`).
+  CastType *SigType = nullptr;
+  /// True when the signature passes a pointer to the presented value.
+  bool ByPointer = false;
+};
+
+/// A presented exception: wire code plus the struct presentation of its
+/// members.
+struct PresCException {
+  std::string Name;     ///< C struct name (e.g. `Bank_InsufficientFunds`)
+  std::string IdlName;
+  uint32_t Code = 0;
+  PresNode *Members = nullptr; ///< PresStruct over the member fields
+};
+
+/// One presented operation: the programmer's-contract function plus the
+/// network-contract messages.
+struct PresCOperation {
+  std::string IdlName;        ///< for name-keyed demux (IIOP)
+  std::string CName;          ///< client stub function name
+  std::string ServerImplName; ///< work function the dispatcher calls
+  uint32_t RequestCode = 0;   ///< numeric discriminator (proc number)
+  bool Oneway = false;
+
+  PresCParam Return;
+  std::vector<PresCParam> Params;
+
+  /// MINT struct of the request body: in/inout params in order.
+  MintStruct *RequestMint = nullptr;
+  /// MINT struct of the normal reply body: return value then out/inout
+  /// params.
+  MintStruct *ReplyMint = nullptr;
+  /// Exceptions this operation may raise (indices into PresC::Exceptions).
+  std::vector<uint32_t> RaisesIdx;
+};
+
+/// One presented interface.
+struct PresCInterface {
+  std::string Name;       ///< C identifier prefix (`Mail`)
+  std::string ScopedName;
+  uint32_t ProgramNumber = 0;
+  uint32_t VersionNumber = 0;
+  std::vector<PresCOperation> Ops;
+};
+
+/// The complete presentation of an IDL module in C: owns the MINT graphs,
+/// the CAST declarations, and the PRES trees connecting them.
+class PresC {
+public:
+  /// Creates and owns a PRES node.
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  MintModule Mint;
+  CastContext Cast;
+
+  /// Presentation style tag ("corba" / "rpcgen" / "fluke" / "mig").
+  std::string Style;
+  /// Prefix applied to every global identifier (supports linking two
+  /// presentations of one interface into a single test binary).
+  std::string NamePrefix;
+
+  /// File-scope C declarations of the presented data types, in dependency
+  /// order (typedefs, structs, enums, exception structs, constants).
+  std::vector<CastDecl *> TypeDecls;
+
+  std::vector<PresCException> Exceptions;
+  std::vector<PresCInterface> Interfaces;
+
+  /// Renders a stable text dump (tests, `flickc --emit-presc`).
+  std::string dump() const;
+
+private:
+  std::vector<std::unique_ptr<PresNode>> Nodes;
+};
+
+} // namespace flick
+
+#endif // FLICK_PRES_PRES_H

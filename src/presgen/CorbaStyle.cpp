@@ -1,0 +1,30 @@
+//===- presgen/CorbaStyle.cpp - the CORBA C presentation policy ---------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything unique to the CORBA C language mapping: stub/servant naming.
+/// The member-name and environment policies live inline in PresGen.h --
+/// together a few dozen lines against the shared presentation library,
+/// the reuse structure the paper's Table 1 reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "presgen/PresGen.h"
+#include "support/StringExtras.h"
+
+using namespace flick;
+
+std::string CorbaPresGen::stubName(const AoiInterface &If,
+                                   const AoiOperation &Op) const {
+  // CORBA C mapping: `Interface_operation`.
+  return If.Name + "_" + Op.Name;
+}
+
+std::string CorbaPresGen::serverImplName(const AoiInterface &If,
+                                         const AoiOperation &Op) const {
+  return If.Name + "_" + Op.Name + "_server";
+}

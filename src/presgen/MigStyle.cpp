@@ -1,0 +1,31 @@
+//===- presgen/MigStyle.cpp - the conjoined MIG presentation --------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIG presentation policy, conjoined with the MIG front end exactly
+/// as the paper describes (§2.1): MIG stub names are `subsystem_routine`,
+/// stubs return a kern_return_t-style status instead of carrying a CORBA
+/// environment, and servants are `<name>_server` functions -- MIG's
+/// C-and-Mach-specific idioms expressed as one more small specialization
+/// of the shared presentation library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "presgen/PresGen.h"
+#include "support/StringExtras.h"
+
+using namespace flick;
+
+std::string MigPresGen::stubName(const AoiInterface &If,
+                                 const AoiOperation &Op) const {
+  return If.Name + "_" + Op.Name;
+}
+
+std::string MigPresGen::serverImplName(const AoiInterface &If,
+                                       const AoiOperation &Op) const {
+  return If.Name + "_" + Op.Name + "_server";
+}

@@ -1,0 +1,252 @@
+//===- presgen/PresGen.h - Presentation generator base ----------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Presentation generation (paper §2.2): mapping an AOI interface onto the
+/// constructs of a target language, producing PRES_C.  PresGen is the large
+/// shared base library; concrete generators (CORBA C mapping, rpcgen
+/// mapping, Fluke mapping) override small policy hooks -- naming, member
+/// conventions, parameter passing -- exactly the specialization structure
+/// the paper's Table 1 measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_PRESGEN_PRESGEN_H
+#define FLICK_PRESGEN_PRESGEN_H
+
+#include "aoi/Aoi.h"
+#include "cast/Builder.h"
+#include "pres/Pres.h"
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace flick {
+
+class DiagnosticEngine;
+
+/// The signature shape of one stub parameter: its declared type and how
+/// many pointer dereferences reach the presented value.
+struct SigInfo {
+  CastType *Type = nullptr;
+  unsigned Indirection = 0;
+};
+
+/// Computes signature type and indirection for a presented parameter; the
+/// back ends use this to address parameter values uniformly.
+SigInfo presgenParamSig(CastBuilder &B, const PresNode *P, AoiParamDir Dir,
+                        bool Variable);
+
+/// True when the presented C value contains pointers (variable-size in the
+/// CORBA C mapping sense).
+bool presIsVariable(const PresNode *P);
+
+/// Options common to all presentation generators.
+struct PresGenOptions {
+  /// Prefix applied to every generated global identifier; lets two
+  /// presentations of one interface link into a single binary.
+  std::string NamePrefix;
+  /// The paper's §2 presentation-flexibility example: pass `in` strings
+  /// with an explicit `<name>_len` parameter so stubs never call strlen.
+  /// Changes only the programmer's contract; the messages are unchanged.
+  bool StringLenParams = false;
+};
+
+/// Base presentation generator: owns the AOI -> (MINT, CAST, PRES) type
+/// mapping and the per-operation message construction.  Subclasses supply
+/// the style-specific naming and signature policy.
+class PresGen {
+public:
+  explicit PresGen(PresGenOptions Opts) : Opts(std::move(Opts)) {}
+  virtual ~PresGen();
+
+  /// Maps \p M onto a complete C presentation.  Reports problems to
+  /// \p Diags; returns null on error.
+  std::unique_ptr<PresC> generate(const AoiModule &M,
+                                  DiagnosticEngine &Diags);
+
+protected:
+  /// Style tag recorded in the PresC ("corba", "rpcgen", ...).
+  virtual std::string styleName() const = 0;
+
+  /// Client stub function name for \p Op of \p If.
+  virtual std::string stubName(const AoiInterface &If,
+                               const AoiOperation &Op) const = 0;
+
+  /// Server work function name the dispatcher calls.
+  virtual std::string serverImplName(const AoiInterface &If,
+                                     const AoiOperation &Op) const = 0;
+
+  /// Member names of presented counted sequences (CORBA `_length` /
+  /// `_buffer` / `_maximum`; rpcgen `<f>_len` / `<f>_val`).
+  virtual std::string seqLenField(const std::string &Hint) const = 0;
+  virtual std::string seqBufField(const std::string &Hint) const = 0;
+  virtual std::string seqMaxField(const std::string &Hint) const = 0;
+
+  /// Member names of presented unions.
+  virtual std::string unionDiscField() const = 0;
+  virtual std::string unionUnionField() const = 0;
+
+  /// True when stubs carry a CORBA_Environment parameter and exceptions.
+  virtual bool usesEnvironment() const = 0;
+
+  /// Whether server in-parameters may alias the request buffer (the CORBA
+  /// C mapping forbids servants keeping references, so Flick may alias;
+  /// paper §3.1).
+  virtual AllocSemantics serverInAlloc() const;
+
+  const PresGenOptions &options() const { return Opts; }
+
+  /// Applies the global name prefix.
+  std::string prefixed(const std::string &Name) const {
+    return Opts.NamePrefix + Name;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Shared machinery available to subclasses during generate()
+  //===--------------------------------------------------------------------===//
+
+  /// One mapped type: the MINT message type, the presented C type, and the
+  /// PRES conversion connecting them.
+  struct TypeMapping {
+    MintType *M = nullptr;
+    CastType *CT = nullptr;
+    PresNode *P = nullptr;
+  };
+
+  /// Maps \p T (memoized; handles self-referential types).
+  TypeMapping mapType(AoiType *T);
+
+  /// Returns the C scalar type for an AOI primitive.
+  CastType *primCType(AoiPrimKind K);
+
+  PresC *Out = nullptr;          ///< the presentation being built
+  CastBuilder *B = nullptr;      ///< builder over Out->Cast
+  DiagnosticEngine *Diags = nullptr;
+
+private:
+  void generateTypes(const AoiModule &M);
+  void generateExceptions(const AoiModule &M);
+  void generateInterface(const AoiInterface &If);
+  void generateOperation(const AoiInterface &If, const AoiOperation &Op,
+                         PresCInterface &PIf);
+
+  TypeMapping mapStruct(AoiStruct *S);
+  TypeMapping mapUnion(AoiUnion *U);
+  TypeMapping mapEnum(AoiEnum *E);
+  TypeMapping mapSequence(AoiSequence *S, const std::string &NameHint);
+  TypeMapping mapTypedef(AoiTypedef *TD);
+
+  /// Declares the sequence struct for element mapping \p Elem under
+  /// \p Name and returns its mapping; \p MemberHint seeds the style's
+  /// member names (rpcgen `<hint>_len`, MIG `<hint>Cnt`).
+  TypeMapping makeSeqStruct(const std::string &Name, TypeMapping Elem,
+                            uint64_t Bound, const std::string &MemberHint);
+
+  PresGenOptions Opts;
+  std::map<const AoiType *, TypeMapping> Memo;
+  unsigned AnonSeqCounter = 0;
+  /// Name of the field/parameter currently being mapped; anonymous
+  /// sequences derive their struct name from it (`<name>seq`).
+  std::string NameHint;
+  std::set<std::string> UsedSeqNames;
+};
+
+/// The CORBA C language mapping (paper's `Mail_send(Mail obj, ...)` form).
+class CorbaPresGen : public PresGen {
+public:
+  explicit CorbaPresGen(PresGenOptions Opts) : PresGen(std::move(Opts)) {}
+
+protected:
+  std::string styleName() const override { return "corba"; }
+  std::string stubName(const AoiInterface &If,
+                       const AoiOperation &Op) const override;
+  std::string serverImplName(const AoiInterface &If,
+                             const AoiOperation &Op) const override;
+  std::string seqLenField(const std::string &) const override {
+    return "_length";
+  }
+  std::string seqBufField(const std::string &) const override {
+    return "_buffer";
+  }
+  std::string seqMaxField(const std::string &) const override {
+    return "_maximum";
+  }
+  std::string unionDiscField() const override { return "_d"; }
+  std::string unionUnionField() const override { return "_u"; }
+  bool usesEnvironment() const override { return true; }
+};
+
+/// The rpcgen-compatible mapping for ONC RPC interfaces
+/// (`mail_send_1(argp, clnt)` naming, `x_len`/`x_val` members).
+class RpcgenPresGen : public PresGen {
+public:
+  explicit RpcgenPresGen(PresGenOptions Opts) : PresGen(std::move(Opts)) {}
+
+protected:
+  std::string styleName() const override { return "rpcgen"; }
+  std::string stubName(const AoiInterface &If,
+                       const AoiOperation &Op) const override;
+  std::string serverImplName(const AoiInterface &If,
+                             const AoiOperation &Op) const override;
+  std::string seqLenField(const std::string &Hint) const override {
+    return Hint + "_len";
+  }
+  std::string seqBufField(const std::string &Hint) const override {
+    return Hint + "_val";
+  }
+  std::string seqMaxField(const std::string &) const override {
+    return std::string(); // rpcgen sequences have no capacity member
+  }
+  std::string unionDiscField() const override { return "disc"; }
+  std::string unionUnionField() const override { return "u"; }
+  bool usesEnvironment() const override { return false; }
+};
+
+/// The MIG presentation, conjoined with the MIG front end (paper §2.1):
+/// `subsystem_routine` naming, status-returning stubs with no CORBA
+/// environment (MIG returns kern_return_t), rpcgen-like member names.
+class MigPresGen : public PresGen {
+public:
+  explicit MigPresGen(PresGenOptions Opts) : PresGen(std::move(Opts)) {}
+
+protected:
+  std::string styleName() const override { return "mig"; }
+  std::string stubName(const AoiInterface &If,
+                       const AoiOperation &Op) const override;
+  std::string serverImplName(const AoiInterface &If,
+                             const AoiOperation &Op) const override;
+  std::string seqLenField(const std::string &Hint) const override {
+    return Hint + "Cnt";
+  }
+  std::string seqBufField(const std::string &Hint) const override {
+    return Hint;
+  }
+  std::string seqMaxField(const std::string &) const override {
+    return std::string();
+  }
+  std::string unionDiscField() const override { return "disc"; }
+  std::string unionUnionField() const override { return "u"; }
+  bool usesEnvironment() const override { return false; }
+};
+
+/// The Fluke kernel-IPC presentation: CORBA-style naming, but scalar
+/// parameters are ordered first so they land in the register window of the
+/// Fluke IPC path (paper §3.2, "Specialized Transports").
+class FlukePresGen : public CorbaPresGen {
+public:
+  explicit FlukePresGen(PresGenOptions Opts)
+      : CorbaPresGen(std::move(Opts)) {}
+
+protected:
+  std::string styleName() const override { return "fluke"; }
+};
+
+} // namespace flick
+
+#endif // FLICK_PRESGEN_PRESGEN_H

@@ -1,0 +1,28 @@
+//===- presgen/RpcgenStyle.cpp - the rpcgen presentation policy ---------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything unique to the rpcgen presentation: Sun-style lowercased
+/// `proc_vers` stub names and `_svc` work-function names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "presgen/PresGen.h"
+#include "support/StringExtras.h"
+
+using namespace flick;
+
+std::string RpcgenPresGen::stubName(const AoiInterface &If,
+                                    const AoiOperation &Op) const {
+  // rpcgen: `procname_version`, lowercased.
+  return toLower(Op.Name) + "_" + std::to_string(If.VersionNumber);
+}
+
+std::string RpcgenPresGen::serverImplName(const AoiInterface &If,
+                                          const AoiOperation &Op) const {
+  return toLower(Op.Name) + "_" + std::to_string(If.VersionNumber) + "_svc";
+}

@@ -1,0 +1,46 @@
+//===- runtime/Calibrate.cpp - host memory-bandwidth calibration ----------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Calibrate.h"
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+using namespace flick;
+
+double flick::measureCopyBandwidth() {
+  constexpr size_t Size = 8u << 20; // 8 MB, beyond L2 on typical hosts
+  std::vector<uint8_t> Src(Size, 0xA5), Dst(Size);
+  using Clock = std::chrono::steady_clock;
+  double Best = 0;
+  for (int Round = 0; Round != 5; ++Round) {
+    auto T0 = Clock::now();
+    std::memcpy(Dst.data(), Src.data(), Size);
+    auto T1 = Clock::now();
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    if (Secs > 0) {
+      double Bw = static_cast<double>(Size) / Secs;
+      if (Bw > Best)
+        Best = Bw;
+    }
+    // Keep the copy from being optimized out.
+    if (Dst[Round] == 0x5A)
+      Src[Round] ^= 1;
+  }
+  return Best > 0 ? Best : 1.0e9;
+}
+
+NetworkModel flick::scaleModelToHost(NetworkModel M, double HostCopyBw) {
+  double Factor = HostCopyBw / PaperCopyBandwidth;
+  if (Factor < 1.0)
+    Factor = 1.0;
+  M.EffectiveBitsPerSec *= Factor;
+  M.PerMsgOverheadUs /= Factor;
+  M.PerPacketOverheadUs /= Factor;
+  M.Name += "-scaled";
+  return M;
+}

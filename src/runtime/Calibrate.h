@@ -1,0 +1,39 @@
+//===- runtime/Calibrate.h - host memory-bandwidth calibration --*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's end-to-end numbers are shaped by the ratio of network
+/// bandwidth to memory-copy bandwidth (the SPARCstations copied at
+/// ~35 MB/s against a 70 Mbps effective network).  To reproduce the same
+/// bottleneck structure on a modern host, the benches measure the host's
+/// copy bandwidth and scale the simulated network models so the
+/// wire-to-memory ratio matches the paper's (see DESIGN.md §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_RUNTIME_CALIBRATE_H
+#define FLICK_RUNTIME_CALIBRATE_H
+
+#include "runtime/NetworkModel.h"
+
+namespace flick {
+
+/// Measures this host's large-block memcpy bandwidth in bytes/second.
+double measureCopyBandwidth();
+
+/// The paper's SPARCstation 20/50 copy bandwidth (35 MB/s, §4 footnote).
+inline constexpr double PaperCopyBandwidth = 35.0e6;
+
+/// Scales a 1997 network model so its ratio to this host's memory
+/// bandwidth matches the ratio the paper's testbed had: bandwidths scale
+/// up by HostBw/PaperBw, and fixed overheads scale down by the same
+/// factor (everything gets faster together).
+NetworkModel scaleModelToHost(NetworkModel M, double HostCopyBw);
+
+} // namespace flick
+
+#endif // FLICK_RUNTIME_CALIBRATE_H

@@ -1,0 +1,65 @@
+//===- runtime/Channel.cpp - Transport channels ---------------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+
+using namespace flick;
+
+Channel::~Channel() = default;
+
+LocalLink::LocalLink() : AEnd(*this, true), BEnd(*this, false) {}
+
+void LocalLink::setModel(NetworkModel Model, SimClock *Clock) {
+  this->Model = std::move(Model);
+  this->Clock = Clock;
+}
+
+void LocalLink::account(size_t Len) {
+  if (Clock)
+    Clock->advance(Model.wireTimeUs(Len));
+}
+
+int LocalLink::End::send(const uint8_t *Data, size_t Len) {
+  std::vector<uint8_t> Msg(Data, Data + Len);
+  Link.account(Len);
+  (IsClient ? Link.ToB : Link.ToA).push_back(std::move(Msg));
+  return FLICK_OK;
+}
+
+int LocalLink::End::recv(std::vector<uint8_t> &Out) {
+  auto &Queue = IsClient ? Link.ToA : Link.ToB;
+  // The client side synchronously pumps the server until a reply shows up;
+  // the server side simply fails when no request is pending.
+  while (Queue.empty()) {
+    if (!IsClient || !Link.Pump || !Link.Pump())
+      return FLICK_ERR_TRANSPORT;
+  }
+  Out = std::move(Queue.front());
+  Queue.pop_front();
+  return FLICK_OK;
+}
+
+//===----------------------------------------------------------------------===//
+// C shims used by generated code
+//===----------------------------------------------------------------------===//
+
+int flick_channel_send(flick_channel *ch, const uint8_t *data, size_t len) {
+  return ch->send(data, len);
+}
+
+int flick_channel_recv(flick_channel *ch, flick_buf *into) {
+  std::vector<uint8_t> msg;
+  if (int err = ch->recv(msg))
+    return err;
+  flick_buf_reset(into);
+  if (int err = flick_buf_ensure(into, msg.size()))
+    return err;
+  std::memcpy(into->data, msg.data(), msg.size());
+  into->len = msg.size();
+  return FLICK_OK;
+}

@@ -1,0 +1,91 @@
+//===- runtime/Channel.h - Transport channels -------------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message transports beneath the generated stubs.  LocalLink provides a
+/// deterministic in-process request/reply pair: the client endpoint's recv
+/// "pumps" the registered server when its queue is empty, so examples and
+/// benches run single-threaded.  A link may carry a NetworkModel + SimClock
+/// to account simulated wire time per message (the substitute for the
+/// paper's Ethernet/Myrinet/Mach testbeds -- see NetworkModel.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_RUNTIME_CHANNEL_H
+#define FLICK_RUNTIME_CHANNEL_H
+
+#include "runtime/NetworkModel.h"
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+struct flick_buf;
+
+namespace flick {
+
+/// Abstract message transport: send one framed message / receive one.
+class Channel {
+public:
+  virtual ~Channel();
+
+  /// Queues one message.  Returns FLICK_OK or FLICK_ERR_TRANSPORT.
+  virtual int send(const uint8_t *Data, size_t Len) = 0;
+
+  /// Receives one message into \p Out (cleared first).  Returns FLICK_OK
+  /// or FLICK_ERR_TRANSPORT when no message can be produced.
+  virtual int recv(std::vector<uint8_t> &Out) = 0;
+};
+
+/// An in-process bidirectional link with two endpoints.  Endpoint A is the
+/// client side, endpoint B the server side.  When A receives with an empty
+/// queue, the link invokes the pump callback (typically
+/// `flick_server_handle_one`) until a reply appears, keeping everything on
+/// one thread and deterministic.
+class LocalLink {
+public:
+  LocalLink();
+
+  /// Attaches a wire-time model; every send advances \p Clock.
+  void setModel(NetworkModel Model, SimClock *Clock);
+
+  /// Registers the server pump invoked when the client blocks on recv.
+  /// Returning false means "cannot make progress" (transport error).
+  void setPump(std::function<bool()> Pump) { this->Pump = std::move(Pump); }
+
+  Channel &clientEnd() { return AEnd; }
+  Channel &serverEnd() { return BEnd; }
+
+  /// Messages queued toward the server that it has not received yet.
+  size_t pendingToServer() const { return ToB.size(); }
+
+private:
+  class End final : public Channel {
+  public:
+    End(LocalLink &Link, bool IsClient) : Link(Link), IsClient(IsClient) {}
+    int send(const uint8_t *Data, size_t Len) override;
+    int recv(std::vector<uint8_t> &Out) override;
+
+  private:
+    LocalLink &Link;
+    bool IsClient;
+  };
+
+  void account(size_t Len);
+
+  std::deque<std::vector<uint8_t>> ToA; // server -> client
+  std::deque<std::vector<uint8_t>> ToB; // client -> server
+  NetworkModel Model = NetworkModel::ideal();
+  SimClock *Clock = nullptr;
+  std::function<bool()> Pump;
+  End AEnd;
+  End BEnd;
+};
+
+} // namespace flick
+
+#endif // FLICK_RUNTIME_CHANNEL_H

@@ -1,0 +1,106 @@
+//===- runtime/Naive.cpp - rpcgen-style per-datum primitives --------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line per-datum marshal functions used by the baseline (naive)
+/// back end.  Each call re-checks buffer space and bumps a cursor --
+/// exactly the per-datum overhead Flick's chunked stubs eliminate.  The
+/// noinline attribute keeps the comparison honest under LTO-ish inlining.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/flick_runtime.h"
+
+#define FLICK_NOINLINE __attribute__((noinline))
+
+FLICK_NOINLINE int flick_naive_put_u8(flick_buf *b, uint8_t v) {
+  if (int err = flick_buf_ensure(b, 1))
+    return err;
+  b->data[b->len++] = v;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_put_u16(flick_buf *b, uint16_t v,
+                                       int bigendian) {
+  if (int err = flick_buf_ensure(b, 2))
+    return err;
+  if (bigendian)
+    flick_enc_u16be(b->data + b->len, v);
+  else
+    flick_enc_u16le(b->data + b->len, v);
+  b->len += 2;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_put_u32(flick_buf *b, uint32_t v,
+                                       int bigendian) {
+  if (int err = flick_buf_ensure(b, 4))
+    return err;
+  if (bigendian)
+    flick_enc_u32be(b->data + b->len, v);
+  else
+    flick_enc_u32le(b->data + b->len, v);
+  b->len += 4;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_put_u64(flick_buf *b, uint64_t v,
+                                       int bigendian) {
+  if (int err = flick_buf_ensure(b, 8))
+    return err;
+  if (bigendian)
+    flick_enc_u64be(b->data + b->len, v);
+  else
+    flick_enc_u64le(b->data + b->len, v);
+  b->len += 8;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_put_pad(flick_buf *b, size_t align) {
+  return flick_buf_align_write(b, align);
+}
+
+FLICK_NOINLINE int flick_naive_get_u8(flick_buf *b, uint8_t *v) {
+  if (!flick_buf_check(b, 1))
+    return FLICK_ERR_DECODE;
+  *v = b->data[b->pos++];
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_get_u16(flick_buf *b, uint16_t *v,
+                                       int bigendian) {
+  if (!flick_buf_check(b, 2))
+    return FLICK_ERR_DECODE;
+  *v = bigendian ? flick_dec_u16be(b->data + b->pos)
+                 : flick_dec_u16le(b->data + b->pos);
+  b->pos += 2;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_get_u32(flick_buf *b, uint32_t *v,
+                                       int bigendian) {
+  if (!flick_buf_check(b, 4))
+    return FLICK_ERR_DECODE;
+  *v = bigendian ? flick_dec_u32be(b->data + b->pos)
+                 : flick_dec_u32le(b->data + b->pos);
+  b->pos += 4;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_get_u64(flick_buf *b, uint64_t *v,
+                                       int bigendian) {
+  if (!flick_buf_check(b, 8))
+    return FLICK_ERR_DECODE;
+  *v = bigendian ? flick_dec_u64be(b->data + b->pos)
+                 : flick_dec_u64le(b->data + b->pos);
+  b->pos += 8;
+  return FLICK_OK;
+}
+
+FLICK_NOINLINE int flick_naive_get_pad(flick_buf *b, size_t align) {
+  return flick_buf_align_read(b, align);
+}

@@ -1,0 +1,57 @@
+//===- runtime/NetworkModel.cpp - Simulated transport timing --------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NetworkModel.h"
+
+using namespace flick;
+
+double NetworkModel::wireTimeUs(size_t Bytes) const {
+  double T = PerMsgOverheadUs;
+  if (EffectiveBitsPerSec > 0)
+    T += static_cast<double>(Bytes) * 8.0 / EffectiveBitsPerSec * 1e6;
+  if (MtuBytes > 0 && PerPacketOverheadUs > 0) {
+    size_t Packets = (Bytes + MtuBytes - 1) / MtuBytes;
+    if (Packets == 0)
+      Packets = 1;
+    T += static_cast<double>(Packets) * PerPacketOverheadUs;
+  }
+  return T;
+}
+
+NetworkModel NetworkModel::ethernet10() {
+  // The paper's stubs topped out at 6-7.5 Mbps of the nominal 10: model an
+  // effective 7 Mbps plus mid-90s protocol-stack costs.
+  return NetworkModel{"10mbit-ethernet", 7.0e6, 250.0, 1500, 60.0};
+}
+
+NetworkModel NetworkModel::ethernet100() {
+  // Paper: ttcp measured 70 Mbps effective on the 100 Mbps link.
+  return NetworkModel{"100mbit-ethernet", 70.0e6, 150.0, 1500, 20.0};
+}
+
+NetworkModel NetworkModel::myrinet640() {
+  // Paper: ttcp measured just 84.5 Mbps effective on the 640 Mbps Myrinet
+  // because of the OS protocol layers.
+  return NetworkModel{"640mbit-myrinet", 84.5e6, 120.0, 8192, 10.0};
+}
+
+NetworkModel NetworkModel::machIpc() {
+  // Mach 3 round trips on mid-90s hardware cost on the order of 100 us;
+  // bulk data moves at memory-copy speed (paper's Pentium measured
+  // ~36 MB/s copy bandwidth).
+  return NetworkModel{"mach3-ipc", 36.0e6 * 8.0, 55.0, 1u << 30, 0.0};
+}
+
+NetworkModel NetworkModel::flukeIpc() {
+  // Fluke IPC passes the first words in registers: tiny per-message cost;
+  // larger payloads pay the same memory-copy bandwidth.
+  return NetworkModel{"fluke-ipc", 36.0e6 * 8.0, 8.0, 1u << 30, 0.0};
+}
+
+NetworkModel NetworkModel::ideal() {
+  return NetworkModel{"ideal", 0.0, 0.0, 0, 0.0};
+}

@@ -1,0 +1,142 @@
+//===- runtime/Runtime.cpp - Out-of-line runtime pieces -------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/flick_runtime.h"
+#include "runtime/Channel.h"
+
+int flick_buf_grow(flick_buf *b, size_t need) {
+  size_t want = b->len + need;
+  size_t cap = b->cap ? b->cap : size_t(FLICK_BUF_MIN_CAP);
+  while (cap < want)
+    cap *= 2;
+  uint8_t *data = static_cast<uint8_t *>(std::realloc(b->data, cap));
+  if (!data)
+    return FLICK_ERR_ALLOC;
+  b->data = data;
+  b->cap = cap;
+  return FLICK_OK;
+}
+
+void flick_swap_copy_u16(uint8_t *dst, const uint8_t *src, size_t halves) {
+  for (size_t i = 0; i != halves; ++i)
+    flick_enc_u16be(dst + 2 * i, flick_dec_u16le(src + 2 * i));
+}
+
+void flick_swap_copy_u32(uint8_t *dst, const uint8_t *src, size_t words) {
+  for (size_t i = 0; i != words; ++i)
+    flick_enc_u32be(dst + 4 * i, flick_dec_u32le(src + 4 * i));
+}
+
+void flick_swap_copy_u64(uint8_t *dst, const uint8_t *src, size_t dwords) {
+  for (size_t i = 0; i != dwords; ++i)
+    flick_enc_u64be(dst + 8 * i, flick_dec_u64le(src + 8 * i));
+}
+
+namespace {
+/// Header linking retired arena blocks; block data follows the header.
+/// 16-byte alignment keeps the data area aligned for any presented type.
+struct alignas(16) ArenaBlock {
+  ArenaBlock *next;
+};
+
+void freeRetired(flick_arena *a) {
+  auto *B = static_cast<ArenaBlock *>(a->retired);
+  while (B) {
+    ArenaBlock *Next = B->next;
+    std::free(B);
+    B = Next;
+  }
+  a->retired = nullptr;
+}
+} // namespace
+
+void flick_arena_reset(flick_arena *a) {
+  freeRetired(a);
+  a->used = 0;
+}
+
+void flick_arena_destroy(flick_arena *a) {
+  freeRetired(a);
+  if (a->base)
+    std::free(reinterpret_cast<uint8_t *>(a->base) - sizeof(ArenaBlock));
+  *a = flick_arena{};
+}
+
+void *flick_arena_grow_alloc(flick_arena *a, size_t n) {
+  // Existing allocations stay valid: retire the current block and open a
+  // bigger one.
+  size_t cap = a->cap ? a->cap * 2 : 4096;
+  while (cap < n + 16)
+    cap *= 2;
+  auto *Blk = static_cast<ArenaBlock *>(std::malloc(sizeof(ArenaBlock) + cap));
+  if (!Blk)
+    return nullptr;
+  if (a->base) {
+    auto *Old = reinterpret_cast<ArenaBlock *>(
+        reinterpret_cast<uint8_t *>(a->base) - sizeof(ArenaBlock));
+    Old->next = static_cast<ArenaBlock *>(a->retired);
+    a->retired = Old;
+  }
+  Blk->next = nullptr;
+  a->base = reinterpret_cast<uint8_t *>(Blk) + sizeof(ArenaBlock);
+  a->cap = cap;
+  a->used = n;
+  return a->base;
+}
+
+void flick_client_init(flick_client *c, flick_channel *chan) {
+  *c = flick_client{};
+  c->chan = chan;
+  flick_buf_init(&c->req);
+  flick_buf_init(&c->rep);
+}
+
+void flick_client_destroy(flick_client *c) {
+  flick_buf_destroy(&c->req);
+  flick_buf_destroy(&c->rep);
+}
+
+int flick_client_invoke(flick_client *c) {
+  ++c->next_xid;
+  if (int err = flick_channel_send(c->chan, c->req.data, c->req.len))
+    return err;
+  return flick_channel_recv(c->chan, &c->rep);
+}
+
+int flick_client_send_oneway(flick_client *c) {
+  ++c->next_xid;
+  return flick_channel_send(c->chan, c->req.data, c->req.len);
+}
+
+void flick_server_init(flick_server *s, flick_channel *chan,
+                       flick_dispatch_fn dispatch) {
+  *s = flick_server{};
+  s->chan = chan;
+  s->dispatch = dispatch;
+  flick_buf_init(&s->req);
+  flick_buf_init(&s->rep);
+}
+
+void flick_server_destroy(flick_server *s) {
+  flick_buf_destroy(&s->req);
+  flick_buf_destroy(&s->rep);
+  flick_arena_destroy(&s->arena);
+}
+
+int flick_server_handle_one(flick_server *s) {
+  if (int err = flick_channel_recv(s->chan, &s->req))
+    return err;
+  flick_buf_reset(&s->rep);
+  flick_arena_reset(&s->arena);
+  int status = s->dispatch(s, &s->req, &s->rep);
+  if (status != FLICK_OK)
+    return status;
+  // Oneway requests produce an empty reply buffer: nothing to send.
+  if (s->rep.len == 0)
+    return FLICK_OK;
+  return flick_channel_send(s->chan, s->rep.data, s->rep.len);
+}

@@ -1,0 +1,405 @@
+//===- runtime/flick_runtime.h - Stub runtime for generated code -*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime library that Flick-generated stubs compile against: marshal
+/// buffers (dynamically allocated and *reused* across invocations, paper
+/// §3.1), byte-order encode/decode primitives for every supported wire
+/// format, a per-request scratch arena standing in for the paper's
+/// stack-allocated parameter storage, and client/server objects wrapping a
+/// transport channel.  The API is deliberately C-flavored -- generated code
+/// is C with `static inline` helpers -- but compiles as C++ so transports
+/// can be real classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_RUNTIME_FLICK_RUNTIME_H
+#define FLICK_RUNTIME_FLICK_RUNTIME_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace flick {
+class Channel;
+} // namespace flick
+
+/// Transport handle used by generated stubs; concrete channels live in
+/// runtime/Channel.h.
+typedef flick::Channel flick_channel;
+
+//===----------------------------------------------------------------------===//
+// Status codes
+//===----------------------------------------------------------------------===//
+
+enum {
+  FLICK_OK = 0,
+  FLICK_ERR_DECODE = 1,    ///< malformed or truncated message
+  FLICK_ERR_TRANSPORT = 2, ///< channel failure
+  FLICK_ERR_NO_SUCH_OP = 3,///< demux found no matching operation
+  FLICK_ERR_EXCEPTION = 4, ///< reply carried a user exception
+  FLICK_ERR_ALLOC = 5,     ///< allocation failure
+};
+
+/// Reply-status discriminator marshaled at the front of every reply body.
+enum {
+  FLICK_REPLY_OK = 0,
+  FLICK_REPLY_USER_EXCEPTION = 1,
+  FLICK_REPLY_SYSTEM_EXCEPTION = 2,
+};
+
+//===----------------------------------------------------------------------===//
+// Marshal buffers
+//===----------------------------------------------------------------------===//
+
+/// A growable byte buffer with separate append (len) and read (pos)
+/// cursors.  Stubs keep one request and one reply buffer per client/server
+/// and reset them between invocations instead of reallocating.
+struct flick_buf {
+  uint8_t *data = nullptr;
+  size_t cap = 0;
+  size_t len = 0; ///< bytes written (marshal cursor)
+  size_t pos = 0; ///< bytes consumed (unmarshal cursor)
+};
+
+/// Initial capacity given to lazily grown buffers.
+enum { FLICK_BUF_MIN_CAP = 512 };
+
+inline void flick_buf_init(flick_buf *b) { *b = flick_buf{}; }
+
+inline void flick_buf_destroy(flick_buf *b) {
+  std::free(b->data);
+  *b = flick_buf{};
+}
+
+/// Rewinds both cursors, keeping the allocation (buffer reuse).
+inline void flick_buf_reset(flick_buf *b) {
+  b->len = 0;
+  b->pos = 0;
+}
+
+/// Grows so that at least \p need more bytes can be appended.  Out-of-line
+/// slow path; the inline fast path in flick_buf_ensure avoids the call.
+int flick_buf_grow(flick_buf *b, size_t need);
+
+/// Ensures room to append \p need bytes; returns FLICK_OK or
+/// FLICK_ERR_ALLOC.  Generated stubs call this once per fixed-size message
+/// segment rather than per datum.
+inline int flick_buf_ensure(flick_buf *b, size_t need) {
+  if (b->cap - b->len >= need)
+    return FLICK_OK;
+  return flick_buf_grow(b, need);
+}
+
+/// Reserves \p n appended bytes and returns the chunk pointer for them.
+/// Callers must have ensured capacity.
+inline uint8_t *flick_buf_grab(flick_buf *b, size_t n) {
+  uint8_t *p = b->data + b->len;
+  b->len += n;
+  return p;
+}
+
+/// True when \p n more bytes can be consumed.
+inline int flick_buf_check(const flick_buf *b, size_t n) {
+  return b->len - b->pos >= n;
+}
+
+/// Consumes \p n bytes and returns the chunk pointer for them.  Callers
+/// must have checked availability.
+inline const uint8_t *flick_buf_take(flick_buf *b, size_t n) {
+  const uint8_t *p = b->data + b->pos;
+  b->pos += n;
+  return p;
+}
+
+/// Mutable variant of flick_buf_take, for decode-in-place presentations
+/// that alias unmarshaled data inside the request buffer (paper §3.1).
+inline uint8_t *flick_buf_take_mut(flick_buf *b, size_t n) {
+  uint8_t *p = b->data + b->pos;
+  b->pos += n;
+  return p;
+}
+
+/// Zero-pads the append cursor up to \p a alignment (a power of two).
+inline int flick_buf_align_write(flick_buf *b, size_t a) {
+  size_t pad = (a - (b->len & (a - 1))) & (a - 1);
+  if (!pad)
+    return FLICK_OK;
+  if (int err = flick_buf_ensure(b, pad))
+    return err;
+  std::memset(b->data + b->len, 0, pad);
+  b->len += pad;
+  return FLICK_OK;
+}
+
+/// Advances the read cursor up to \p a alignment (a power of two).
+inline int flick_buf_align_read(flick_buf *b, size_t a) {
+  size_t pad = (a - (b->pos & (a - 1))) & (a - 1);
+  if (!pad)
+    return FLICK_OK;
+  if (!flick_buf_check(b, pad))
+    return FLICK_ERR_DECODE;
+  b->pos += pad;
+  return FLICK_OK;
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic encode/decode primitives
+//===----------------------------------------------------------------------===//
+//
+// Generated marshal code addresses a chunk pointer plus constant offsets and
+// calls these on raw pointers; the compiler lowers each to a single
+// (possibly byte-swapped) load or store.
+
+inline void flick_enc_u8(uint8_t *p, uint8_t v) { *p = v; }
+inline uint8_t flick_dec_u8(const uint8_t *p) { return *p; }
+
+inline void flick_enc_u16le(uint8_t *p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void flick_enc_u32le(uint8_t *p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void flick_enc_u64le(uint8_t *p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+inline uint16_t flick_dec_u16le(const uint8_t *p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t flick_dec_u32le(const uint8_t *p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t flick_dec_u64le(const uint8_t *p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void flick_enc_u16be(uint8_t *p, uint16_t v) {
+  v = __builtin_bswap16(v);
+  std::memcpy(p, &v, 2);
+}
+inline void flick_enc_u32be(uint8_t *p, uint32_t v) {
+  v = __builtin_bswap32(v);
+  std::memcpy(p, &v, 4);
+}
+inline void flick_enc_u64be(uint8_t *p, uint64_t v) {
+  v = __builtin_bswap64(v);
+  std::memcpy(p, &v, 8);
+}
+
+inline uint16_t flick_dec_u16be(const uint8_t *p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return __builtin_bswap16(v);
+}
+inline uint32_t flick_dec_u32be(const uint8_t *p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
+}
+inline uint64_t flick_dec_u64be(const uint8_t *p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return __builtin_bswap64(v);
+}
+
+// Native (host-endian) variants; the Mach and Fluke formats use these.
+inline void flick_enc_u16ne(uint8_t *p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void flick_enc_u32ne(uint8_t *p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void flick_enc_u64ne(uint8_t *p, uint64_t v) { std::memcpy(p, &v, 8); }
+inline uint16_t flick_dec_u16ne(const uint8_t *p) {
+  return flick_dec_u16le(p);
+}
+inline uint32_t flick_dec_u32ne(const uint8_t *p) {
+  return flick_dec_u32le(p);
+}
+inline uint64_t flick_dec_u64ne(const uint8_t *p) {
+  return flick_dec_u64le(p);
+}
+
+// Floats travel as their IEEE bit patterns.
+inline uint32_t flick_f32_bits(float f) {
+  uint32_t v;
+  std::memcpy(&v, &f, 4);
+  return v;
+}
+inline float flick_bits_f32(uint32_t v) {
+  float f;
+  std::memcpy(&f, &v, 4);
+  return f;
+}
+inline uint64_t flick_f64_bits(double d) {
+  uint64_t v;
+  std::memcpy(&v, &d, 8);
+  return v;
+}
+inline double flick_bits_f64(uint64_t v) {
+  double d;
+  std::memcpy(&d, &v, 8);
+  return d;
+}
+
+/// Byte-swaps a whole array of 32-bit words while copying; the fallback for
+/// arrays whose wire format differs from host format only by endianness.
+void flick_swap_copy_u32(uint8_t *dst, const uint8_t *src, size_t words);
+void flick_swap_copy_u16(uint8_t *dst, const uint8_t *src, size_t halves);
+void flick_swap_copy_u64(uint8_t *dst, const uint8_t *src, size_t dwords);
+
+//===----------------------------------------------------------------------===//
+// Naive (rpcgen-style) marshal primitives
+//===----------------------------------------------------------------------===//
+//
+// The baseline back end reproduces the codegen style of traditional IDL
+// compilers: every datum goes through an out-of-line function call that
+// performs its own buffer check and advances a read/write pointer (see
+// paper §3.3, "Inline Code").  These live in Naive.cpp and are deliberately
+// NOT inline.
+
+int flick_naive_put_u8(flick_buf *b, uint8_t v);
+int flick_naive_put_u16(flick_buf *b, uint16_t v, int bigendian);
+int flick_naive_put_u32(flick_buf *b, uint32_t v, int bigendian);
+int flick_naive_put_u64(flick_buf *b, uint64_t v, int bigendian);
+int flick_naive_put_pad(flick_buf *b, size_t align);
+int flick_naive_get_u8(flick_buf *b, uint8_t *v);
+int flick_naive_get_u16(flick_buf *b, uint16_t *v, int bigendian);
+int flick_naive_get_u32(flick_buf *b, uint32_t *v, int bigendian);
+int flick_naive_get_u64(flick_buf *b, uint64_t *v, int bigendian);
+int flick_naive_get_pad(flick_buf *b, size_t align);
+
+//===----------------------------------------------------------------------===//
+// Per-request scratch arena
+//===----------------------------------------------------------------------===//
+
+/// Bump allocator whose lifetime is one request: Flick's stand-in for
+/// run-time-stack parameter storage (paper §3.1).  Reset after the work
+/// function returns.  Growth allocates a fresh block and chains the old
+/// one -- existing allocations never move.
+struct flick_arena {
+  uint8_t *base = nullptr; ///< current block
+  size_t cap = 0;
+  size_t used = 0;
+  void *retired = nullptr; ///< older, still-live blocks (freed on reset)
+};
+
+void flick_arena_destroy(flick_arena *a);
+void *flick_arena_grow_alloc(flick_arena *a, size_t n);
+
+inline void *flick_arena_alloc(flick_arena *a, size_t n) {
+  // Null arena means "no scratch storage available": fall back to malloc.
+  if (!a)
+    return std::malloc(n ? n : 1);
+  size_t aligned = (a->used + 15) & ~static_cast<size_t>(15);
+  if (aligned + n <= a->cap) {
+    a->used = aligned + n;
+    return a->base + aligned;
+  }
+  return flick_arena_grow_alloc(a, n);
+}
+
+/// Out-of-line: releases retired blocks, keeps the (largest) current one.
+void flick_arena_reset(flick_arena *a);
+
+//===----------------------------------------------------------------------===//
+// Client and server objects
+//===----------------------------------------------------------------------===//
+
+/// Client-side state for one connection: the channel plus reused request
+/// and reply buffers.
+struct flick_client {
+  flick_channel *chan = nullptr;
+  flick_buf req;
+  flick_buf rep;
+  uint32_t next_xid = 1;
+};
+
+void flick_client_init(flick_client *c, flick_channel *chan);
+void flick_client_destroy(flick_client *c);
+
+/// Resets and returns the reused request buffer.
+inline flick_buf *flick_client_begin(flick_client *c) {
+  flick_buf_reset(&c->req);
+  return &c->req;
+}
+
+/// Sends the request buffer and blocks for the reply (into c->rep).
+int flick_client_invoke(flick_client *c);
+
+/// Sends the request buffer without expecting a reply.
+int flick_client_send_oneway(flick_client *c);
+
+struct flick_server;
+
+/// A generated dispatch function: consumes the request, fills the reply.
+/// Returns FLICK_OK when a reply should be sent (including exceptional
+/// replies), FLICK_ERR_NO_SUCH_OP / FLICK_ERR_DECODE on protocol errors.
+typedef int (*flick_dispatch_fn)(flick_server *srv, flick_buf *req,
+                                 flick_buf *rep);
+
+/// Server-side state: channel, reused buffers, scratch arena, and the
+/// dispatch function produced by the back end.
+struct flick_server {
+  flick_channel *chan = nullptr;
+  flick_dispatch_fn dispatch = nullptr;
+  void *impl = nullptr; ///< opaque hook for servant state
+  flick_buf req;
+  flick_buf rep;
+  flick_arena arena;
+};
+
+void flick_server_init(flick_server *s, flick_channel *chan,
+                       flick_dispatch_fn dispatch);
+void flick_server_destroy(flick_server *s);
+
+/// Receives one request, dispatches it, sends the reply (if any).
+/// Returns FLICK_OK, or FLICK_ERR_TRANSPORT when the channel is drained.
+int flick_server_handle_one(flick_server *s);
+
+//===----------------------------------------------------------------------===//
+// Object references and the CORBA C-mapping environment
+//===----------------------------------------------------------------------===//
+
+/// A client-side object reference; CORBA-presentation object types are
+/// `typedef flick_obj *<Interface>;`.
+struct flick_obj {
+  flick_client *client = nullptr;
+};
+
+#ifndef FLICK_CORBA_ENV_DEFINED
+#define FLICK_CORBA_ENV_DEFINED
+enum {
+  CORBA_NO_EXCEPTION = 0,
+  CORBA_USER_EXCEPTION = 1,
+  CORBA_SYSTEM_EXCEPTION = 2,
+};
+
+/// The CORBA C mapping's environment parameter.  On a user exception the
+/// stub stores the wire exception code and a heap-allocated copy of the
+/// exception members (caller frees with free()).
+typedef struct CORBA_Environment {
+  uint32_t _major;
+  uint32_t _exc_code;
+  void *_exc_value;
+} CORBA_Environment;
+
+inline void CORBA_exception_free(CORBA_Environment *ev) {
+  std::free(ev->_exc_value);
+  ev->_exc_value = nullptr;
+  ev->_major = CORBA_NO_EXCEPTION;
+  ev->_exc_code = 0;
+}
+#endif // FLICK_CORBA_ENV_DEFINED
+
+//===----------------------------------------------------------------------===//
+// Channel C shims (implemented in Channel.cpp)
+//===----------------------------------------------------------------------===//
+
+int flick_channel_send(flick_channel *ch, const uint8_t *data, size_t len);
+/// Receives one message into \p into (reset first).  Returns FLICK_OK or
+/// FLICK_ERR_TRANSPORT.
+int flick_channel_recv(flick_channel *ch, flick_buf *into);
+
+#endif // FLICK_RUNTIME_FLICK_RUNTIME_H

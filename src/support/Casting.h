@@ -1,0 +1,65 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's checked-cast templates.  Classes opt in
+/// by providing `static bool classof(const Base *)`, typically by testing a
+/// kind discriminator stored in the base class.  This lets the compiler IRs
+/// (AOI, MINT, CAST, PRES) use kind-based dispatch without C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_CASTING_H
+#define FLICK_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace flick {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass of it).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const variant.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const variant.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input (propagates the null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Like dyn_cast_or_null, const variant.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace flick
+
+#endif // FLICK_SUPPORT_CASTING_H

@@ -1,0 +1,56 @@
+//===- support/CodeWriter.cpp - Indented text emission --------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CodeWriter.h"
+#include <cassert>
+
+using namespace flick;
+
+void CodeWriter::beginLineIfNeeded() {
+  if (!AtLineStart)
+    return;
+  Out.append(static_cast<size_t>(Level) * IndentWidth, ' ');
+  AtLineStart = false;
+}
+
+CodeWriter &CodeWriter::print(const std::string &Text) {
+  if (Text.empty())
+    return *this;
+  beginLineIfNeeded();
+  Out += Text;
+  return *this;
+}
+
+CodeWriter &CodeWriter::line(const std::string &Text) {
+  if (!Text.empty())
+    print(Text);
+  Out += '\n';
+  AtLineStart = true;
+  return *this;
+}
+
+CodeWriter &CodeWriter::blank() {
+  Out += '\n';
+  AtLineStart = true;
+  return *this;
+}
+
+CodeWriter &CodeWriter::outdent() {
+  assert(Level > 0 && "outdent below level zero");
+  --Level;
+  return *this;
+}
+
+CodeWriter &CodeWriter::open(const std::string &Head) {
+  line(Head.empty() ? "{" : Head + " {");
+  return indent();
+}
+
+CodeWriter &CodeWriter::close(const std::string &Tail) {
+  outdent();
+  return line("}" + Tail);
+}

@@ -1,0 +1,65 @@
+//===- support/CodeWriter.h - Indented text emission ------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CodeWriter accumulates generated source text with indentation tracking.
+/// The CAST pretty printer and the back ends emit all stub code through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_CODEWRITER_H
+#define FLICK_SUPPORT_CODEWRITER_H
+
+#include <string>
+
+namespace flick {
+
+/// An append-only text buffer that understands indentation levels.
+class CodeWriter {
+public:
+  explicit CodeWriter(unsigned IndentWidth = 2) : IndentWidth(IndentWidth) {}
+
+  /// Appends raw text (no newline, no indentation applied mid-line).
+  CodeWriter &print(const std::string &Text);
+
+  /// Appends one full line at the current indentation.
+  CodeWriter &line(const std::string &Text);
+
+  /// Appends an empty line.
+  CodeWriter &blank();
+
+  /// Increases the indentation level by one step.
+  CodeWriter &indent() {
+    ++Level;
+    return *this;
+  }
+
+  /// Decreases the indentation level by one step.
+  CodeWriter &outdent();
+
+  /// Convenience: `line(Head + " {")` then indent.
+  CodeWriter &open(const std::string &Head);
+
+  /// Convenience: outdent then `line("}" + Tail)`.
+  CodeWriter &close(const std::string &Tail = "");
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+  bool atLineStart() const { return AtLineStart; }
+
+private:
+  void beginLineIfNeeded();
+
+  std::string Out;
+  unsigned IndentWidth;
+  unsigned Level = 0;
+  bool AtLineStart = true;
+};
+
+} // namespace flick
+
+#endif // FLICK_SUPPORT_CODEWRITER_H

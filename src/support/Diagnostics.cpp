@@ -1,0 +1,83 @@
+//===- support/Diagnostics.cpp - Error reporting for flickc ---------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace flick;
+
+int DiagnosticEngine::addFile(const std::string &Filename) {
+  for (size_t I = 0, E = Files.size(); I != E; ++I)
+    if (Files[I] == Filename)
+      return static_cast<int>(I);
+  Files.push_back(Filename);
+  return static_cast<int>(Files.size() - 1);
+}
+
+const std::string &DiagnosticEngine::fileName(int FileId) const {
+  static const std::string Unknown = "<unknown>";
+  if (FileId < 0 || static_cast<size_t>(FileId) >= Files.size())
+    return Unknown;
+  return Files[static_cast<size_t>(FileId)];
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, const std::string &Message) {
+  report(DiagLevel::Error, Loc, Message);
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, const std::string &Message) {
+  report(DiagLevel::Warning, Loc, Message);
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, const std::string &Message) {
+  report(DiagLevel::Note, Loc, Message);
+}
+
+void DiagnosticEngine::report(DiagLevel Level, SourceLoc Loc,
+                              const std::string &Message) {
+  Diags.push_back(Diagnostic{Level, Loc, Message});
+  if (Level == DiagLevel::Error)
+    ++NumErrors;
+}
+
+std::string DiagnosticEngine::render(const Diagnostic &D) const {
+  std::string Out;
+  if (D.Loc.isValid()) {
+    Out += fileName(D.Loc.FileId);
+    Out += ':';
+    Out += std::to_string(D.Loc.Line);
+    Out += ':';
+    Out += std::to_string(D.Loc.Col);
+    Out += ": ";
+  }
+  switch (D.Level) {
+  case DiagLevel::Note:
+    Out += "note: ";
+    break;
+  case DiagLevel::Warning:
+    Out += "warning: ";
+    break;
+  case DiagLevel::Error:
+    Out += "error: ";
+    break;
+  }
+  Out += D.Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += render(D);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,72 @@
+//===- support/Diagnostics.h - Error reporting for flickc -------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DiagnosticEngine collects compiler diagnostics (errors, warnings, notes)
+/// with source locations.  Front ends report into an engine owned by the
+/// driver; tests inspect the collected diagnostics directly.  Message style
+/// follows the LLVM convention: lowercase first letter, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_DIAGNOSTICS_H
+#define FLICK_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+#include <string>
+#include <vector>
+
+namespace flick {
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics and renders them in "file:line:col: level: msg"
+/// form.  Not thread-safe; one engine per compilation.
+class DiagnosticEngine {
+public:
+  /// Interns \p Filename and returns its id for use in SourceLocs.
+  int addFile(const std::string &Filename);
+
+  /// Returns the interned name for \p FileId, or "<unknown>".
+  const std::string &fileName(int FileId) const;
+
+  void error(SourceLoc Loc, const std::string &Message);
+  void warning(SourceLoc Loc, const std::string &Message);
+  void note(SourceLoc Loc, const std::string &Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders one diagnostic as "file:line:col: error: message".
+  std::string render(const Diagnostic &D) const;
+
+  /// Renders every collected diagnostic, one per line.
+  std::string renderAll() const;
+
+  /// Drops all collected diagnostics (used by tests between cases).
+  void clear();
+
+private:
+  void report(DiagLevel Level, SourceLoc Loc, const std::string &Message);
+
+  std::vector<std::string> Files;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_SUPPORT_DIAGNOSTICS_H

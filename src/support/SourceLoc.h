@@ -1,0 +1,43 @@
+//===- support/SourceLoc.h - Source positions for diagnostics ---*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight (file, line, column) triple used by the IDL front ends to
+/// attribute diagnostics.  The file name is interned by the owning
+/// DiagnosticEngine so a SourceLoc is cheap to copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_SOURCELOC_H
+#define FLICK_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace flick {
+
+/// A position in an IDL source file.  Line and column are 1-based; a
+/// default-constructed SourceLoc (line 0) means "no location".
+struct SourceLoc {
+  /// Index into DiagnosticEngine's file-name table; -1 means unknown.
+  int FileId = -1;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(int FileId, unsigned Line, unsigned Col)
+      : FileId(FileId), Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.FileId == B.FileId && A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace flick
+
+#endif // FLICK_SUPPORT_SOURCELOC_H

@@ -1,0 +1,211 @@
+//===- tests/CorbaParserTests.cpp - CORBA front-end tests -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/corba/CorbaFrontEnd.h"
+#include "support/Diagnostics.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+std::unique_ptr<AoiModule> parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto M = parseCorbaIdl(Src, "t.idl", D);
+  EXPECT_TRUE(M) << D.renderAll();
+  return M;
+}
+
+void parseFail(const std::string &Src, const std::string &MsgPart) {
+  DiagnosticEngine D;
+  auto M = parseCorbaIdl(Src, "t.idl", D);
+  EXPECT_FALSE(M && !D.hasErrors()) << "expected failure";
+  EXPECT_NE(D.renderAll().find(MsgPart), std::string::npos)
+      << "diagnostics were:\n"
+      << D.renderAll();
+}
+
+TEST(CorbaParser, PaperMailExample) {
+  auto M = parseOk("interface Mail { void send(in string msg); };");
+  AoiInterface *If = M->findInterface("Mail");
+  ASSERT_TRUE(If);
+  ASSERT_EQ(If->Operations.size(), 1u);
+  const AoiOperation &Op = If->Operations[0];
+  EXPECT_EQ(Op.Name, "send");
+  EXPECT_EQ(Op.RequestCode, 1u);
+  ASSERT_EQ(Op.Params.size(), 1u);
+  EXPECT_EQ(Op.Params[0].Dir, AoiParamDir::In);
+  EXPECT_TRUE(isa<AoiString>(Op.Params[0].Type));
+  const auto *Ret = dyn_cast<AoiPrimitive>(Op.ReturnType);
+  ASSERT_TRUE(Ret);
+  EXPECT_EQ(Ret->prim(), AoiPrimKind::Void);
+}
+
+TEST(CorbaParser, ModulesScopeNames) {
+  auto M = parseOk("module A { module B { interface I { void f(); }; }; };");
+  EXPECT_TRUE(M->findInterface("A::B::I"));
+}
+
+TEST(CorbaParser, AllPrimitiveTypes) {
+  auto M = parseOk(R"(
+    struct P {
+      boolean b; char c; octet o;
+      short s; unsigned short us;
+      long l; unsigned long ul;
+      long long ll; unsigned long long ull;
+      float f; double d;
+    };)");
+  const auto *S = dyn_cast<AoiStruct>(M->namedTypes().at(0));
+  ASSERT_TRUE(S);
+  ASSERT_EQ(S->fields().size(), 11u);
+  AoiPrimKind Want[] = {
+      AoiPrimKind::Boolean, AoiPrimKind::Char,   AoiPrimKind::Octet,
+      AoiPrimKind::Short,   AoiPrimKind::UShort, AoiPrimKind::Long,
+      AoiPrimKind::ULong,   AoiPrimKind::LongLong,
+      AoiPrimKind::ULongLong, AoiPrimKind::Float, AoiPrimKind::Double};
+  for (size_t I = 0; I != 11; ++I)
+    EXPECT_EQ(cast<AoiPrimitive>(S->fields()[I].Type)->prim(), Want[I])
+        << "field " << I;
+}
+
+TEST(CorbaParser, SequencesAndBounds) {
+  auto M = parseOk("typedef sequence<long, 16> Small;\n"
+                   "typedef sequence<string> Names;");
+  const auto *TD = cast<AoiTypedef>(M->namedTypes().at(0));
+  const auto *Seq = cast<AoiSequence>(TD->aliased());
+  EXPECT_EQ(Seq->bound(), 16u);
+  const auto *TD2 = cast<AoiTypedef>(M->namedTypes().at(1));
+  EXPECT_EQ(cast<AoiSequence>(TD2->aliased())->bound(), 0u);
+}
+
+TEST(CorbaParser, ArraysMultiDim) {
+  auto M = parseOk("struct G { long grid[2][3]; };");
+  const auto *S = cast<AoiStruct>(M->namedTypes().at(0));
+  const auto *A = cast<AoiArray>(S->fields()[0].Type);
+  ASSERT_EQ(A->dims().size(), 2u);
+  EXPECT_EQ(A->dims()[0], 2u);
+  EXPECT_EQ(A->dims()[1], 3u);
+  EXPECT_EQ(A->totalElems(), 6u);
+}
+
+TEST(CorbaParser, UnionWithEnumDiscriminator) {
+  auto M = parseOk(R"(
+    enum Kind { K_A, K_B };
+    union U switch (Kind) {
+    case K_A: long a;
+    case K_B: string b;
+    default: octet raw;
+    };)");
+  const AoiUnion *U = nullptr;
+  for (AoiType *T : M->namedTypes())
+    if ((U = dyn_cast<AoiUnion>(T)))
+      break;
+  ASSERT_TRUE(U);
+  ASSERT_EQ(U->cases().size(), 3u);
+  EXPECT_EQ(U->cases()[0].Labels[0].Value, 0);
+  EXPECT_EQ(U->cases()[1].Labels[0].Value, 1);
+  EXPECT_TRUE(U->cases()[2].Labels[0].IsDefault);
+  EXPECT_TRUE(U->defaultCase());
+}
+
+TEST(CorbaParser, ConstExpressions) {
+  auto M = parseOk("const long A = 4;\n"
+                   "const long B = A * 2 + 1;\n"
+                   "const long C = 1 << 4;\n"
+                   "typedef sequence<long, B> S;");
+  EXPECT_EQ(M->consts()[1].Value.IntValue, 9);
+  EXPECT_EQ(M->consts()[2].Value.IntValue, 16);
+  const auto *TD = cast<AoiTypedef>(M->namedTypes().at(0));
+  EXPECT_EQ(cast<AoiSequence>(TD->aliased())->bound(), 9u);
+}
+
+TEST(CorbaParser, ExceptionsAndRaises) {
+  auto M = parseOk(R"(
+    exception Broke { long amount; };
+    interface Bank {
+      void withdraw(in long n) raises(Broke);
+    };)");
+  ASSERT_EQ(M->exceptions().size(), 1u);
+  const AoiOperation &Op = M->findInterface("Bank")->Operations[0];
+  ASSERT_EQ(Op.Raises.size(), 1u);
+  EXPECT_EQ(Op.Raises[0]->Name, "Broke");
+  EXPECT_EQ(Op.Raises[0]->ExceptionCode, 1u);
+}
+
+TEST(CorbaParser, AttributesReadonlyAndPlain) {
+  auto M = parseOk("interface I { readonly attribute long id;\n"
+                   "  attribute string name; };");
+  const AoiInterface *If = M->findInterface("I");
+  ASSERT_EQ(If->Attributes.size(), 2u);
+  EXPECT_TRUE(If->Attributes[0].ReadOnly);
+  EXPECT_FALSE(If->Attributes[1].ReadOnly);
+}
+
+TEST(CorbaParser, InterfaceInheritance) {
+  auto M = parseOk("interface A { void a(); };\n"
+                   "interface B : A { void b(); };");
+  const AoiInterface *B = M->findInterface("B");
+  ASSERT_EQ(B->Bases.size(), 1u);
+  EXPECT_EQ(B->Bases[0]->Name, "A");
+}
+
+TEST(CorbaParser, OnewayOperations) {
+  auto M = parseOk("interface I { oneway void ping(in long t); };");
+  EXPECT_TRUE(M->findInterface("I")->Operations[0].Oneway);
+}
+
+TEST(CorbaParser, OperationCodesAreSequential) {
+  auto M = parseOk("interface I { void a(); void b(); void c(); };");
+  const AoiInterface *If = M->findInterface("I");
+  EXPECT_EQ(If->Operations[0].RequestCode, 1u);
+  EXPECT_EQ(If->Operations[1].RequestCode, 2u);
+  EXPECT_EQ(If->Operations[2].RequestCode, 3u);
+}
+
+TEST(CorbaParser, DumpRoundTripMentionsEverything) {
+  auto M = parseOk("module M { interface I { long f(in long x); }; };");
+  std::string Dump = M->dump();
+  EXPECT_NE(Dump.find("interface M::I"), std::string::npos);
+  EXPECT_NE(Dump.find("long f(in x: long)"), std::string::npos);
+}
+
+// --- Error cases ---
+
+TEST(CorbaParserErrors, UnknownType) {
+  parseFail("interface I { void f(in Mystery m); };", "unknown type");
+}
+
+TEST(CorbaParserErrors, MissingDirection) {
+  parseFail("interface I { void f(string m); };",
+            "expected parameter direction");
+}
+
+TEST(CorbaParserErrors, UnsupportedAny) {
+  parseFail("interface I { void f(in any a); };", "not supported");
+}
+
+TEST(CorbaParserErrors, UnknownRaises) {
+  parseFail("interface I { void f() raises(Nope); };",
+            "unknown exception");
+}
+
+TEST(CorbaParserErrors, UnknownBaseInterface) {
+  parseFail("interface B : A { void b(); };", "unknown base interface");
+}
+
+TEST(CorbaParserErrors, RecoveryProducesMultipleErrors) {
+  DiagnosticEngine D;
+  parseCorbaIdl("interface I { void f(in Bad1 a); void g(in Bad2 b); };",
+                "t.idl", D);
+  EXPECT_GE(D.errorCount(), 2u);
+}
+
+TEST(CorbaParserErrors, DivisionByZeroInConst) {
+  parseFail("const long X = 4 / 0;", "division by zero");
+}
+
+} // namespace

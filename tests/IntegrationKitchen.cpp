@@ -1,0 +1,363 @@
+//===- tests/IntegrationKitchen.cpp - kitchen-sink round trips ------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Round-trips every presented type shape through generated stubs: the
+/// CORBA presentation over IIOP/CDR, and (KX_ prefix) the same presentation
+/// over the XDR back end -- the paper's mix-and-match of components.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ItHarness.h"
+#include "it_kitchen.h"
+#include "it_kitchenx.h"
+#include <cstring>
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace flick;
+
+static int PingCount;
+
+//===----------------------------------------------------------------------===//
+// Echo servant: one implementation per generated prefix, via macro.
+//===----------------------------------------------------------------------===//
+
+#define DEFINE_KITCHEN_SERVANT(P)                                           \
+  P##Scalars *P##Echo_echo_scalars_server(const P##Scalars *v,              \
+                                          CORBA_Environment *_ev) {         \
+    auto *R = static_cast<P##Scalars *>(malloc(sizeof(P##Scalars)));        \
+    *R = *v;                                                                \
+    return R;                                                               \
+  }                                                                         \
+  void P##Echo_echo_fixed_server(const P##Fixed *v, P##Fixed *r,            \
+                                 CORBA_Environment *_ev) {                  \
+    *r = *v;                                                                \
+  }                                                                         \
+  char *P##Echo_echo_string_server(const char *v,                           \
+                                   CORBA_Environment *_ev) {                \
+    return strdup(v);                                                       \
+  }                                                                         \
+  void P##Echo_echo_names_server(const P##NameSeq *v, P##NameSeq **r,       \
+                                 CORBA_Environment *_ev) {                  \
+    auto *Out = static_cast<P##NameSeq *>(malloc(sizeof(P##NameSeq)));      \
+    Out->_maximum = Out->_length = v->_length;                              \
+    Out->_buffer =                                                          \
+        static_cast<char **>(malloc(sizeof(char *) * (v->_length + 1)));    \
+    for (uint32_t I = 0; I != v->_length; ++I)                              \
+      Out->_buffer[I] = strdup(v->_buffer[I]);                              \
+    *r = Out;                                                               \
+  }                                                                         \
+  int32_t P##Echo_sum_blob_server(const P##Blob *v,                         \
+                                  CORBA_Environment *_ev) {                 \
+    int32_t S = 0;                                                          \
+    for (uint32_t I = 0; I != v->_length; ++I)                              \
+      S += v->_buffer[I];                                                   \
+    return S;                                                               \
+  }                                                                         \
+  P##Variant *P##Echo_echo_variant_server(const P##Variant *v,              \
+                                          CORBA_Environment *_ev) {         \
+    auto *R = static_cast<P##Variant *>(malloc(sizeof(P##Variant)));        \
+    R->_d = v->_d;                                                          \
+    switch (v->_d) {                                                        \
+    case 0:                                                                 \
+      R->_u.i = v->_u.i;                                                    \
+      break;                                                                \
+    case 1:                                                                 \
+      R->_u.d = v->_u.d;                                                    \
+      break;                                                                \
+    case 2:                                                                 \
+      R->_u.s = strdup(v->_u.s);                                            \
+      break;                                                                \
+    default:                                                                \
+      R->_u.raw._maximum = R->_u.raw._length = v->_u.raw._length;           \
+      R->_u.raw._buffer =                                                   \
+          static_cast<uint8_t *>(malloc(v->_u.raw._length + 1));            \
+      memcpy(R->_u.raw._buffer, v->_u.raw._buffer, v->_u.raw._length);      \
+      break;                                                                \
+    }                                                                       \
+    return R;                                                               \
+  }                                                                         \
+  void P##Echo_echo_nested_server(const P##Nested *v, P##Nested **r,        \
+                                  CORBA_Environment *_ev) {                 \
+    auto *Out = static_cast<P##Nested *>(malloc(sizeof(P##Nested)));        \
+    Out->label = strdup(v->label);                                          \
+    Out->items._maximum = Out->items._length = v->items._length;            \
+    Out->items._buffer = static_cast<P##Scalars *>(                         \
+        malloc(sizeof(P##Scalars) * (v->items._length + 1)));               \
+    memcpy(Out->items._buffer, v->items._buffer,                            \
+           sizeof(P##Scalars) * v->items._length);                          \
+    Out->v._d = 0;                                                          \
+    Out->v._u.i = v->v._d == 0 ? v->v._u.i : 0;                             \
+    *r = Out;                                                               \
+  }                                                                         \
+  void P##Echo_swap_longs_server(int32_t *a, int32_t *b,                    \
+                                 CORBA_Environment *_ev) {                  \
+    int32_t T = *a;                                                         \
+    *a = *b;                                                                \
+    *b = T;                                                                 \
+  }                                                                         \
+  void P##Echo_ping_server(int32_t tick, CORBA_Environment *_ev) {          \
+    PingCount += tick;                                                      \
+  }
+
+DEFINE_KITCHEN_SERVANT()
+DEFINE_KITCHEN_SERVANT(KX_)
+
+namespace {
+
+Scalars sampleScalars(uint32_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  Scalars S{};
+  S.b = Seed % 2;
+  S.c = static_cast<char>('A' + Seed % 26);
+  S.o = static_cast<uint8_t>(Rng());
+  S.s = static_cast<int16_t>(Rng());
+  S.us = static_cast<uint16_t>(Rng());
+  S.l = static_cast<int32_t>(Rng());
+  S.ul = static_cast<uint32_t>(Rng());
+  S.ll = static_cast<int64_t>(Rng());
+  S.ull = Rng();
+  S.f = 1.5f * static_cast<float>(Seed);
+  S.d = -2.25 * static_cast<double>(Seed);
+  S.col = static_cast<Color>(Seed % 3);
+  return S;
+}
+
+void expectScalarsEq(const Scalars &A, const Scalars &B) {
+  EXPECT_EQ(A.b, B.b);
+  EXPECT_EQ(A.c, B.c);
+  EXPECT_EQ(A.o, B.o);
+  EXPECT_EQ(A.s, B.s);
+  EXPECT_EQ(A.us, B.us);
+  EXPECT_EQ(A.l, B.l);
+  EXPECT_EQ(A.ul, B.ul);
+  EXPECT_EQ(A.ll, B.ll);
+  EXPECT_EQ(A.ull, B.ull);
+  EXPECT_EQ(A.f, B.f);
+  EXPECT_EQ(A.d, B.d);
+  EXPECT_EQ(A.col, B.col);
+}
+
+class KitchenIt : public ::testing::Test {
+protected:
+  ItRig Rig{Echo_dispatch};
+  CORBA_Environment Ev{};
+};
+
+TEST_F(KitchenIt, ScalarExtremes) {
+  Scalars In{};
+  In.b = 1;
+  In.c = '\x7f';
+  In.o = 0xFF;
+  In.s = INT16_MIN;
+  In.us = UINT16_MAX;
+  In.l = INT32_MIN;
+  In.ul = UINT32_MAX;
+  In.ll = INT64_MIN;
+  In.ull = UINT64_MAX;
+  In.f = -0.0f;
+  In.d = 1e308;
+  In.col = BLUE;
+  Scalars *Out = Echo_echo_scalars(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  expectScalarsEq(In, *Out);
+  free(Out);
+}
+
+TEST_F(KitchenIt, FixedArraysRoundTrip) {
+  Fixed In{};
+  for (int I = 0; I != 2; ++I)
+    for (int J = 0; J != 3; ++J)
+      In.grid[I][J] = I * 10 + J - 5;
+  for (int I = 0; I != 8; ++I)
+    In.blob[I] = static_cast<uint8_t>(0xF0 + I);
+  std::memcpy(In.name, "hello wrld<", 12);
+  Fixed Out{};
+  Echo_echo_fixed(Rig.object(), &In, &Out, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_EQ(std::memcmp(&In, &Out, sizeof(Fixed)), 0);
+}
+
+TEST_F(KitchenIt, StringEcho) {
+  char *Out = Echo_echo_string(Rig.object(), "presentation layer", &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_STREQ(Out, "presentation layer");
+  free(Out);
+}
+
+TEST_F(KitchenIt, SequencesOfStrings) {
+  char N0[] = "alpha", N1[] = "", N2[] = "gamma-gamma";
+  char *Names[] = {N0, N1, N2};
+  NameSeq In{3, 3, Names};
+  NameSeq *Out = nullptr;
+  Echo_echo_names(Rig.object(), &In, &Out, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  ASSERT_TRUE(Out);
+  ASSERT_EQ(Out->_length, 3u);
+  EXPECT_STREQ(Out->_buffer[0], "alpha");
+  EXPECT_STREQ(Out->_buffer[1], "");
+  EXPECT_STREQ(Out->_buffer[2], "gamma-gamma");
+  for (uint32_t I = 0; I != Out->_length; ++I)
+    free(Out->_buffer[I]);
+  free(Out->_buffer);
+  free(Out);
+}
+
+TEST_F(KitchenIt, OctetBlobSum) {
+  std::vector<uint8_t> Data(1000);
+  int32_t Want = 0;
+  for (size_t I = 0; I != Data.size(); ++I) {
+    Data[I] = static_cast<uint8_t>(I * 7);
+    Want += Data[I];
+  }
+  Blob In{uint32_t(Data.size()), uint32_t(Data.size()), Data.data()};
+  EXPECT_EQ(Echo_sum_blob(Rig.object(), &In, &Ev), Want);
+}
+
+TEST_F(KitchenIt, EmptySequences) {
+  Blob In{0, 0, nullptr};
+  EXPECT_EQ(Echo_sum_blob(Rig.object(), &In, &Ev), 0);
+  EXPECT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+}
+
+TEST_F(KitchenIt, UnionArms) {
+  Variant In{};
+  In._d = 0;
+  In._u.i = -77;
+  Variant *Out = Echo_echo_variant(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_EQ(Out->_d, 0);
+  EXPECT_EQ(Out->_u.i, -77);
+  free(Out);
+
+  In._d = 1;
+  In._u.d = 2.5;
+  Out = Echo_echo_variant(Rig.object(), &In, &Ev);
+  EXPECT_EQ(Out->_u.d, 2.5);
+  free(Out);
+
+  char S[] = "in the union";
+  In._d = 2;
+  In._u.s = S;
+  Out = Echo_echo_variant(Rig.object(), &In, &Ev);
+  EXPECT_STREQ(Out->_u.s, "in the union");
+  free(Out->_u.s);
+  free(Out);
+
+  uint8_t Raw[] = {1, 2, 3, 4, 5};
+  In._d = 3;
+  In._u.raw = Blob{5, 5, Raw};
+  Out = Echo_echo_variant(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Out->_u.raw._length, 5u);
+  EXPECT_EQ(Out->_u.raw._buffer[4], 5);
+  free(Out->_u.raw._buffer);
+  free(Out);
+}
+
+TEST_F(KitchenIt, NestedStructure) {
+  std::vector<Scalars> Items;
+  for (uint32_t I = 0; I != 5; ++I)
+    Items.push_back(sampleScalars(I));
+  char Label[] = "nested";
+  Nested In{};
+  In.label = Label;
+  In.items = ScalarSeq{5, 5, Items.data()};
+  In.v._d = 0;
+  In.v._u.i = 42;
+  Nested *Out = nullptr;
+  Echo_echo_nested(Rig.object(), &In, &Out, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  ASSERT_TRUE(Out);
+  EXPECT_STREQ(Out->label, "nested");
+  ASSERT_EQ(Out->items._length, 5u);
+  for (uint32_t I = 0; I != 5; ++I)
+    expectScalarsEq(Items[I], Out->items._buffer[I]);
+  free(Out->label);
+  free(Out->items._buffer);
+  free(Out);
+}
+
+TEST_F(KitchenIt, InOutParameters) {
+  int32_t A = 111, BV = -222;
+  Echo_swap_longs(Rig.object(), &A, &BV, &Ev);
+  EXPECT_EQ(A, -222);
+  EXPECT_EQ(BV, 111);
+}
+
+TEST_F(KitchenIt, OnewayPing) {
+  PingCount = 0;
+  Echo_ping(Rig.object(), 5, &Ev);
+  Echo_ping(Rig.object(), 7, &Ev);
+  EXPECT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  // Oneway requests queue without replies; pump the server explicitly.
+  EXPECT_EQ(Rig.link().pendingToServer(), 2u);
+  while (flick_server_handle_one(Rig.server()) == FLICK_OK)
+    ;
+  EXPECT_EQ(PingCount, 12);
+}
+
+// Property-style sweep: random scalars must round-trip exactly through
+// CDR for a range of seeds.
+class KitchenScalarSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KitchenScalarSweep, RandomScalarsRoundTrip) {
+  ItRig Rig(Echo_dispatch);
+  CORBA_Environment Ev{};
+  Scalars In = sampleScalars(GetParam());
+  Scalars *Out = Echo_echo_scalars(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  expectScalarsEq(In, *Out);
+  free(Out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KitchenScalarSweep,
+                         ::testing::Range(1u, 17u));
+
+//===----------------------------------------------------------------------===//
+// The same presentation over the XDR back end (mix and match)
+//===----------------------------------------------------------------------===//
+
+class KitchenXdrIt : public ::testing::Test {
+protected:
+  ItRig Rig{KX_Echo_dispatch};
+  CORBA_Environment Ev{};
+};
+
+TEST_F(KitchenXdrIt, ScalarsOverXdr) {
+  KX_Scalars In{};
+  In.s = -123;
+  In.ul = 0xDEADBEEF;
+  In.ll = -5000000000LL;
+  In.d = 3.25;
+  In.col = KX_GREEN;
+  KX_Scalars *Out = KX_Echo_echo_scalars(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_EQ(Out->s, -123);
+  EXPECT_EQ(Out->ul, 0xDEADBEEFu);
+  EXPECT_EQ(Out->ll, -5000000000LL);
+  EXPECT_EQ(Out->d, 3.25);
+  EXPECT_EQ(Out->col, KX_GREEN);
+  free(Out);
+}
+
+TEST_F(KitchenXdrIt, StringsAndUnionsOverXdr) {
+  char *S = KX_Echo_echo_string(Rig.object(), "xdr bytes", &Ev);
+  EXPECT_STREQ(S, "xdr bytes");
+  free(S);
+  KX_Variant In{};
+  char Str[] = "arm";
+  In._d = 2;
+  In._u.s = Str;
+  KX_Variant *Out = KX_Echo_echo_variant(Rig.object(), &In, &Ev);
+  ASSERT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_STREQ(Out->_u.s, "arm");
+  free(Out->_u.s);
+  free(Out);
+}
+
+} // namespace

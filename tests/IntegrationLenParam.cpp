@@ -1,0 +1,93 @@
+//===- tests/IntegrationLenParam.cpp - §2 presentation flexibility --------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §2 flexibility example: presenting `Mail::send` with an
+/// explicit length parameter changes only the calling convention -- the
+/// stub stops counting characters -- while "the messages exchanged
+/// between client and server would be unchanged."  Both presentations of
+/// the same IDL are linked here and that claim is asserted byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ItHarness.h"
+#include "it_lmail.h" // --string-len-params presentation (L_ prefix)
+#include "it_mail.h"  // standard CORBA presentation
+#include <cstring>
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace flick;
+
+static std::string LGot;
+static uint32_t LGotLen;
+
+void L_Mail_send_server(const char *msg, uint32_t msg_len,
+                        CORBA_Environment *_ev) {
+  LGot.assign(msg, msg_len);
+  LGotLen = msg_len;
+}
+
+namespace {
+
+TEST(LenParamPresentation, RoundTripCarriesExplicitLength) {
+  ItRig Rig(L_Mail_dispatch);
+  CORBA_Environment Ev;
+  // The caller supplies the length; embedded text beyond it must not
+  // travel (the stub honors the contract, not strlen).
+  L_Mail_send(reinterpret_cast<L_Mail>(Rig.object()),
+              "counted-not-scanned-XXXX", 19, &Ev);
+  EXPECT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_EQ(LGotLen, 19u);
+  EXPECT_EQ(LGot, "counted-not-scanned");
+}
+
+TEST(LenParamPresentation, GeneratedStubNeverCallsStrlen) {
+  // Compile-time property, checked at run time against this binary's own
+  // generated header text would need the file; instead assert behavior:
+  // a non-NUL-terminated buffer of known length is safe to send.
+  std::string NoNul(64, 'q'); // deliberately no terminator semantics used
+  ItRig Rig(L_Mail_dispatch);
+  CORBA_Environment Ev;
+  L_Mail_send(reinterpret_cast<L_Mail>(Rig.object()), NoNul.data(),
+              (uint32_t)NoNul.size(), &Ev);
+  EXPECT_EQ(Ev._major, unsigned(CORBA_NO_EXCEPTION));
+  EXPECT_EQ(LGotLen, 64u);
+}
+
+TEST(LenParamPresentation, NetworkContractUnchanged) {
+  // Paper §2: "This change to the presentation would not affect the
+  // network contract ... the messages exchanged would be unchanged."
+  const char *Msg = "hello flick";
+  flick_buf Std, Len;
+  flick_buf_init(&Std);
+  flick_buf_init(&Len);
+  ASSERT_EQ(Mail_send_encode_request(&Std, 5, Msg), FLICK_OK);
+  ASSERT_EQ(L_Mail_send_encode_request(&Len, 5, Msg,
+                                       (uint32_t)std::strlen(Msg)),
+            FLICK_OK);
+  ASSERT_EQ(Std.len, Len.len);
+  EXPECT_EQ(std::memcmp(Std.data, Len.data, Std.len), 0)
+      << "the two presentations must produce identical messages";
+  flick_buf_destroy(&Std);
+  flick_buf_destroy(&Len);
+}
+
+TEST(LenParamPresentation, CrossPresentationInterop) {
+  // A request from the explicit-length client decodes through the
+  // standard presentation's dispatcher: same wire contract.
+  flick_buf Req, Rep;
+  flick_buf_init(&Req);
+  flick_buf_init(&Rep);
+  ASSERT_EQ(L_Mail_send_encode_request(&Req, 1, "interop", 7), FLICK_OK);
+  ItRig Rig(Mail_dispatch); // the STANDARD dispatcher
+  EXPECT_EQ(Mail_dispatch(Rig.server(), &Req, &Rep), FLICK_OK);
+  flick_buf_destroy(&Req);
+  flick_buf_destroy(&Rep);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/IntegrationList.cpp - recursive linked-list round trips ------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XDR linked lists exercise the recursive-type path: the back end must
+/// fall back to out-of-line marshal helpers (paper §3.3) and still
+/// round-trip correctly at depth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ItHarness.h"
+#include "it_list.h"
+#include <cstring>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace flick;
+
+//===----------------------------------------------------------------------===//
+// Servant
+//===----------------------------------------------------------------------===//
+
+int count_items_1_svc(stringnode *arg1, int32_t *_result) {
+  int32_t N = 0;
+  for (stringnode *P = arg1; P; P = P->next)
+    ++N;
+  *_result = N;
+  return 0;
+}
+
+int reverse_1_svc(stringnode *arg1, stringnode **_result) {
+  stringnode *Out = nullptr;
+  for (stringnode *P = arg1; P; P = P->next) {
+    auto *N = static_cast<stringnode *>(malloc(sizeof(stringnode)));
+    N->item = strdup(P->item);
+    N->next = Out;
+    Out = N;
+  }
+  *_result = Out;
+  return 0;
+}
+
+int lookup_1_svc(int32_t arg1, maybe_pair *_result) {
+  if (arg1 < 0)
+    return 1; // system error path
+  if (arg1 == 0) {
+    _result->disc = 0;
+    return 0;
+  }
+  _result->disc = 1;
+  _result->u.p.key = arg1;
+  _result->u.p.value = arg1 * arg1;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Tests
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a heap list from strings (owned by the caller).
+stringnode *makeList(const std::vector<std::string> &Items) {
+  stringnode *Head = nullptr, **Tail = &Head;
+  for (const std::string &S : Items) {
+    auto *N = static_cast<stringnode *>(malloc(sizeof(stringnode)));
+    N->item = strdup(S.c_str());
+    N->next = nullptr;
+    *Tail = N;
+    Tail = &N->next;
+  }
+  return Head;
+}
+
+void freeList(stringnode *P) {
+  while (P) {
+    stringnode *Next = P->next;
+    free(P->item);
+    free(P);
+    P = Next;
+  }
+}
+
+class ListIt : public ::testing::Test {
+protected:
+  ItRig Rig{LISTPROG_dispatch};
+};
+
+TEST_F(ListIt, CountEmptyList) {
+  int32_t N = -1;
+  EXPECT_EQ(count_items_1(nullptr, &N, Rig.client()), FLICK_OK);
+  EXPECT_EQ(N, 0);
+}
+
+TEST_F(ListIt, CountSmallList) {
+  stringnode *L = makeList({"a", "b", "c"});
+  int32_t N = 0;
+  EXPECT_EQ(count_items_1(L, &N, Rig.client()), FLICK_OK);
+  EXPECT_EQ(N, 3);
+  freeList(L);
+}
+
+TEST_F(ListIt, DeepListRoundTrips) {
+  std::vector<std::string> Items;
+  for (int I = 0; I != 500; ++I)
+    Items.push_back("item-" + std::to_string(I));
+  stringnode *L = makeList(Items);
+  int32_t N = 0;
+  EXPECT_EQ(count_items_1(L, &N, Rig.client()), FLICK_OK);
+  EXPECT_EQ(N, 500);
+  freeList(L);
+}
+
+TEST_F(ListIt, ReverseReturnsNewList) {
+  stringnode *L = makeList({"x", "y", "z"});
+  stringnode *R = nullptr;
+  ASSERT_EQ(reverse_1(L, &R, Rig.client()), FLICK_OK);
+  ASSERT_TRUE(R);
+  EXPECT_STREQ(R->item, "z");
+  ASSERT_TRUE(R->next);
+  EXPECT_STREQ(R->next->item, "y");
+  ASSERT_TRUE(R->next->next);
+  EXPECT_STREQ(R->next->next->item, "x");
+  EXPECT_EQ(R->next->next->next, nullptr);
+  freeList(L);
+  freeList(R);
+}
+
+TEST_F(ListIt, UnionResultBothArms) {
+  maybe_pair P{};
+  ASSERT_EQ(lookup_1(7, &P, Rig.client()), FLICK_OK);
+  EXPECT_EQ(P.disc, 1);
+  EXPECT_EQ(P.u.p.key, 7);
+  EXPECT_EQ(P.u.p.value, 49);
+  maybe_pair Q{};
+  ASSERT_EQ(lookup_1(0, &Q, Rig.client()), FLICK_OK);
+  EXPECT_EQ(Q.disc, 0);
+}
+
+TEST_F(ListIt, ServantFailureBecomesErrorStatus) {
+  maybe_pair P{};
+  int Err = lookup_1(-1, &P, Rig.client());
+  EXPECT_EQ(Err, FLICK_ERR_EXCEPTION);
+}
+
+} // namespace

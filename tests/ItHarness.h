@@ -1,0 +1,50 @@
+//===- tests/ItHarness.h - integration-test client/server rig --*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny rig wiring one generated dispatch function to a client over an
+/// in-process LocalLink; integration tests instantiate it per fixture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_TESTS_ITHARNESS_H
+#define FLICK_TESTS_ITHARNESS_H
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+
+namespace flick {
+
+/// RAII client/server pair over an in-process link.
+class ItRig {
+public:
+  explicit ItRig(flick_dispatch_fn Dispatch) {
+    flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
+    Link.setPump([this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+    Obj.client = &Cli;
+  }
+  ~ItRig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+
+  flick_client *client() { return &Cli; }
+  flick_obj *object() { return &Obj; }
+  flick_server *server() { return &Srv; }
+  LocalLink &link() { return Link; }
+
+private:
+  LocalLink Link;
+  flick_server Srv;
+  flick_client Cli;
+  flick_obj Obj;
+};
+
+} // namespace flick
+
+#endif // FLICK_TESTS_ITHARNESS_H

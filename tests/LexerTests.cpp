@@ -1,0 +1,118 @@
+//===- tests/LexerTests.cpp - shared IDL lexer unit tests -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/Lexer.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Src, DiagnosticEngine &D) {
+  Lexer L(Src, D.addFile("t.idl"), D);
+  std::vector<Token> Out;
+  while (!L.peek().is(Token::Kind::Eof))
+    Out.push_back(L.next());
+  return Out;
+}
+
+TEST(Lexer, IdentifiersAndPunct) {
+  DiagnosticEngine D;
+  auto T = lexAll("interface Mail { };", D);
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_TRUE(T[0].isIdent("interface"));
+  EXPECT_TRUE(T[1].isIdent("Mail"));
+  EXPECT_TRUE(T[2].isPunct("{"));
+  EXPECT_TRUE(T[3].isPunct("}"));
+  EXPECT_TRUE(T[4].isPunct(";"));
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine D;
+  auto T = lexAll("42 0x20 010 7u 9L", D);
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T[0].IntValue, 42u);
+  EXPECT_EQ(T[1].IntValue, 32u);
+  EXPECT_EQ(T[2].IntValue, 8u);
+  EXPECT_EQ(T[3].IntValue, 7u);
+  EXPECT_EQ(T[4].IntValue, 9u);
+}
+
+TEST(Lexer, ProgramNumberStyleHex) {
+  DiagnosticEngine D;
+  auto T = lexAll("0x20000001", D);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T[0].IntValue, 0x20000001u);
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  DiagnosticEngine D;
+  auto T = lexAll("\"hi\\n\" 'x' '\\n'", D);
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "hi\n");
+  EXPECT_EQ(T[1].IntValue, uint64_t('x'));
+  EXPECT_EQ(T[2].IntValue, uint64_t('\n'));
+}
+
+TEST(Lexer, CommentsAndPreprocessorLinesAreSkipped) {
+  DiagnosticEngine D;
+  auto T = lexAll("// line\n#include <x>\n/* block\n */ foo", D);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].isIdent("foo"));
+}
+
+TEST(Lexer, MultiCharPunct) {
+  DiagnosticEngine D;
+  auto T = lexAll("A::B << >>", D);
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_TRUE(T[1].isPunct("::"));
+  EXPECT_TRUE(T[3].isPunct("<<"));
+  EXPECT_TRUE(T[4].isPunct(">>"));
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine D;
+  auto T = lexAll("a\n  bb", D);
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine D;
+  lexAll("\"oops", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, UnterminatedCommentReportsError) {
+  DiagnosticEngine D;
+  lexAll("/* never ends", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, BadCharacterIsReportedAndSkipped) {
+  DiagnosticEngine D;
+  auto T = lexAll("a @ b", D);
+  EXPECT_TRUE(D.hasErrors());
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_TRUE(T[1].isIdent("b"));
+}
+
+TEST(Lexer, PeekTwoAhead) {
+  DiagnosticEngine D;
+  Lexer L("a b c", D.addFile("t"), D);
+  EXPECT_TRUE(L.peek().isIdent("a"));
+  EXPECT_TRUE(L.peek2().isIdent("b"));
+  L.next();
+  EXPECT_TRUE(L.peek().isIdent("b"));
+  EXPECT_TRUE(L.peek2().isIdent("c"));
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- tests/MigParserTests.cpp - MIG front-end tests ---------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/mig/MigFrontEnd.h"
+#include "support/Diagnostics.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+std::unique_ptr<AoiModule> parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto M = parseMigDefs(Src, "t.defs", D);
+  EXPECT_TRUE(M) << D.renderAll();
+  return M;
+}
+
+void parseFail(const std::string &Src, const std::string &MsgPart) {
+  DiagnosticEngine D;
+  auto M = parseMigDefs(Src, "t.defs", D);
+  EXPECT_FALSE(M && !D.hasErrors());
+  EXPECT_NE(D.renderAll().find(MsgPart), std::string::npos)
+      << D.renderAll();
+}
+
+TEST(MigParser, SubsystemAndRoutines) {
+  auto M = parseOk(R"(
+    subsystem counter 400;
+    routine bump(delta : int; out total : int);
+    simpleroutine ping(n : int);
+  )");
+  ASSERT_EQ(M->interfaces().size(), 1u);
+  const AoiInterface &If = *M->interfaces()[0];
+  EXPECT_EQ(If.Name, "counter");
+  EXPECT_EQ(If.ProgramNumber, 400u);
+  ASSERT_EQ(If.Operations.size(), 2u);
+  EXPECT_EQ(If.Operations[0].Name, "bump");
+  EXPECT_EQ(If.Operations[0].Params[1].Dir, AoiParamDir::Out);
+  EXPECT_TRUE(If.Operations[1].Oneway);
+}
+
+TEST(MigParser, TypeAliasesAndMachConstants) {
+  auto M = parseOk(R"(
+    subsystem s 1;
+    type count_t = MACH_MSG_TYPE_INTEGER_32;
+    type tag_t = array[8] of char;
+    routine f(c : count_t; t : tag_t);
+  )");
+  const auto *TD = cast<AoiTypedef>(M->namedTypes().at(0));
+  EXPECT_EQ(cast<AoiPrimitive>(TD->aliased())->prim(), AoiPrimKind::Long);
+  const auto *TD2 = cast<AoiTypedef>(M->namedTypes().at(1));
+  EXPECT_TRUE(isa<AoiArray>(TD2->aliased()));
+}
+
+TEST(MigParser, VariableAndBoundedArrays) {
+  auto M = parseOk(R"(
+    subsystem s 1;
+    routine f(a : array[] of int; b : array[*:64] of int);
+  )");
+  const AoiOperation &Op = M->interfaces()[0]->Operations[0];
+  EXPECT_EQ(cast<AoiSequence>(Op.Params[0].Type)->bound(), 0u);
+  EXPECT_EQ(cast<AoiSequence>(Op.Params[1].Type)->bound(), 64u);
+}
+
+TEST(MigParser, SkipReservesMessageIds) {
+  auto M = parseOk(R"(
+    subsystem s 1;
+    routine a(x : int);
+    skip;
+    routine b(x : int);
+  )");
+  const AoiInterface &If = *M->interfaces()[0];
+  EXPECT_EQ(If.Operations[0].RequestCode, 1u);
+  EXPECT_EQ(If.Operations[1].RequestCode, 3u);
+}
+
+TEST(MigParserErrors, ArraysOfAggregatesRejected) {
+  // The paper: MIG "cannot express arrays of non-atomic types".
+  parseFail("subsystem s 1;\n"
+            "routine f(a : array[] of array[2] of int);",
+            "only hold scalar");
+}
+
+TEST(MigParserErrors, MissingSubsystem) {
+  parseFail("routine f(x : int);", "starts with 'subsystem");
+}
+
+TEST(MigParserErrors, UnknownType) {
+  parseFail("subsystem s 1;\nroutine f(x : mystery);", "unknown MIG type");
+}
+
+} // namespace

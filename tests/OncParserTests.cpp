@@ -1,0 +1,173 @@
+//===- tests/OncParserTests.cpp - ONC RPC front-end tests -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/oncrpc/OncFrontEnd.h"
+#include "support/Diagnostics.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+std::unique_ptr<AoiModule> parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto M = parseOncIdl(Src, "t.x", D);
+  EXPECT_TRUE(M) << D.renderAll();
+  return M;
+}
+
+void parseFail(const std::string &Src, const std::string &MsgPart) {
+  DiagnosticEngine D;
+  auto M = parseOncIdl(Src, "t.x", D);
+  EXPECT_FALSE(M && !D.hasErrors());
+  EXPECT_NE(D.renderAll().find(MsgPart), std::string::npos)
+      << D.renderAll();
+}
+
+TEST(OncParser, PaperMailExample) {
+  auto M = parseOk(R"(
+    program Mail {
+      version MailVers {
+        void SEND(string) = 1;
+      } = 1;
+    } = 0x20000001;)");
+  ASSERT_EQ(M->interfaces().size(), 1u);
+  const AoiInterface &If = *M->interfaces()[0];
+  EXPECT_EQ(If.Name, "Mail");
+  EXPECT_EQ(If.ProgramNumber, 0x20000001u);
+  EXPECT_EQ(If.VersionNumber, 1u);
+  ASSERT_EQ(If.Operations.size(), 1u);
+  EXPECT_EQ(If.Operations[0].Name, "SEND");
+  EXPECT_EQ(If.Operations[0].RequestCode, 1u);
+  ASSERT_EQ(If.Operations[0].Params.size(), 1u);
+  EXPECT_TRUE(isa<AoiString>(If.Operations[0].Params[0].Type));
+}
+
+TEST(OncParser, StructWithOpaqueAndVariableArrays) {
+  auto M = parseOk(R"(
+    struct blob {
+      opaque fixed[16];
+      opaque var<64>;
+      int values<>;
+      string name<255>;
+    };)");
+  const auto *S = cast<AoiStruct>(M->namedTypes().at(0));
+  ASSERT_EQ(S->fields().size(), 4u);
+  const auto *A = cast<AoiArray>(S->fields()[0].Type);
+  EXPECT_EQ(cast<AoiPrimitive>(A->elem())->prim(), AoiPrimKind::Octet);
+  EXPECT_EQ(A->dims()[0], 16u);
+  EXPECT_EQ(cast<AoiSequence>(S->fields()[1].Type)->bound(), 64u);
+  EXPECT_EQ(cast<AoiSequence>(S->fields()[2].Type)->bound(), 0u);
+  EXPECT_EQ(cast<AoiString>(S->fields()[3].Type)->bound(), 255u);
+}
+
+TEST(OncParser, HyperAndUnsigned) {
+  auto M = parseOk("struct w { hyper h; unsigned hyper uh;\n"
+                   "  unsigned int u; u_int u2; };");
+  const auto *S = cast<AoiStruct>(M->namedTypes().at(0));
+  EXPECT_EQ(cast<AoiPrimitive>(S->fields()[0].Type)->prim(),
+            AoiPrimKind::LongLong);
+  EXPECT_EQ(cast<AoiPrimitive>(S->fields()[1].Type)->prim(),
+            AoiPrimKind::ULongLong);
+  EXPECT_EQ(cast<AoiPrimitive>(S->fields()[2].Type)->prim(),
+            AoiPrimKind::ULong);
+  EXPECT_EQ(cast<AoiPrimitive>(S->fields()[3].Type)->prim(),
+            AoiPrimKind::ULong);
+}
+
+TEST(OncParser, SelfReferentialListViaOptional) {
+  auto M = parseOk(R"(
+    struct node {
+      int item;
+      node *next;
+    };)");
+  const auto *S = cast<AoiStruct>(M->namedTypes().at(0));
+  const auto *Opt = cast<AoiOptional>(S->fields()[1].Type);
+  EXPECT_EQ(Opt->elem(), S);
+}
+
+TEST(OncParser, UnionWithVoidArm) {
+  auto M = parseOk(R"(
+    union result switch (int status) {
+    case 0: void;
+    case 1: int value;
+    default: void;
+    };)");
+  const auto *U = cast<AoiUnion>(M->namedTypes().at(0));
+  ASSERT_EQ(U->cases().size(), 3u);
+  EXPECT_EQ(U->cases()[0].Type, nullptr);
+  EXPECT_NE(U->cases()[1].Type, nullptr);
+  EXPECT_TRUE(U->defaultCase());
+}
+
+TEST(OncParser, EnumWithExplicitValues) {
+  auto M = parseOk("enum color { RED = 1, BLUE = 4, GREEN };");
+  const auto *E = cast<AoiEnum>(M->namedTypes().at(0));
+  EXPECT_EQ(E->enumerators()[0].Value, 1);
+  EXPECT_EQ(E->enumerators()[1].Value, 4);
+  EXPECT_EQ(E->enumerators()[2].Value, 5);
+}
+
+TEST(OncParser, ConstsUsableAsBoundsAndNumbers) {
+  auto M = parseOk(R"(
+    const MAXN = 8;
+    typedef int small<MAXN>;
+    program P { version V { void F(void) = 1; } = 1; } = MAXN;)");
+  const auto *TD = cast<AoiTypedef>(M->namedTypes().at(0));
+  EXPECT_EQ(cast<AoiSequence>(TD->aliased())->bound(), 8u);
+  EXPECT_EQ(M->interfaces()[0]->ProgramNumber, 8u);
+}
+
+TEST(OncParser, MultipleVersionsBecomeInterfaces) {
+  auto M = parseOk(R"(
+    program P {
+      version V1 { void A(void) = 1; } = 1;
+      version V2 { void A(void) = 1; int B(int) = 2; } = 2;
+    } = 77;)");
+  ASSERT_EQ(M->interfaces().size(), 2u);
+  EXPECT_EQ(M->interfaces()[0]->VersionNumber, 1u);
+  EXPECT_EQ(M->interfaces()[1]->VersionNumber, 2u);
+  EXPECT_EQ(M->interfaces()[1]->Operations.size(), 2u);
+  EXPECT_EQ(M->interfaces()[1]->ProgramNumber, 77u);
+}
+
+TEST(OncParser, ProcedureNumbersAreDeclared) {
+  auto M = parseOk(R"(
+    program P { version V {
+      void A(void) = 10;
+      void B(void) = 20;
+    } = 1; } = 1;)");
+  EXPECT_EQ(M->interfaces()[0]->Operations[0].RequestCode, 10u);
+  EXPECT_EQ(M->interfaces()[0]->Operations[1].RequestCode, 20u);
+}
+
+TEST(OncParser, TypedefOfSequence) {
+  auto M = parseOk("typedef int intseq<>;");
+  const auto *TD = cast<AoiTypedef>(M->namedTypes().at(0));
+  EXPECT_TRUE(isa<AoiSequence>(TD->aliased()));
+}
+
+// --- Error cases ---
+
+TEST(OncParserErrors, UnknownTypeInProc) {
+  parseFail("program P { version V { void F(nope) = 1; } = 1; } = 1;",
+            "unknown type");
+}
+
+TEST(OncParserErrors, UnknownConstant) {
+  parseFail("typedef int x<WAT>;", "unknown constant");
+}
+
+TEST(OncParserErrors, OpaqueWithoutArray) {
+  parseFail("struct s { opaque o; };", "opaque requires an array");
+}
+
+TEST(OncParserErrors, ProgramWithoutVersions) {
+  parseFail("program P { } = 1;", "declares no versions");
+}
+
+} // namespace

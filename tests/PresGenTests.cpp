@@ -1,0 +1,224 @@
+//===- tests/PresGenTests.cpp - presentation generator tests --------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontends/corba/CorbaFrontEnd.h"
+#include "frontends/oncrpc/OncFrontEnd.h"
+#include "presgen/PresGen.h"
+#include "support/Diagnostics.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+std::unique_ptr<PresC> genCorba(const std::string &Src,
+                                const std::string &Prefix = "") {
+  DiagnosticEngine D;
+  auto M = parseCorbaIdl(Src, "t.idl", D);
+  EXPECT_TRUE(M) << D.renderAll();
+  CorbaPresGen PG{PresGenOptions{Prefix}};
+  auto P = PG.generate(*M, D);
+  EXPECT_TRUE(P) << D.renderAll();
+  return P;
+}
+
+std::unique_ptr<PresC> genRpcgen(const std::string &Src) {
+  DiagnosticEngine D;
+  auto M = parseOncIdl(Src, "t.x", D);
+  EXPECT_TRUE(M) << D.renderAll();
+  RpcgenPresGen PG{PresGenOptions{}};
+  auto P = PG.generate(*M, D);
+  EXPECT_TRUE(P) << D.renderAll();
+  return P;
+}
+
+TEST(PresGen, CorbaStubNamingMatchesPaper) {
+  // The paper: `void Mail_send(Mail obj, char *msg)` plus environment.
+  auto P = genCorba("interface Mail { void send(in string msg); };");
+  ASSERT_EQ(P->Interfaces.size(), 1u);
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  EXPECT_EQ(Op.CName, "Mail_send");
+  EXPECT_EQ(Op.ServerImplName, "Mail_send_server");
+  EXPECT_EQ(Op.IdlName, "send");
+  ASSERT_EQ(Op.Params.size(), 1u);
+  EXPECT_EQ(printCastType(Op.Params[0].SigType, "msg"), "const char *msg");
+}
+
+TEST(PresGen, RpcgenStubNamingMatchesRpcgen) {
+  auto P = genRpcgen(R"(
+    program MAIL { version MV { void SEND(string) = 1; } = 3; } = 7;)");
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  EXPECT_EQ(Op.CName, "send_3");
+  EXPECT_EQ(Op.ServerImplName, "send_3_svc");
+  EXPECT_EQ(Op.RequestCode, 1u);
+}
+
+TEST(PresGen, SequenceMemberConventionsDiffer) {
+  // CORBA sequences use _maximum/_length/_buffer; rpcgen uses <name>_len /
+  // <name>_val -- the same network contract, two programmer's contracts
+  // (paper §2.2).
+  auto PC = genCorba("typedef sequence<long> IntSeq;\n"
+                     "interface I { void f(in IntSeq s); };");
+  const auto *CSeq =
+      cast<PresCounted>(PC->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_EQ(CSeq->lenField(), "_length");
+  EXPECT_EQ(CSeq->bufField(), "_buffer");
+  EXPECT_EQ(CSeq->maxField(), "_maximum");
+
+  auto PR = genRpcgen(R"(
+    typedef int intseq<>;
+    program P { version V { void F(intseq) = 1; } = 1; } = 1;)");
+  const auto *RSeq =
+      cast<PresCounted>(PR->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_EQ(RSeq->lenField(), "intseq_len");
+  EXPECT_EQ(RSeq->bufField(), "intseq_val");
+  EXPECT_EQ(RSeq->maxField(), "");
+}
+
+TEST(PresGen, UnionMemberConventionsDiffer) {
+  auto PC = genCorba("union U switch (long) { case 1: long a; };\n"
+                     "interface I { void f(in U u); };");
+  const auto *CU = cast<PresUnion>(PC->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_EQ(CU->discField(), "_d");
+  EXPECT_EQ(CU->unionField(), "_u");
+
+  auto PR = genRpcgen(R"(
+    union u switch (int w) { case 1: int a; };
+    program P { version V { void F(u) = 1; } = 1; } = 1;)");
+  const auto *RU = cast<PresUnion>(PR->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_EQ(RU->discField(), "disc");
+  EXPECT_EQ(RU->unionField(), "u");
+}
+
+TEST(PresGen, RequestAndReplyMintShapes) {
+  auto P = genCorba(
+      "interface I { long f(in long a, inout long b, out long c); };");
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  // Request carries in + inout; reply carries retval + inout + out.
+  ASSERT_TRUE(Op.RequestMint);
+  EXPECT_EQ(Op.RequestMint->elems().size(), 2u);
+  ASSERT_TRUE(Op.ReplyMint);
+  EXPECT_EQ(Op.ReplyMint->elems().size(), 3u);
+  EXPECT_EQ(Op.ReplyMint->elems()[0].Label, "_retval");
+}
+
+TEST(PresGen, OnewayHasNoReply) {
+  auto P = genCorba("interface I { oneway void ping(in long t); };");
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  EXPECT_TRUE(Op.Oneway);
+  EXPECT_EQ(Op.ReplyMint, nullptr);
+}
+
+TEST(PresGen, AttributesLowerToAccessors) {
+  auto P = genCorba("interface I { readonly attribute long id;\n"
+                    "  attribute string name; };");
+  const PresCInterface &If = P->Interfaces[0];
+  ASSERT_EQ(If.Ops.size(), 3u); // _get_id, _get_name, _set_name
+  EXPECT_EQ(If.Ops[0].CName, "I__get_id");
+  EXPECT_EQ(If.Ops[1].CName, "I__get_name");
+  EXPECT_EQ(If.Ops[2].CName, "I__set_name");
+  EXPECT_EQ(If.Ops[2].Params.size(), 1u);
+}
+
+TEST(PresGen, InheritanceFlattensBaseOperationsFirst) {
+  auto P = genCorba("interface A { void a(); };\n"
+                    "interface B : A { void b(); };");
+  ASSERT_EQ(P->Interfaces.size(), 2u);
+  const PresCInterface &B = P->Interfaces[1];
+  ASSERT_EQ(B.Ops.size(), 2u);
+  EXPECT_EQ(B.Ops[0].IdlName, "a");
+  EXPECT_EQ(B.Ops[0].CName, "B_a");
+  EXPECT_EQ(B.Ops[1].IdlName, "b");
+  EXPECT_EQ(B.Ops[0].RequestCode, 1u);
+  EXPECT_EQ(B.Ops[1].RequestCode, 2u);
+}
+
+TEST(PresGen, ExceptionsGetCodesAndStructs) {
+  auto P = genCorba("exception E1 { long a; };\n"
+                    "exception E2 { string s; };\n"
+                    "interface I { void f() raises(E2); };");
+  ASSERT_EQ(P->Exceptions.size(), 2u);
+  EXPECT_EQ(P->Exceptions[0].Name, "E1");
+  EXPECT_EQ(P->Exceptions[0].Code, 1u);
+  EXPECT_EQ(P->Exceptions[1].Code, 2u);
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  ASSERT_EQ(Op.RaisesIdx.size(), 1u);
+  EXPECT_EQ(Op.RaisesIdx[0], 1u);
+}
+
+TEST(PresGen, NamePrefixAppliesEverywhere) {
+  auto P = genCorba("struct S { long x; };\n"
+                    "interface I { void f(in S s); };",
+                    "PF_");
+  EXPECT_EQ(P->Interfaces[0].Name, "PF_I");
+  EXPECT_EQ(P->Interfaces[0].Ops[0].CName, "PF_I_f");
+  const auto *PS = cast<PresStruct>(P->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_EQ(printCastType(PS->ctype(), ""), "PF_S");
+}
+
+TEST(PresGen, VariableOutParamsPassDoublePointer) {
+  auto P = genCorba("typedef sequence<long> Seq;\n"
+                    "interface I { void f(out Seq s, out long n); };");
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  EXPECT_EQ(printCastType(Op.Params[0].SigType, "s"), "Seq **s");
+  EXPECT_EQ(printCastType(Op.Params[1].SigType, "n"), "int32_t *n");
+}
+
+TEST(PresGen, SelfReferentialXdrListMaps) {
+  auto P = genRpcgen(R"(
+    struct node { int v; node *next; };
+    typedef node *list;
+    program P { version V { int LEN(list) = 1; } = 1; } = 1;)");
+  const auto *Opt =
+      dyn_cast<PresOptPtr>(P->Interfaces[0].Ops[0].Params[0].Pres);
+  ASSERT_TRUE(Opt);
+  ASSERT_TRUE(Opt->elem());
+  const auto *Node = cast<PresStruct>(Opt->elem());
+  ASSERT_EQ(Node->fields().size(), 2u);
+  // The cycle must close: next's element is the node itself.
+  const auto *Next = cast<PresOptPtr>(Node->fields()[1].Pres);
+  EXPECT_EQ(Next->elem(), Node);
+  EXPECT_TRUE(Opt->ctype());
+}
+
+TEST(PresGen, ServerInParamsMayAliasAndUseScratch) {
+  auto P = genCorba("typedef sequence<octet> Blob;\n"
+                    "interface I { void f(in Blob b); };");
+  const auto *Seq = cast<PresCounted>(P->Interfaces[0].Ops[0].Params[0].Pres);
+  EXPECT_TRUE(Seq->alloc().AllowBufferAlias);
+  EXPECT_TRUE(Seq->alloc().AllowStackAlloc);
+}
+
+TEST(PresGen, StringLenParamsOption) {
+  // Paper §2: the alternative Mail_send presentation with an explicit
+  // length parameter.
+  DiagnosticEngine D;
+  auto M = parseCorbaIdl(
+      "interface Mail { void send(in string msg, in long x); };", "t.idl",
+      D);
+  ASSERT_TRUE(M);
+  PresGenOptions O;
+  O.StringLenParams = true;
+  CorbaPresGen PG{O};
+  auto P = PG.generate(*M, D);
+  ASSERT_TRUE(P);
+  const PresCOperation &Op = P->Interfaces[0].Ops[0];
+  EXPECT_EQ(Op.Params[0].LenParamName, "msg_len");
+  EXPECT_EQ(Op.Params[1].LenParamName, ""); // only strings gain lengths
+  // The network contract is untouched: request MINT still has 2 members.
+  EXPECT_EQ(Op.RequestMint->elems().size(), 2u);
+}
+
+TEST(PresGen, PresCDumpIsStable) {
+  auto P = genCorba("interface Mail { void send(in string msg); };");
+  std::string Dump = P->dump();
+  EXPECT_NE(Dump.find("presentation style: corba"), std::string::npos);
+  EXPECT_NE(Dump.find("op Mail_send"), std::string::npos);
+  EXPECT_NE(Dump.find("string -> char *"), std::string::npos);
+}
+
+} // namespace

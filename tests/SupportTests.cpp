@@ -1,0 +1,150 @@
+//===- tests/SupportTests.cpp - support library unit tests ----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/CodeWriter.h"
+#include "support/Diagnostics.h"
+#include "support/StringExtras.h"
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Kind::B; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(static_cast<Base *>(nullptr)),
+            nullptr);
+}
+
+TEST(CodeWriter, IndentationAndBlocks) {
+  CodeWriter W;
+  W.open("if (x)");
+  W.line("y = 1;");
+  W.open("while (z)");
+  W.line("--z;");
+  W.close();
+  W.close();
+  EXPECT_EQ(W.str(), "if (x) {\n  y = 1;\n  while (z) {\n    --z;\n  }\n}\n");
+}
+
+TEST(CodeWriter, PrintThenLineStaysOnOneLine) {
+  CodeWriter W;
+  W.indent();
+  W.print("int x");
+  W.line(" = 3;");
+  EXPECT_EQ(W.str(), "  int x = 3;\n");
+}
+
+TEST(CodeWriter, BlankLineHasNoIndent) {
+  CodeWriter W;
+  W.indent();
+  W.blank();
+  W.line("a");
+  EXPECT_EQ(W.str(), "\n  a\n");
+}
+
+TEST(StringExtras, IsCIdentifier) {
+  EXPECT_TRUE(isCIdentifier("foo_bar9"));
+  EXPECT_TRUE(isCIdentifier("_x"));
+  EXPECT_FALSE(isCIdentifier("9foo"));
+  EXPECT_FALSE(isCIdentifier(""));
+  EXPECT_FALSE(isCIdentifier("a-b"));
+}
+
+TEST(StringExtras, CaseConversion) {
+  EXPECT_EQ(toUpper("aB9_z"), "AB9_Z");
+  EXPECT_EQ(toLower("Ab9_Z"), "ab9_z");
+}
+
+TEST(StringExtras, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+}
+
+TEST(StringExtras, EscapeCString) {
+  EXPECT_EQ(escapeCString("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(escapeCString(std::string("\x01\x7f", 2)), "\\x01\\x7f");
+}
+
+TEST(StringExtras, SanitizeIdentifier) {
+  EXPECT_EQ(sanitizeIdentifier("a-b.c"), "a_b_c");
+  EXPECT_EQ(sanitizeIdentifier("9lives"), "_9lives");
+  EXPECT_EQ(sanitizeIdentifier(""), "_");
+}
+
+TEST(StringExtras, Split) {
+  auto Parts = split("a::b", ':');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(StringExtras, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(endsWith("file.idl", ".idl"));
+  EXPECT_FALSE(endsWith("idl", ".idl"));
+}
+
+TEST(Diagnostics, RenderWithLocation) {
+  DiagnosticEngine D;
+  int F = D.addFile("test.idl");
+  D.error(SourceLoc(F, 3, 7), "something went wrong");
+  ASSERT_EQ(D.diagnostics().size(), 1u);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.render(D.diagnostics()[0]),
+            "test.idl:3:7: error: something went wrong");
+}
+
+TEST(Diagnostics, WarningsAreNotErrors) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc(), "heads up");
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(D.render(D.diagnostics()[0]), "warning: heads up");
+}
+
+TEST(Diagnostics, FileInterningIsStable) {
+  DiagnosticEngine D;
+  int A = D.addFile("a.idl");
+  int B = D.addFile("b.idl");
+  EXPECT_EQ(D.addFile("a.idl"), A);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(D.fileName(B), "b.idl");
+  EXPECT_EQ(D.fileName(99), "<unknown>");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(), "x");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+} // namespace
