@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_marshal_throughput.dir/fig3_marshal_throughput.cpp.o"
+  "CMakeFiles/fig3_marshal_throughput.dir/fig3_marshal_throughput.cpp.o.d"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_cdr_client.cc.o"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_cdr_client.cc.o.d"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_flick_client.cc.o"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_flick_client.cc.o.d"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_naive_client.cc.o"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_naive_client.cc.o.d"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_naive_xdr.cc.o"
+  "CMakeFiles/fig3_marshal_throughput.dir/gen/b_naive_xdr.cc.o.d"
+  "fig3_marshal_throughput"
+  "fig3_marshal_throughput.pdb"
+  "gen/b_cdr.h"
+  "gen/b_cdr_client.cc"
+  "gen/b_cdr_server.cc"
+  "gen/b_flick.h"
+  "gen/b_flick_client.cc"
+  "gen/b_flick_server.cc"
+  "gen/b_naive.h"
+  "gen/b_naive_client.cc"
+  "gen/b_naive_server.cc"
+  "gen/b_naive_xdr.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_marshal_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/fig5_end_to_end_100mbit.cpp.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/fig5_end_to_end_100mbit.cpp.o.d"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_flick_client.cc.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_flick_client.cc.o.d"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_flick_server.cc.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_flick_server.cc.o.d"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_client.cc.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_client.cc.o.d"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_server.cc.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_server.cc.o.d"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_xdr.cc.o"
+  "CMakeFiles/fig5_end_to_end_100mbit.dir/gen/b_naive_xdr.cc.o.d"
+  "fig5_end_to_end_100mbit"
+  "fig5_end_to_end_100mbit.pdb"
+  "gen/b_flick.h"
+  "gen/b_flick_client.cc"
+  "gen/b_flick_server.cc"
+  "gen/b_naive.h"
+  "gen/b_naive_client.cc"
+  "gen/b_naive_server.cc"
+  "gen/b_naive_xdr.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_end_to_end_100mbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

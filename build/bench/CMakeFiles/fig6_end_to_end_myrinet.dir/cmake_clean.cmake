@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/fig6_end_to_end_myrinet.cpp.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/fig6_end_to_end_myrinet.cpp.o.d"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_flick_client.cc.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_flick_client.cc.o.d"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_flick_server.cc.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_flick_server.cc.o.d"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_client.cc.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_client.cc.o.d"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_server.cc.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_server.cc.o.d"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_xdr.cc.o"
+  "CMakeFiles/fig6_end_to_end_myrinet.dir/gen/b_naive_xdr.cc.o.d"
+  "fig6_end_to_end_myrinet"
+  "fig6_end_to_end_myrinet.pdb"
+  "gen/b_flick.h"
+  "gen/b_flick_client.cc"
+  "gen/b_flick_server.cc"
+  "gen/b_naive.h"
+  "gen/b_naive_client.cc"
+  "gen/b_naive_server.cc"
+  "gen/b_naive_xdr.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_end_to_end_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

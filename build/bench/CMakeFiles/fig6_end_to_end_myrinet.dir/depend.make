@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_end_to_end_myrinet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mig_comparison.dir/fig7_mig_comparison.cpp.o"
+  "CMakeFiles/fig7_mig_comparison.dir/fig7_mig_comparison.cpp.o.d"
+  "CMakeFiles/fig7_mig_comparison.dir/gen/b_mach_client.cc.o"
+  "CMakeFiles/fig7_mig_comparison.dir/gen/b_mach_client.cc.o.d"
+  "CMakeFiles/fig7_mig_comparison.dir/gen/b_mach_server.cc.o"
+  "CMakeFiles/fig7_mig_comparison.dir/gen/b_mach_server.cc.o.d"
+  "fig7_mig_comparison"
+  "fig7_mig_comparison.pdb"
+  "gen/b_mach.h"
+  "gen/b_mach_client.cc"
+  "gen/b_mach_server.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mig_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_code_reuse.dir/table1_code_reuse.cpp.o"
+  "CMakeFiles/table1_code_reuse.dir/table1_code_reuse.cpp.o.d"
+  "table1_code_reuse"
+  "table1_code_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_code_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_teller.dir/bank_teller.cpp.o"
+  "CMakeFiles/bank_teller.dir/bank_teller.cpp.o.d"
+  "CMakeFiles/bank_teller.dir/gen/ex_bank_client.cc.o"
+  "CMakeFiles/bank_teller.dir/gen/ex_bank_client.cc.o.d"
+  "CMakeFiles/bank_teller.dir/gen/ex_bank_server.cc.o"
+  "CMakeFiles/bank_teller.dir/gen/ex_bank_server.cc.o.d"
+  "bank_teller"
+  "bank_teller.pdb"
+  "gen/ex_bank.h"
+  "gen/ex_bank_client.cc"
+  "gen/ex_bank_server.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_teller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_service.dir/directory_service.cpp.o"
+  "CMakeFiles/directory_service.dir/directory_service.cpp.o.d"
+  "CMakeFiles/directory_service.dir/gen/ex_dir_client.cc.o"
+  "CMakeFiles/directory_service.dir/gen/ex_dir_client.cc.o.d"
+  "CMakeFiles/directory_service.dir/gen/ex_dir_server.cc.o"
+  "CMakeFiles/directory_service.dir/gen/ex_dir_server.cc.o.d"
+  "directory_service"
+  "directory_service.pdb"
+  "gen/ex_dir.h"
+  "gen/ex_dir_client.cc"
+  "gen/ex_dir_server.cc"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

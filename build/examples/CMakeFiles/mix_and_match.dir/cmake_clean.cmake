@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_fluke_client.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_fluke_client.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_fluke_server.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_fluke_server.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_iiop_client.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_iiop_client.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_iiop_server.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_iiop_server.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_mach_client.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_mach_client.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_mach_server.cc.o"
+  "CMakeFiles/mix_and_match.dir/gen/ex_mail_mach_server.cc.o.d"
+  "CMakeFiles/mix_and_match.dir/mix_and_match.cpp.o"
+  "CMakeFiles/mix_and_match.dir/mix_and_match.cpp.o.d"
+  "gen/ex_mail_fluke.h"
+  "gen/ex_mail_fluke_client.cc"
+  "gen/ex_mail_fluke_server.cc"
+  "gen/ex_mail_iiop.h"
+  "gen/ex_mail_iiop_client.cc"
+  "gen/ex_mail_iiop_server.cc"
+  "gen/ex_mail_mach.h"
+  "gen/ex_mail_mach_client.cc"
+  "gen/ex_mail_mach_server.cc"
+  "mix_and_match"
+  "mix_and_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_and_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart.dir/gen/ex_mail_client.cc.o"
+  "CMakeFiles/quickstart.dir/gen/ex_mail_client.cc.o.d"
+  "CMakeFiles/quickstart.dir/gen/ex_mail_server.cc.o"
+  "CMakeFiles/quickstart.dir/gen/ex_mail_server.cc.o.d"
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  "gen/ex_mail.h"
+  "gen/ex_mail_client.cc"
+  "gen/ex_mail_server.cc"
+  "quickstart"
+  "quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_aoi.dir/aoi/Aoi.cpp.o"
+  "CMakeFiles/flick_aoi.dir/aoi/Aoi.cpp.o.d"
+  "CMakeFiles/flick_aoi.dir/aoi/Verify.cpp.o"
+  "CMakeFiles/flick_aoi.dir/aoi/Verify.cpp.o.d"
+  "libflick_aoi.a"
+  "libflick_aoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_aoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/Backend.cpp" "src/CMakeFiles/flick_backends.dir/backends/Backend.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/Backend.cpp.o.d"
+  "/root/repo/src/backends/Factory.cpp" "src/CMakeFiles/flick_backends.dir/backends/Factory.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/Factory.cpp.o.d"
+  "/root/repo/src/backends/FlukeBackend.cpp" "src/CMakeFiles/flick_backends.dir/backends/FlukeBackend.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/FlukeBackend.cpp.o.d"
+  "/root/repo/src/backends/IiopBackend.cpp" "src/CMakeFiles/flick_backends.dir/backends/IiopBackend.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/IiopBackend.cpp.o.d"
+  "/root/repo/src/backends/MachBackend.cpp" "src/CMakeFiles/flick_backends.dir/backends/MachBackend.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/MachBackend.cpp.o.d"
+  "/root/repo/src/backends/XdrBackend.cpp" "src/CMakeFiles/flick_backends.dir/backends/XdrBackend.cpp.o" "gcc" "src/CMakeFiles/flick_backends.dir/backends/XdrBackend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_presgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_cast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

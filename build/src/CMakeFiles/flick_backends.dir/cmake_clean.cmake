@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_backends.dir/backends/Backend.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/Backend.cpp.o.d"
+  "CMakeFiles/flick_backends.dir/backends/Factory.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/Factory.cpp.o.d"
+  "CMakeFiles/flick_backends.dir/backends/FlukeBackend.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/FlukeBackend.cpp.o.d"
+  "CMakeFiles/flick_backends.dir/backends/IiopBackend.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/IiopBackend.cpp.o.d"
+  "CMakeFiles/flick_backends.dir/backends/MachBackend.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/MachBackend.cpp.o.d"
+  "CMakeFiles/flick_backends.dir/backends/XdrBackend.cpp.o"
+  "CMakeFiles/flick_backends.dir/backends/XdrBackend.cpp.o.d"
+  "libflick_backends.a"
+  "libflick_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

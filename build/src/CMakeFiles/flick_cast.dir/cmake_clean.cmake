@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_cast.dir/cast/Print.cpp.o"
+  "CMakeFiles/flick_cast.dir/cast/Print.cpp.o.d"
+  "libflick_cast.a"
+  "libflick_cast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_cast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontends/Lexer.cpp" "src/CMakeFiles/flick_frontends.dir/frontends/Lexer.cpp.o" "gcc" "src/CMakeFiles/flick_frontends.dir/frontends/Lexer.cpp.o.d"
+  "/root/repo/src/frontends/corba/CorbaParser.cpp" "src/CMakeFiles/flick_frontends.dir/frontends/corba/CorbaParser.cpp.o" "gcc" "src/CMakeFiles/flick_frontends.dir/frontends/corba/CorbaParser.cpp.o.d"
+  "/root/repo/src/frontends/mig/MigParser.cpp" "src/CMakeFiles/flick_frontends.dir/frontends/mig/MigParser.cpp.o" "gcc" "src/CMakeFiles/flick_frontends.dir/frontends/mig/MigParser.cpp.o.d"
+  "/root/repo/src/frontends/oncrpc/OncParser.cpp" "src/CMakeFiles/flick_frontends.dir/frontends/oncrpc/OncParser.cpp.o" "gcc" "src/CMakeFiles/flick_frontends.dir/frontends/oncrpc/OncParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

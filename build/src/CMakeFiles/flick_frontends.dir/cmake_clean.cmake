@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_frontends.dir/frontends/Lexer.cpp.o"
+  "CMakeFiles/flick_frontends.dir/frontends/Lexer.cpp.o.d"
+  "CMakeFiles/flick_frontends.dir/frontends/corba/CorbaParser.cpp.o"
+  "CMakeFiles/flick_frontends.dir/frontends/corba/CorbaParser.cpp.o.d"
+  "CMakeFiles/flick_frontends.dir/frontends/mig/MigParser.cpp.o"
+  "CMakeFiles/flick_frontends.dir/frontends/mig/MigParser.cpp.o.d"
+  "CMakeFiles/flick_frontends.dir/frontends/oncrpc/OncParser.cpp.o"
+  "CMakeFiles/flick_frontends.dir/frontends/oncrpc/OncParser.cpp.o.d"
+  "libflick_frontends.a"
+  "libflick_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_mint.dir/mint/Mint.cpp.o"
+  "CMakeFiles/flick_mint.dir/mint/Mint.cpp.o.d"
+  "CMakeFiles/flick_mint.dir/mint/Wire.cpp.o"
+  "CMakeFiles/flick_mint.dir/mint/Wire.cpp.o.d"
+  "libflick_mint.a"
+  "libflick_mint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_mint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

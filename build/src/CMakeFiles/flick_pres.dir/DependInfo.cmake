@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pres/Pres.cpp" "src/CMakeFiles/flick_pres.dir/pres/Pres.cpp.o" "gcc" "src/CMakeFiles/flick_pres.dir/pres/Pres.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_cast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

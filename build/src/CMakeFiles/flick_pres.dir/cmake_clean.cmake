@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_pres.dir/pres/Pres.cpp.o"
+  "CMakeFiles/flick_pres.dir/pres/Pres.cpp.o.d"
+  "libflick_pres.a"
+  "libflick_pres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_pres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

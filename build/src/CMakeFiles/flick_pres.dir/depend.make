@@ -1,0 +1,2 @@
+# Empty dependencies file for flick_pres.
+# This may be replaced when dependencies are built.

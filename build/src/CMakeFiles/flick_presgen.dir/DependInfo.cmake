@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presgen/CorbaStyle.cpp" "src/CMakeFiles/flick_presgen.dir/presgen/CorbaStyle.cpp.o" "gcc" "src/CMakeFiles/flick_presgen.dir/presgen/CorbaStyle.cpp.o.d"
+  "/root/repo/src/presgen/MigStyle.cpp" "src/CMakeFiles/flick_presgen.dir/presgen/MigStyle.cpp.o" "gcc" "src/CMakeFiles/flick_presgen.dir/presgen/MigStyle.cpp.o.d"
+  "/root/repo/src/presgen/PresGen.cpp" "src/CMakeFiles/flick_presgen.dir/presgen/PresGen.cpp.o" "gcc" "src/CMakeFiles/flick_presgen.dir/presgen/PresGen.cpp.o.d"
+  "/root/repo/src/presgen/RpcgenStyle.cpp" "src/CMakeFiles/flick_presgen.dir/presgen/RpcgenStyle.cpp.o" "gcc" "src/CMakeFiles/flick_presgen.dir/presgen/RpcgenStyle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_cast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

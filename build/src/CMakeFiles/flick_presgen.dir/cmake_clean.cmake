@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_presgen.dir/presgen/CorbaStyle.cpp.o"
+  "CMakeFiles/flick_presgen.dir/presgen/CorbaStyle.cpp.o.d"
+  "CMakeFiles/flick_presgen.dir/presgen/MigStyle.cpp.o"
+  "CMakeFiles/flick_presgen.dir/presgen/MigStyle.cpp.o.d"
+  "CMakeFiles/flick_presgen.dir/presgen/PresGen.cpp.o"
+  "CMakeFiles/flick_presgen.dir/presgen/PresGen.cpp.o.d"
+  "CMakeFiles/flick_presgen.dir/presgen/RpcgenStyle.cpp.o"
+  "CMakeFiles/flick_presgen.dir/presgen/RpcgenStyle.cpp.o.d"
+  "libflick_presgen.a"
+  "libflick_presgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_presgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Calibrate.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/Calibrate.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/Calibrate.cpp.o.d"
+  "/root/repo/src/runtime/Channel.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/Channel.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/Channel.cpp.o.d"
+  "/root/repo/src/runtime/Interp.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/Interp.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/Interp.cpp.o.d"
+  "/root/repo/src/runtime/Naive.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/Naive.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/Naive.cpp.o.d"
+  "/root/repo/src/runtime/NetworkModel.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/NetworkModel.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/NetworkModel.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/flick_runtime.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/flick_runtime.dir/runtime/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

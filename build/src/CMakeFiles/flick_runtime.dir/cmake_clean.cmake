@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_runtime.dir/runtime/Calibrate.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/Calibrate.cpp.o.d"
+  "CMakeFiles/flick_runtime.dir/runtime/Channel.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/Channel.cpp.o.d"
+  "CMakeFiles/flick_runtime.dir/runtime/Interp.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/Interp.cpp.o.d"
+  "CMakeFiles/flick_runtime.dir/runtime/Naive.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/Naive.cpp.o.d"
+  "CMakeFiles/flick_runtime.dir/runtime/NetworkModel.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/NetworkModel.cpp.o.d"
+  "CMakeFiles/flick_runtime.dir/runtime/Runtime.cpp.o"
+  "CMakeFiles/flick_runtime.dir/runtime/Runtime.cpp.o.d"
+  "libflick_runtime.a"
+  "libflick_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

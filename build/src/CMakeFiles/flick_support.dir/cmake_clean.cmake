@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_support.dir/support/CodeWriter.cpp.o"
+  "CMakeFiles/flick_support.dir/support/CodeWriter.cpp.o.d"
+  "CMakeFiles/flick_support.dir/support/Diagnostics.cpp.o"
+  "CMakeFiles/flick_support.dir/support/Diagnostics.cpp.o.d"
+  "CMakeFiles/flick_support.dir/support/StringExtras.cpp.o"
+  "CMakeFiles/flick_support.dir/support/StringExtras.cpp.o.d"
+  "libflick_support.a"
+  "libflick_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/flickc.cpp" "src/CMakeFiles/flickc.dir/driver/flickc.cpp.o" "gcc" "src/CMakeFiles/flickc.dir/driver/flickc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_frontends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_presgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_cast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

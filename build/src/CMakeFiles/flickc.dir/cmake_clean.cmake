@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flickc.dir/driver/flickc.cpp.o"
+  "CMakeFiles/flickc.dir/driver/flickc.cpp.o.d"
+  "flickc"
+  "flickc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flickc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/IntegrationBank.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationBank.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationBank.cpp.o.d"
+  "/root/repo/tests/IntegrationKitchen.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationKitchen.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationKitchen.cpp.o.d"
+  "/root/repo/tests/IntegrationLenParam.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationLenParam.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationLenParam.cpp.o.d"
+  "/root/repo/tests/IntegrationList.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationList.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationList.cpp.o.d"
+  "/root/repo/tests/IntegrationMail.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationMail.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationMail.cpp.o.d"
+  "/root/repo/tests/IntegrationMig.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationMig.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationMig.cpp.o.d"
+  "/root/repo/tests/IntegrationWire.cpp" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationWire.cpp.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/IntegrationWire.cpp.o.d"
+  "/root/repo/build/tests/gen/it_bank_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bank_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bank_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_bank_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bank_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bank_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_bn_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_bn_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_bn_xdr.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_xdr.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bn_xdr.cc.o.d"
+  "/root/repo/build/tests/gen/it_bx_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bx_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bx_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_bx_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bx_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_bx_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_counter_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_counter_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_counter_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_counter_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_counter_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_counter_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_kitchen_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchen_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchen_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_kitchen_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchen_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchen_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_kitchenx_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchenx_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchenx_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_kitchenx_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchenx_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_kitchenx_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_list_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_list_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_list_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_list_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_list_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_list_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_lmail_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_lmail_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_lmail_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_lmail_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_lmail_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_lmail_server.cc.o.d"
+  "/root/repo/build/tests/gen/it_mail_client.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_mail_client.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_mail_client.cc.o.d"
+  "/root/repo/build/tests/gen/it_mail_server.cc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_mail_server.cc.o" "gcc" "tests/CMakeFiles/flick_integration_tests.dir/gen/it_mail_server.cc.o.d"
+  )
+
+# Pairs of files generated by the same build rule.
+set(CMAKE_MULTIPLE_OUTPUT_PAIRS
+  "/root/repo/build/tests/gen/it_bank_client.cc" "/root/repo/build/tests/gen/it_bank.h"
+  "/root/repo/build/tests/gen/it_bank_server.cc" "/root/repo/build/tests/gen/it_bank.h"
+  "/root/repo/build/tests/gen/it_bn_client.cc" "/root/repo/build/tests/gen/it_bn.h"
+  "/root/repo/build/tests/gen/it_bn_server.cc" "/root/repo/build/tests/gen/it_bn.h"
+  "/root/repo/build/tests/gen/it_bn_xdr.cc" "/root/repo/build/tests/gen/it_bn.h"
+  "/root/repo/build/tests/gen/it_bx_client.cc" "/root/repo/build/tests/gen/it_bx.h"
+  "/root/repo/build/tests/gen/it_bx_server.cc" "/root/repo/build/tests/gen/it_bx.h"
+  "/root/repo/build/tests/gen/it_counter_client.cc" "/root/repo/build/tests/gen/it_counter.h"
+  "/root/repo/build/tests/gen/it_counter_server.cc" "/root/repo/build/tests/gen/it_counter.h"
+  "/root/repo/build/tests/gen/it_kitchen_client.cc" "/root/repo/build/tests/gen/it_kitchen.h"
+  "/root/repo/build/tests/gen/it_kitchen_server.cc" "/root/repo/build/tests/gen/it_kitchen.h"
+  "/root/repo/build/tests/gen/it_kitchenx_client.cc" "/root/repo/build/tests/gen/it_kitchenx.h"
+  "/root/repo/build/tests/gen/it_kitchenx_server.cc" "/root/repo/build/tests/gen/it_kitchenx.h"
+  "/root/repo/build/tests/gen/it_list_client.cc" "/root/repo/build/tests/gen/it_list.h"
+  "/root/repo/build/tests/gen/it_list_server.cc" "/root/repo/build/tests/gen/it_list.h"
+  "/root/repo/build/tests/gen/it_lmail_client.cc" "/root/repo/build/tests/gen/it_lmail.h"
+  "/root/repo/build/tests/gen/it_lmail_server.cc" "/root/repo/build/tests/gen/it_lmail.h"
+  "/root/repo/build/tests/gen/it_mail_client.cc" "/root/repo/build/tests/gen/it_mail.h"
+  "/root/repo/build/tests/gen/it_mail_server.cc" "/root/repo/build/tests/gen/it_mail.h"
+  )
+
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BackendTextTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/BackendTextTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/BackendTextTests.cpp.o.d"
+  "/root/repo/tests/CastPrintTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/CastPrintTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/CastPrintTests.cpp.o.d"
+  "/root/repo/tests/CorbaParserTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/CorbaParserTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/CorbaParserTests.cpp.o.d"
+  "/root/repo/tests/InterpTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/InterpTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/InterpTests.cpp.o.d"
+  "/root/repo/tests/LexerTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/LexerTests.cpp.o.d"
+  "/root/repo/tests/MigParserTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/MigParserTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/MigParserTests.cpp.o.d"
+  "/root/repo/tests/MintTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/MintTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/MintTests.cpp.o.d"
+  "/root/repo/tests/OncParserTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/OncParserTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/OncParserTests.cpp.o.d"
+  "/root/repo/tests/PresGenTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/PresGenTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/PresGenTests.cpp.o.d"
+  "/root/repo/tests/RuntimeTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/RuntimeTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/RuntimeTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/VerifyTests.cpp" "tests/CMakeFiles/flick_unit_tests.dir/VerifyTests.cpp.o" "gcc" "tests/CMakeFiles/flick_unit_tests.dir/VerifyTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flick_frontends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_presgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_aoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_cast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flick_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

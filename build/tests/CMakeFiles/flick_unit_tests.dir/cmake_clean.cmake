@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_unit_tests.dir/BackendTextTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/BackendTextTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/CastPrintTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/CastPrintTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/CorbaParserTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/CorbaParserTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/InterpTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/InterpTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/LexerTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/LexerTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/MigParserTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/MigParserTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/MintTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/MintTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/OncParserTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/OncParserTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/PresGenTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/PresGenTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/RuntimeTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/RuntimeTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/SupportTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/SupportTests.cpp.o.d"
+  "CMakeFiles/flick_unit_tests.dir/VerifyTests.cpp.o"
+  "CMakeFiles/flick_unit_tests.dir/VerifyTests.cpp.o.d"
+  "flick_unit_tests"
+  "flick_unit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/flick_unit_tests[1]_include.cmake")
+include("/root/repo/build/tests/flick_integration_tests[1]_include.cmake")
+add_test(flickc_emit_aoi "/root/repo/build/src/flickc" "--emit-aoi" "/root/repo/idl/bench.x")
+set_tests_properties(flickc_emit_aoi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flickc_emit_presc "/root/repo/build/src/flickc" "--emit-presc" "/root/repo/idl/bank.idl")
+set_tests_properties(flickc_emit_presc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flickc_rejects_bad_input "/root/repo/build/src/flickc" "--emit-aoi" "/root/repo/README.md")
+set_tests_properties(flickc_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flickc_rejects_unknown_backend "/root/repo/build/src/flickc" "-b" "warp" "/root/repo/idl/mail.idl")
+set_tests_properties(flickc_rejects_unknown_backend PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flickc_mig_pipeline "/root/repo/build/src/flickc" "-o" "/root/repo/build/tests/gen/cli_counter" "/root/repo/idl/counter.defs")
+set_tests_properties(flickc_mig_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
