@@ -15,19 +15,33 @@
 #ifndef FLICK_BENCH_BENCHUTIL_H
 #define FLICK_BENCH_BENCHUTIL_H
 
+#include "runtime/flick_runtime.h"
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 namespace flickbench {
 
-/// Runs \p Fn repeatedly until ~MinMillis of wall time accumulates and
-/// returns the best-of-three average seconds per call.
-inline double timeIt(const std::function<void()> &Fn,
-                     double MinMillis = 30.0) {
+/// Result of one timing measurement: per-call seconds for the best round,
+/// plus run-variance data so JSON exports can report measurement quality.
+struct TimeStats {
+  double Best = 0;   ///< best round, seconds per call (rate basis)
+  double Mean = 0;   ///< mean over all rounds, seconds per call
+  double StdDev = 0; ///< standard deviation of the per-round means
+  size_t Iters = 0;  ///< calls per round
+  int Rounds = 0;    ///< rounds measured
+};
+
+/// Runs \p Fn repeatedly until ~MinMillis of wall time accumulates per
+/// round, measures \p Rounds rounds, and returns the best/mean/stddev
+/// seconds-per-call along with the iteration count.
+inline TimeStats timeIt(const std::function<void()> &Fn,
+                        double MinMillis = 30.0, int Rounds = 3) {
   using Clock = std::chrono::steady_clock;
   // Warm up and estimate.
   Fn();
@@ -39,18 +53,27 @@ inline double timeIt(const std::function<void()> &Fn,
     Iters = 3;
   if (Iters > 2000000)
     Iters = 2000000;
-  double Best = 1e100;
-  for (int Round = 0; Round != 3; ++Round) {
+  TimeStats T;
+  T.Iters = Iters;
+  T.Rounds = Rounds;
+  T.Best = 1e100;
+  double Sum = 0, SumSq = 0;
+  for (int Round = 0; Round != Rounds; ++Round) {
     auto S = Clock::now();
     for (size_t I = 0; I != Iters; ++I)
       Fn();
     double Secs =
         std::chrono::duration<double>(Clock::now() - S).count() /
         static_cast<double>(Iters);
-    if (Secs < Best)
-      Best = Secs;
+    Sum += Secs;
+    SumSq += Secs * Secs;
+    if (Secs < T.Best)
+      T.Best = Secs;
   }
-  return Best;
+  T.Mean = Sum / Rounds;
+  double Var = SumSq / Rounds - T.Mean * T.Mean;
+  T.StdDev = Var > 0 ? std::sqrt(Var) : 0;
+  return T;
 }
 
 /// Pretty MB/s with adaptive precision.
@@ -102,6 +125,123 @@ inline std::vector<std::string> makeNames(size_t Count) {
   }
   return Names;
 }
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results (JSON)
+//===----------------------------------------------------------------------===//
+
+/// Formats a double as a JSON number (no inf/nan; fixed precision).
+inline std::string jsonNum(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// Turns runtime metrics collection on for this process when JSON export
+/// was requested via FLICK_BENCH_JSON, and returns the metrics block (or
+/// nullptr).  Default interactive runs leave metrics disabled, so the
+/// measured fast paths match a metrics-free build exactly.
+inline flick_metrics *benchMetricsIfJson() {
+  static flick_metrics M;
+  const char *Path = std::getenv("FLICK_BENCH_JSON");
+  if (!Path || !*Path)
+    return nullptr;
+  flick_metrics_enable(&M);
+  return &M;
+}
+
+/// Accumulates per-measurement rows and writes one JSON document per bench
+/// binary when the FLICK_BENCH_JSON environment variable names an output
+/// path.  Every fig/table binary emits through this, so plotting and CI
+/// regression checks can consume results without scraping the tables.
+class JsonReport {
+public:
+  static JsonReport &get() {
+    static JsonReport R;
+    return R;
+  }
+
+  /// One result row under construction; keys are emitted in call order.
+  class Row {
+  public:
+    Row &str(const char *Key, const std::string &V) {
+      field(Key, "\"" + V + "\"");
+      return *this;
+    }
+    Row &num(const char *Key, double V) {
+      field(Key, jsonNum(V));
+      return *this;
+    }
+    Row &num(const char *Key, size_t V) {
+      field(Key, std::to_string(V));
+      return *this;
+    }
+    /// Records the timing triple from one timeIt() measurement.
+    Row &time(const TimeStats &T) {
+      num("secs_per_call", T.Best);
+      num("secs_per_call_mean", T.Mean);
+      num("stddev", T.StdDev);
+      num("iters", T.Iters);
+      num("rounds", static_cast<size_t>(T.Rounds));
+      return *this;
+    }
+
+  private:
+    friend class JsonReport;
+    void field(const char *Key, const std::string &Rendered) {
+      if (!Body.empty())
+        Body += ", ";
+      Body += "\"";
+      Body += Key;
+      Body += "\": " + Rendered;
+    }
+    std::string Body;
+  };
+
+  void add(const Row &R) { Rows.push_back("{" + R.Body + "}"); }
+
+  /// Convenience: one throughput measurement.
+  void addRate(const char *Workload, const char *Series, size_t Bytes,
+               const TimeStats &T, double BytesPerSec) {
+    Row R;
+    R.str("workload", Workload)
+        .str("series", Series)
+        .num("payload_bytes", Bytes)
+        .time(T)
+        .num("rate_mb_per_s", BytesPerSec / 1e6);
+    add(R);
+  }
+
+  /// Writes {"bench", "rows", optional "metrics"} to $FLICK_BENCH_JSON.
+  /// Returns false on write failure; quietly does nothing when the
+  /// variable is unset (normal interactive runs).
+  bool write(const char *BenchName, const flick_metrics *M = nullptr) {
+    const char *Path = std::getenv("FLICK_BENCH_JSON");
+    if (!Path || !*Path)
+      return true;
+    std::FILE *F = std::fopen(Path, "wb");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      return false;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"rows\": [", BenchName);
+    for (size_t I = 0; I != Rows.size(); ++I)
+      std::fprintf(F, "%s\n    %s", I ? "," : "", Rows[I].c_str());
+    std::fprintf(F, "%s]", Rows.empty() ? "" : "\n  ");
+    if (M) {
+      std::string Json = flick_metrics_to_json(M, "    ");
+      std::fprintf(F, ",\n  \"metrics\": %s", Json.c_str());
+    }
+    std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::vector<std::string> Rows;
+};
 
 } // namespace flickbench
 

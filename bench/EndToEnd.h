@@ -58,25 +58,38 @@ struct E2ERig {
 };
 
 /// Round-trip throughput in Mbit/s: payload bits over measured CPU time
-/// plus simulated wire time.
+/// plus simulated wire time.  The JSON row records both components.
 template <typename Call>
-double e2eThroughput(E2ERig &Rig, size_t PayloadBytes, Call Invoke) {
+double e2eThroughput(E2ERig &Rig, const char *Workload, const char *Series,
+                     size_t PayloadBytes, Call Invoke) {
   Rig.Clock.reset();
   size_t Calls = 0;
-  double CpuSecs = timeIt([&] {
+  TimeStats T = timeIt([&] {
     ++Calls;
     Invoke();
   });
   double SimSecsPerCall = Calls ? Rig.Clock.totalUs() * 1e-6 /
                                       static_cast<double>(Calls)
                                 : 0;
-  double Total = CpuSecs + SimSecsPerCall;
-  return static_cast<double>(PayloadBytes) * 8.0 / Total / 1e6;
+  double Total = T.Best + SimSecsPerCall;
+  double MbitPerSec = static_cast<double>(PayloadBytes) * 8.0 / Total / 1e6;
+  JsonReport::Row R;
+  R.str("workload", Workload)
+      .str("series", Series)
+      .num("payload_bytes", PayloadBytes)
+      .time(T)
+      .num("sim_wire_secs_per_call", SimSecsPerCall)
+      .num("rate_mbit_per_s", MbitPerSec);
+  JsonReport::get().add(R);
+  return MbitPerSec;
 }
 
-/// Runs the full figure for one network model.
-inline void runEndToEndFigure(const char *Title,
-                              flick::NetworkModel PaperModel) {
+/// Runs the full figure for one network model and finishes the JSON
+/// report (written only when FLICK_BENCH_JSON is set).  Returns the
+/// process exit code.
+inline int runEndToEndFigure(const char *Title, const char *JsonName,
+                             flick::NetworkModel PaperModel) {
+  flick_metrics *Metrics = benchMetricsIfJson();
   double HostBw = flick::measureCopyBandwidth();
   flick::NetworkModel Model =
       flick::scaleModelToHost(PaperModel, HostBw);
@@ -100,9 +113,9 @@ inline void runEndToEndFigure(const char *Title,
         std::vector<int32_t> Data(N, 42);
         F_intseq FS{N, Data.data()};
         N_intseq NS{N, Data.data()};
-        FT = e2eThroughput(FR, Bytes,
+        FT = e2eThroughput(FR, "ints", "flick", Bytes,
                            [&] { F_send_ints_1(&FS, &FR.Cli); });
-        NT = e2eThroughput(NR, Bytes,
+        NT = e2eThroughput(NR, "ints", "naive", Bytes,
                            [&] { N_send_ints_1(&NS, &NR.Cli); });
       } else {
         uint32_t N = static_cast<uint32_t>(Bytes / sizeof(F_rect));
@@ -112,9 +125,9 @@ inline void runEndToEndFigure(const char *Title,
         F_rectseq FS{N, Data.data()};
         N_rectseq NS{N, reinterpret_cast<N_rect *>(Data.data())};
         size_t Payload = N * sizeof(F_rect);
-        FT = e2eThroughput(FR, Payload,
+        FT = e2eThroughput(FR, "rects", "flick", Payload,
                            [&] { F_send_rects_1(&FS, &FR.Cli); });
-        NT = e2eThroughput(NR, Payload,
+        NT = e2eThroughput(NR, "rects", "naive", Payload,
                            [&] { N_send_rects_1(&NS, &NR.Cli); });
       }
       std::printf("%8s %14.1f %14.1f %11.2fx\n", fmtBytes(Bytes).c_str(),
@@ -124,6 +137,15 @@ inline void runEndToEndFigure(const char *Title,
   };
   RunWorkload("integer arrays:", false);
   RunWorkload("rect-structure arrays:", true);
+
+  JsonReport::Row Cfg;
+  Cfg.str("workload", "config")
+      .str("series", "network_model")
+      .num("paper_mbit_per_s", PaperModel.EffectiveBitsPerSec / 1e6)
+      .num("scaled_mbit_per_s", Model.EffectiveBitsPerSec / 1e6)
+      .num("host_copy_mb_per_s", HostBw / 1e6);
+  JsonReport::get().add(Cfg);
+  return JsonReport::get().write(JsonName, Metrics) ? 0 : 1;
 }
 
 } // namespace flickbench

@@ -68,16 +68,26 @@ double pct(double Base, double Other) {
   return (Other / Base - 1.0) * 100.0;
 }
 
-void row(const char *Claim, const char *Workload, double BaseSecs,
-         double AblatedSecs) {
+void row(const char *Claim, const char *Workload, const TimeStats &Base,
+         const TimeStats &Ablated) {
   std::printf("%-34s %-18s %9.2fus %9.2fus %+8.1f%%\n", Claim, Workload,
-              BaseSecs * 1e6, AblatedSecs * 1e6,
-              pct(BaseSecs, AblatedSecs));
+              Base.Best * 1e6, Ablated.Best * 1e6,
+              pct(Base.Best, Ablated.Best));
+  JsonReport::Row R;
+  R.str("claim", Claim)
+      .str("workload", Workload)
+      .num("optimized_secs", Base.Best)
+      .num("optimized_stddev", Base.StdDev)
+      .num("ablated_secs", Ablated.Best)
+      .num("ablated_stddev", Ablated.StdDev)
+      .num("cost_pct", pct(Base.Best, Ablated.Best));
+  JsonReport::get().add(R);
 }
 
 } // namespace
 
 int main() {
+  flick_metrics *Metrics = benchMetricsIfJson();
   std::printf(
       "=== Ablations of the paper-§3 optimizations (64 KB workloads) ===\n"
       "Columns: time with all optimizations, time with ONE disabled, and\n"
@@ -107,13 +117,13 @@ int main() {
 
   // --- memcpy (strings + int arrays) ---
   {
-    double B1 = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
-    double A1 = Enc(AM_send_dirents_1_encode_request, &DNoMemcpy.Seq);
+    TimeStats B1 = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
+    TimeStats A1 = Enc(AM_send_dirents_1_encode_request, &DNoMemcpy.Seq);
     row("memcpy copy (strings 60-70% win)", "dirents 64K", B1, A1);
     AB_intseq BI{NumInts, Ints.data()};
     AM_intseq MI{NumInts, Ints.data()};
-    double B2 = Enc(AB_send_ints_1_encode_request, &BI);
-    double A2 = Enc(AM_send_ints_1_encode_request, &MI);
+    TimeStats B2 = Enc(AB_send_ints_1_encode_request, &BI);
+    TimeStats A2 = Enc(AM_send_ints_1_encode_request, &MI);
     row("bulk copy (int arrays)", "ints 64K", B2, A2);
   }
 
@@ -121,18 +131,18 @@ int main() {
   {
     AB_rectseq BR{NumRects, Rects.data()};
     AC_rectseq CR{NumRects, reinterpret_cast<AC_rect *>(Rects.data())};
-    double B = Enc(AB_send_rects_1_encode_request, &BR);
-    double A = Enc(AC_send_rects_1_encode_request, &CR);
+    TimeStats B = Enc(AB_send_rects_1_encode_request, &BR);
+    TimeStats A = Enc(AC_send_rects_1_encode_request, &CR);
     row("chunking (~14% on marshal)", "rects 64K", B, A);
-    double B2 = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
-    double A2 = Enc(AC_send_dirents_1_encode_request, &DNoChunk.Seq);
+    TimeStats B2 = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
+    TimeStats A2 = Enc(AC_send_dirents_1_encode_request, &DNoChunk.Seq);
     row("buffer mgmt (~12% large complex)", "dirents 64K", B2, A2);
   }
 
   // --- inlining (complex data) ---
   {
-    double B = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
-    double A = Enc(AI_send_dirents_1_encode_request, &DNoInline.Seq);
+    TimeStats B = Enc(AB_send_dirents_1_encode_request, &DBase.Seq);
+    TimeStats A = Enc(AI_send_dirents_1_encode_request, &DNoInline.Seq);
     row("inlining (up to 60% complex data)", "dirents 64K", B, A);
   }
 
@@ -144,7 +154,7 @@ int main() {
     // Base: decode with arena + aliasing.
     AB_send_dirents_1_encode_request(&Req, 1, &DBase.Seq);
     AB_direntseq BOut{};
-    double B = timeIt([&] {
+    TimeStats B = timeIt([&] {
       Req.pos = 40; // dispatch would have consumed the ONC header
       flick_arena_reset(&Ar);
       AB_send_dirents_1_decode_request(&Req, &Ar, &BOut);
@@ -154,7 +164,7 @@ int main() {
     flick_buf_init(&Req2);
     AS_send_dirents_1_encode_request(&Req2, 1, &DNoScratch.Seq);
     AS_direntseq SOut{};
-    double A = timeIt([&] {
+    TimeStats A = timeIt([&] {
       Req2.pos = 40;
       AS_send_dirents_1_decode_request(&Req2, nullptr, &SOut);
       // Heap-mode decode mallocs; release like a traditional server would.
@@ -169,5 +179,5 @@ int main() {
   }
 
   flick_buf_destroy(&Buf);
-  return 0;
+  return JsonReport::get().write("ablation_optimizations", Metrics) ? 0 : 1;
 }

@@ -83,14 +83,18 @@ void printRows(const char *Title, const std::vector<Row> &Rows) {
   }
 }
 
-/// Times one encode function; returns payload bytes per second.
+/// Times one encode function; returns payload bytes per second and logs
+/// the measurement into the JSON report.
 template <typename Fn>
-double rate(size_t PayloadBytes, flick_buf *Buf, Fn Encode) {
-  double Secs = timeIt([&] {
+double rate(const char *Workload, const char *Series, size_t PayloadBytes,
+            flick_buf *Buf, Fn Encode) {
+  TimeStats T = timeIt([&] {
     flick_buf_reset(Buf);
     Encode();
   });
-  return static_cast<double>(PayloadBytes) / Secs;
+  double BytesPerSec = static_cast<double>(PayloadBytes) / T.Best;
+  JsonReport::get().addRate(Workload, Series, PayloadBytes, T, BytesPerSec);
+  return BytesPerSec;
 }
 
 void benchInts() {
@@ -107,16 +111,16 @@ void benchInts() {
     C_IntSeq CS{N, N, Data.data()};
     Row R{};
     R.Payload = Bytes;
-    R.FlickXdr = rate(Bytes, &Buf, [&] {
+    R.FlickXdr = rate("ints", "flick-xdr", Bytes, &Buf, [&] {
       F_send_ints_1_encode_request(&Buf, 1, &FS);
     });
-    R.FlickCdr = rate(Bytes, &Buf, [&] {
+    R.FlickCdr = rate("ints", "flick-cdr", Bytes, &Buf, [&] {
       C_Transfer_send_ints_encode_request(&Buf, 1, &CS);
     });
-    R.Naive = rate(Bytes, &Buf, [&] {
+    R.Naive = rate("ints", "naive", Bytes, &Buf, [&] {
       N_send_ints_1_encode_request(&Buf, 1, &NS);
     });
-    R.Interp = rate(Bytes, &Buf, [&] {
+    R.Interp = rate("ints", "interp", Bytes, &Buf, [&] {
       flick_interp_encode(&Buf, IntSeqTy, &FS, XdrWire);
     });
     Rows.push_back(R);
@@ -143,16 +147,16 @@ void benchRects() {
     C_RectSeq CS{N, N, reinterpret_cast<C_Rect *>(Data.data())};
     Row R{};
     R.Payload = Payload;
-    R.FlickXdr = rate(Payload, &Buf, [&] {
+    R.FlickXdr = rate("rects", "flick-xdr", Payload, &Buf, [&] {
       F_send_rects_1_encode_request(&Buf, 1, &FS);
     });
-    R.FlickCdr = rate(Payload, &Buf, [&] {
+    R.FlickCdr = rate("rects", "flick-cdr", Payload, &Buf, [&] {
       C_Transfer_send_rects_encode_request(&Buf, 1, &CS);
     });
-    R.Naive = rate(Payload, &Buf, [&] {
+    R.Naive = rate("rects", "naive", Payload, &Buf, [&] {
       N_send_rects_1_encode_request(&Buf, 1, &NS);
     });
-    R.Interp = rate(Payload, &Buf, [&] {
+    R.Interp = rate("rects", "interp", Payload, &Buf, [&] {
       flick_interp_encode(&Buf, RectSeqTy, &FS, XdrWire);
     });
     Rows.push_back(R);
@@ -196,16 +200,16 @@ void benchDirents() {
     C_DirentSeq CS{N, N, CD.data()};
     Row R{};
     R.Payload = Payload;
-    R.FlickXdr = rate(Payload, &Buf, [&] {
+    R.FlickXdr = rate("dirents", "flick-xdr", Payload, &Buf, [&] {
       F_send_dirents_1_encode_request(&Buf, 1, &FS);
     });
-    R.FlickCdr = rate(Payload, &Buf, [&] {
+    R.FlickCdr = rate("dirents", "flick-cdr", Payload, &Buf, [&] {
       C_Transfer_send_dirents_encode_request(&Buf, 1, &CS);
     });
-    R.Naive = rate(Payload, &Buf, [&] {
+    R.Naive = rate("dirents", "naive", Payload, &Buf, [&] {
       N_send_dirents_1_encode_request(&Buf, 1, &NS);
     });
-    R.Interp = rate(Payload, &Buf, [&] {
+    R.Interp = rate("dirents", "interp", Payload, &Buf, [&] {
       flick_interp_encode(&Buf, DirentSeqTy, &FS, XdrWire);
     });
     Rows.push_back(R);
@@ -218,11 +222,12 @@ void benchDirents() {
 } // namespace
 
 int main() {
+  flick_metrics *M = benchMetricsIfJson();
   std::printf("=== Figure 3 reproduction: marshal throughput ===\n"
               "Paper: Flick stubs marshal 2-5x faster (small) and 5-17x\n"
               "faster (large) than rpcgen/PowerRPC/ILU-style stubs.\n");
   benchInts();
   benchRects();
   benchDirents();
-  return 0;
+  return JsonReport::get().write("fig3_marshal_throughput", M) ? 0 : 1;
 }

@@ -8,9 +8,8 @@
 #include "EndToEnd.h"
 
 int main() {
-  flickbench::runEndToEndFigure(
+  return flickbench::runEndToEndFigure(
       "Figure 4: end-to-end throughput, 10 Mbit Ethernet "
       "(paper: all compilers tie at ~6-7.5 Mbit)",
-      flick::NetworkModel::ethernet10());
-  return 0;
+      "fig4_end_to_end_10mbit", flick::NetworkModel::ethernet10());
 }

@@ -8,9 +8,8 @@
 #include "EndToEnd.h"
 
 int main() {
-  flickbench::runEndToEndFigure(
+  return flickbench::runEndToEndFigure(
       "Figure 5: end-to-end throughput, 100 Mbit Ethernet "
       "(paper: flick 2-3x for medium, up to 3.2x for large messages)",
-      flick::NetworkModel::ethernet100());
-  return 0;
+      "fig5_end_to_end_100mbit", flick::NetworkModel::ethernet100());
 }

@@ -8,9 +8,8 @@
 #include "EndToEnd.h"
 
 int main() {
-  flickbench::runEndToEndFigure(
+  return flickbench::runEndToEndFigure(
       "Figure 6: end-to-end throughput, 640 Mbit Myrinet "
       "(84.5 Mbit effective; paper: flick up to 3.7x on large messages)",
-      flick::NetworkModel::myrinet640());
-  return 0;
+      "fig6_end_to_end_myrinet", flick::NetworkModel::myrinet640());
 }

@@ -83,6 +83,7 @@ bool migServe(flick::LocalLink &Link) {
 } // namespace
 
 int main() {
+  flick_metrics *Metrics = benchMetricsIfJson();
   double HostBw = flick::measureCopyBandwidth();
   flick::NetworkModel Model =
       flick::scaleModelToHost(flick::NetworkModel::machIpc(), HostBw);
@@ -112,12 +113,12 @@ int main() {
     M_intseq MS{N, Data.data()};
     FC.reset();
     size_t FCalls = 0;
-    double FCpu = timeIt([&] {
+    TimeStats FCpu = timeIt([&] {
       ++FCalls;
       M_send_ints_1(&MS, &Cli);
     });
     double FSim = FC.totalUs() * 1e-6 / double(FCalls);
-    double FT = double(Bytes) * 8.0 / (FCpu + FSim) / 1e6;
+    double FT = double(Bytes) * 8.0 / (FCpu.Best + FSim) / 1e6;
 
     // MIG-style stubs over an identical port.
     flick::LocalLink ML;
@@ -130,17 +131,20 @@ int main() {
     Mig.Stage.resize(28 + Bytes);
     MC.reset();
     size_t MCalls = 0;
-    double MCpu = timeIt([&] {
+    TimeStats MCpu = timeIt([&] {
       ++MCalls;
       migSendInts(Mig, Data.data(), N);
     });
     double MSim = MC.totalUs() * 1e-6 / double(MCalls);
-    double MT = double(Bytes) * 8.0 / (MCpu + MSim) / 1e6;
+    double MT = double(Bytes) * 8.0 / (MCpu.Best + MSim) / 1e6;
 
+    JsonReport::get().addRate("ints", "flick-mach", Bytes, FCpu,
+                              FT * 1e6 / 8.0);
+    JsonReport::get().addRate("ints", "mig", Bytes, MCpu, MT * 1e6 / 8.0);
     std::printf("%8s %14.1f %14.1f %11.2fx\n", fmtBytes(Bytes).c_str(),
                 FT, MT, MT > 0 ? FT / MT : 0);
     flick_client_destroy(&Cli);
     flick_server_destroy(&Srv);
   }
-  return 0;
+  return JsonReport::get().write("fig7_mig_comparison", Metrics) ? 0 : 1;
 }

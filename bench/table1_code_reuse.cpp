@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -75,6 +76,13 @@ void printPhase(const char *Phase, const Component &Base,
     size_t N = countAll(C.Files);
     double Pct = 100.0 * double(N) / double(N + BaseN);
     std::printf("%-10s %-22s %6zu  %5.1f%%\n", "", C.Name, N, Pct);
+    flickbench::JsonReport::Row R;
+    R.str("phase", Phase)
+        .str("component", C.Name)
+        .num("base_lines", BaseN)
+        .num("unique_lines", N)
+        .num("unique_pct", Pct);
+    flickbench::JsonReport::get().add(R);
   }
 }
 
@@ -122,5 +130,5 @@ int main() {
   std::printf("\n(Substantive lines: non-blank, non-comment, counted from\n"
               "the sources under %s/src.)\n",
               FLICK_SOURCE_DIR);
-  return 0;
+  return flickbench::JsonReport::get().write("table1_code_reuse") ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -101,10 +102,17 @@ int main() {
     std::printf("%-26s %11ldB %11ldB %11ldB\n", V.Label,
                 fileSize(Base + "_client.o"), fileSize(Base + "_server.o"),
                 Common);
+    flickbench::JsonReport::Row R;
+    R.str("compiler", V.Label)
+        .str("backend", V.Backend)
+        .num("client_obj_bytes", double(fileSize(Base + "_client.o")))
+        .num("server_obj_bytes", double(fileSize(Base + "_server.o")))
+        .num("marshal_lib_obj_bytes", double(Common));
+    flickbench::JsonReport::get().add(R);
   }
   std::printf(
       "\n(Objects compiled with `c++ -O2 -c`; the naive style also needs\n"
       "its out-of-line per-type marshal library, column 3 -- the analogue\n"
       "of the paper's 'library code required to marshal' columns.)\n");
-  return 0;
+  return flickbench::JsonReport::get().write("table2_object_size") ? 0 : 1;
 }

@@ -414,6 +414,9 @@ public:
   const std::vector<AoiType *> &namedTypes() const { return NamedTypes; }
   const std::vector<AoiConst> &consts() const { return Consts; }
 
+  /// Total type nodes owned by the module (--stats IR-size counter).
+  size_t numTypeNodes() const { return Types.size(); }
+
   /// Finds an interface by unqualified or scoped name; null if absent.
   AoiInterface *findInterface(const std::string &Name) const;
 

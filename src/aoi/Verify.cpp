@@ -16,6 +16,7 @@
 
 #include "aoi/Aoi.h"
 #include "support/Diagnostics.h"
+#include "support/Stats.h"
 #include <set>
 #include <string>
 
@@ -34,6 +35,9 @@ public:
       checkType(T);
     for (const auto &If : M.interfaces())
       checkInterface(*If);
+    FLICK_STAT_COUNT("verify.types_checked", M.namedTypes().size());
+    FLICK_STAT_COUNT("verify.interfaces_checked", M.interfaces().size());
+    FLICK_STAT_COUNT("verify.failures", Failed ? 1 : 0);
     return !Failed;
   }
 

@@ -17,6 +17,7 @@
 
 #include "backends/Backend.h"
 #include "presgen/PresGen.h"
+#include "support/Stats.h"
 #include "support/StringExtras.h"
 #include <cassert>
 
@@ -25,8 +26,18 @@ using namespace flick;
 Backend::~Backend() = default;
 
 BackendOutput Backend::generate(PresC &P, const std::string &BaseName) {
+  FLICK_STAT_PHASE("backend");
+  FLICK_STAT_COUNT("backend." + name(), 1);
   StubGen G(*this, P, BaseName);
-  return G.run();
+  BackendOutput Out = G.run();
+  FLICK_STAT_COUNT("backend.header_bytes", Out.Header.size());
+  FLICK_STAT_COUNT("backend.client_bytes", Out.ClientSrc.size());
+  FLICK_STAT_COUNT("backend.server_bytes", Out.ServerSrc.size());
+  FLICK_STAT_COUNT("backend.common_bytes", Out.CommonSrc.size());
+  FLICK_STAT_COUNT("backend.bytes_total",
+                   Out.Header.size() + Out.ClientSrc.size() +
+                       Out.ServerSrc.size() + Out.CommonSrc.size());
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -2581,14 +2592,20 @@ BackendOutput StubGen::run() {
   ServerFile.Includes = {HdrInc};
   CommonFile.Includes = {HdrInc};
 
-  for (const PresCInterface &If : P.Interfaces) {
-    genExcEncodeHelper(If);
-    for (const PresCOperation &Op : If.Ops) {
-      genOpHelpers(If, Op);
-      genClientStub(If, Op);
+  {
+    FLICK_STAT_PHASE("stubs");
+    for (const PresCInterface &If : P.Interfaces) {
+      genExcEncodeHelper(If);
+      for (const PresCOperation &Op : If.Ops) {
+        genOpHelpers(If, Op);
+        genClientStub(If, Op);
+      }
+      genServerDispatch(If);
     }
-    genServerDispatch(If);
+    FLICK_STAT_COUNT("backend.helpers", Helpers.size());
+    FLICK_STAT_COUNT("backend.public_protos", PublicProtos.size());
   }
+  FLICK_STAT_PHASE("print");
 
   // Assemble the header: types, helper protos/defs, op helpers, publics.
   HeaderFile.add(B.declComment("Generated by flickc backend '" +

@@ -744,6 +744,9 @@ public:
     return Raw;
   }
 
+  /// Total CAST nodes owned (--stats IR-size counter).
+  size_t numNodes() const { return Nodes.size(); }
+
 private:
   struct NodeBase {
     virtual ~NodeBase() = default;

@@ -19,7 +19,9 @@
 #include "frontends/oncrpc/OncFrontEnd.h"
 #include "presgen/PresGen.h"
 #include "support/Diagnostics.h"
+#include "support/Stats.h"
 #include "support/StringExtras.h"
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +31,10 @@
 using namespace flick;
 
 namespace {
+
+/// When --stats is on: the instant collection started, so the root region
+/// can report total wall time.
+std::chrono::steady_clock::time_point StatsStart;
 
 struct DriverOptions {
   std::string Input;
@@ -42,6 +48,8 @@ struct DriverOptions {
   BackendOptions BOpts;
   bool EmitAoi = false;
   bool EmitPresC = false;
+  /// Where --stats JSON goes: empty = stats off, "-" = stderr.
+  std::string StatsPath;
 };
 
 void usage() {
@@ -58,7 +66,10 @@ void usage() {
       "      --emit-presc              dump the PRES_C and stop\n"
       "      --no-inline --no-memcpy --no-chunk --no-scratch --no-alias\n"
       "                                disable individual optimizations\n"
-      "      --threshold <bytes>       bounded-segment threshold\n");
+      "      --threshold <bytes>       bounded-segment threshold\n"
+      "      --stats[=out.json]        record per-phase wall time and IR\n"
+      "                                counters; write JSON to the given\n"
+      "                                file (stderr when omitted)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
@@ -105,6 +116,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       O.EmitAoi = true;
     } else if (A == "--emit-presc") {
       O.EmitPresC = true;
+    } else if (A == "--stats") {
+      O.StatsPath = "-";
+    } else if (A.rfind("--stats=", 0) == 0) {
+      O.StatsPath = A.substr(std::strlen("--stats="));
+      if (O.StatsPath.empty()) {
+        std::fprintf(stderr, "flickc: missing value for --stats=\n");
+        return false;
+      }
     } else if (A == "--string-len-params") {
       O.PresStringLen = true;
     } else if (A == "--no-inline") {
@@ -177,6 +196,23 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
   return true;
 }
 
+/// Emits the collected --stats JSON when requested; returns false only
+/// when the output file cannot be written.
+bool dumpStats(const DriverOptions &O) {
+  if (O.StatsPath.empty() || !Stats::get().enabled())
+    return true;
+  Stats::get().setTotalWallUs(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - StatsStart)
+          .count());
+  std::string Json = Stats::get().toJson();
+  if (O.StatsPath == "-") {
+    std::fputs(Json.c_str(), stderr);
+    return true;
+  }
+  return writeFile(O.StatsPath, Json);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -195,29 +231,59 @@ int main(int Argc, char **Argv) {
 
   DiagnosticEngine Diags;
 
+  if (!O.StatsPath.empty()) {
+    StatsStart = std::chrono::steady_clock::now();
+    Stats::get().setEnabled(true);
+    Stats::get().reset();
+    Stats::get().note("input", O.Input);
+    Stats::get().note("idl", O.Idl);
+    Stats::get().note("pres", O.Pres);
+    Stats::get().note("backend", O.BackendTag);
+    FLICK_STAT_COUNT("input.bytes", Source.size());
+  }
+
   // Front end.
   std::unique_ptr<AoiModule> Module;
-  if (O.Idl == "corba") {
-    Module = parseCorbaIdl(Source, O.Input, Diags);
-  } else if (O.Idl == "oncrpc") {
-    Module = parseOncIdl(Source, O.Input, Diags);
-  } else if (O.Idl == "mig") {
-    Module = parseMigDefs(Source, O.Input, Diags);
-  } else {
-    std::fprintf(stderr, "flickc: unknown IDL '%s'\n", O.Idl.c_str());
-    return 1;
+  {
+    FLICK_STAT_PHASE("parse");
+    if (O.Idl == "corba") {
+      Module = parseCorbaIdl(Source, O.Input, Diags);
+    } else if (O.Idl == "oncrpc") {
+      Module = parseOncIdl(Source, O.Input, Diags);
+    } else if (O.Idl == "mig") {
+      Module = parseMigDefs(Source, O.Input, Diags);
+    } else {
+      std::fprintf(stderr, "flickc: unknown IDL '%s'\n", O.Idl.c_str());
+      return 1;
+    }
+    if (Module) {
+      size_t NumOps = 0;
+      for (const auto &If : Module->interfaces())
+        NumOps += If->Operations.size() + If->Attributes.size();
+      FLICK_STAT_COUNT("aoi.defs", Module->interfaces().size() +
+                                       Module->namedTypes().size() +
+                                       Module->exceptions().size());
+      FLICK_STAT_COUNT("aoi.interfaces", Module->interfaces().size());
+      FLICK_STAT_COUNT("aoi.operations", NumOps);
+      FLICK_STAT_COUNT("aoi.type_nodes", Module->numTypeNodes());
+    }
   }
   if (!Module) {
     std::fputs(Diags.renderAll().c_str(), stderr);
+    dumpStats(O);
     return 1;
   }
-  if (!Module->verify(Diags)) {
-    std::fputs(Diags.renderAll().c_str(), stderr);
-    return 1;
+  {
+    FLICK_STAT_PHASE("verify");
+    if (!Module->verify(Diags)) {
+      std::fputs(Diags.renderAll().c_str(), stderr);
+      dumpStats(O);
+      return 1;
+    }
   }
   if (O.EmitAoi) {
     std::fputs(Module->dump().c_str(), stdout);
-    return 0;
+    return dumpStats(O) ? 0 : 1;
   }
 
   // Presentation generation.
@@ -238,14 +304,17 @@ int main(int Argc, char **Argv) {
                  O.Pres.c_str());
     return 1;
   }
+  // generate() opens the "mint" and "presgen" phases itself, so the five
+  // top-level stats phases mirror Figure 1's pipeline layering.
   std::unique_ptr<PresC> Pres = PG->generate(*Module, Diags);
   if (!Pres) {
     std::fputs(Diags.renderAll().c_str(), stderr);
+    dumpStats(O);
     return 1;
   }
   if (O.EmitPresC) {
     std::fputs(Pres->dump().c_str(), stdout);
-    return 0;
+    return dumpStats(O) ? 0 : 1;
   }
 
   // Back end.
@@ -271,5 +340,5 @@ int main(int Argc, char **Argv) {
 
   if (Diags.errorCount() == 0 && !Diags.diagnostics().empty())
     std::fputs(Diags.renderAll().c_str(), stderr);
-  return 0;
+  return dumpStats(O) ? 0 : 1;
 }

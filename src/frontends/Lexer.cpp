@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontends/Lexer.h"
+#include "support/Stats.h"
 #include <cctype>
 
 using namespace flick;
@@ -14,6 +15,8 @@ Lexer::Lexer(std::string Source, int FileId, DiagnosticEngine &Diags)
     : Source(std::move(Source)), FileId(FileId), Diags(Diags) {
   Cur = lexOne();
 }
+
+Lexer::~Lexer() { FLICK_STAT_COUNT("lexer.tokens", NumTokens); }
 
 SourceLoc Lexer::here() const { return SourceLoc(FileId, Line, Col); }
 
@@ -93,6 +96,7 @@ Token Lexer::lexOne() {
     T.K = Token::Kind::Eof;
     return T;
   }
+  ++NumTokens;
 
   if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
     std::string Id;

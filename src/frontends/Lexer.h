@@ -58,6 +58,10 @@ class Lexer {
 public:
   Lexer(std::string Source, int FileId, DiagnosticEngine &Diags);
 
+  /// Flushes the token count into the --stats registry (no-op when stats
+  /// collection is off).
+  ~Lexer();
+
   /// Returns the current token without consuming it.
   const Token &peek() const { return Cur; }
 
@@ -83,6 +87,7 @@ private:
   Token Cur;
   Token Ahead;
   bool HasAhead = false;
+  uint64_t NumTokens = 0;
 
   char at(size_t Off = 0) const {
     return Pos + Off < Source.size() ? Source[Pos + Off] : '\0';

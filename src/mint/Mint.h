@@ -213,6 +213,9 @@ public:
   /// Renders a stable textual dump rooted at \p Root (tests, --emit-mint).
   static std::string dump(const MintType *Root);
 
+  /// Total MINT nodes owned by the module (--stats IR-size counter).
+  size_t numNodes() const { return Nodes.size(); }
+
 private:
   std::vector<std::unique_ptr<MintType>> Nodes;
   MintVoid *VoidCache = nullptr;

@@ -338,6 +338,9 @@ public:
   /// Renders a stable text dump (tests, `flickc --emit-presc`).
   std::string dump() const;
 
+  /// Total PRES nodes owned (--stats IR-size counter).
+  size_t numNodes() const { return Nodes.size(); }
+
 private:
   std::vector<std::unique_ptr<PresNode>> Nodes;
 };

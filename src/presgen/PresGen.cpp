@@ -7,6 +7,7 @@
 
 #include "presgen/PresGen.h"
 #include "support/Diagnostics.h"
+#include "support/Stats.h"
 #include "support/StringExtras.h"
 #include <cassert>
 #include <functional>
@@ -641,10 +642,25 @@ std::unique_ptr<PresC> PresGen::generate(const AoiModule &M,
   AnonSeqCounter = 0;
   UsedSeqNames.clear();
 
-  generateExceptions(M);
-  generateTypes(M);
-  for (const auto &If : M.interfaces())
-    generateInterface(*If);
+  {
+    // The AOI -> MINT/CAST mapping of the named types is the paper's MINT
+    // build step; surfaced as its own top-level --stats phase.
+    FLICK_STAT_PHASE("mint");
+    generateExceptions(M);
+    generateTypes(M);
+    FLICK_STAT_COUNT("mint.nodes", P->Mint.numNodes());
+  }
+  {
+    FLICK_STAT_PHASE("presgen");
+    for (const auto &If : M.interfaces())
+      generateInterface(*If);
+    FLICK_STAT_COUNT("pres.style." + P->Style, 1);
+    FLICK_STAT_COUNT("pres.interfaces", P->Interfaces.size());
+    FLICK_STAT_COUNT("pres.nodes", P->numNodes());
+    FLICK_STAT_COUNT("mint.nodes.total", P->Mint.numNodes());
+    FLICK_STAT_COUNT("cast.type_decls", P->TypeDecls.size());
+    FLICK_STAT_COUNT("cast.nodes", P->Cast.numNodes());
+  }
 
   Out = nullptr;
   B = nullptr;

@@ -20,8 +20,12 @@ void LocalLink::setModel(NetworkModel Model, SimClock *Clock) {
 }
 
 void LocalLink::account(size_t Len) {
-  if (Clock)
-    Clock->advance(Model.wireTimeUs(Len));
+  if (!Clock)
+    return;
+  double Us = Model.wireTimeUs(Len);
+  Clock->advance(Us);
+  if (flick_metrics_active)
+    flick_metrics_active->wire_time_us += Us;
 }
 
 int LocalLink::End::send(const uint8_t *Data, size_t Len) {

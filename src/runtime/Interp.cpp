@@ -147,6 +147,7 @@ int pad4(flick_buf *B, const InterpWire &W, bool Encode) {
 
 int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
                                const void *Val, const InterpWire &W) {
+  flick_metric_add(&flick_metrics::interp_encodes, 1);
   const uint8_t *V = static_cast<const uint8_t *>(Val);
   switch (T.K) {
   case InterpType::Kind::Scalar:
@@ -203,6 +204,7 @@ int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
 int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
                                void *Val, const InterpWire &W,
                                flick_arena *Ar) {
+  flick_metric_add(&flick_metrics::interp_decodes, 1);
   uint8_t *V = static_cast<uint8_t *>(Val);
   switch (T.K) {
   case InterpType::Kind::Scalar:

@@ -1,0 +1,61 @@
+//===- runtime/Metrics.cpp - Runtime metrics block ------------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/flick_runtime.h"
+#include <cstdio>
+
+flick_metrics *flick_metrics_active = nullptr;
+
+void flick_metrics_enable(flick_metrics *m) {
+  *m = flick_metrics{};
+  flick_metrics_active = m;
+}
+
+void flick_metrics_disable() { flick_metrics_active = nullptr; }
+
+std::string flick_metrics_to_json(const flick_metrics *m,
+                                  const char *indent) {
+  struct Field {
+    const char *Name;
+    uint64_t Value;
+  };
+  const Field Fields[] = {
+      {"rpcs_sent", m->rpcs_sent},
+      {"oneways_sent", m->oneways_sent},
+      {"replies_received", m->replies_received},
+      {"request_bytes", m->request_bytes},
+      {"reply_bytes", m->reply_bytes},
+      {"rpcs_handled", m->rpcs_handled},
+      {"replies_sent", m->replies_sent},
+      {"server_request_bytes", m->server_request_bytes},
+      {"server_reply_bytes", m->server_reply_bytes},
+      {"buf_grows", m->buf_grows},
+      {"buf_reuses", m->buf_reuses},
+      {"arena_grows", m->arena_grows},
+      {"arena_high_water", m->arena_high_water},
+      {"decode_errors", m->decode_errors},
+      {"transport_errors", m->transport_errors},
+      {"demux_errors", m->demux_errors},
+      {"alloc_errors", m->alloc_errors},
+      {"interp_encodes", m->interp_encodes},
+      {"interp_decodes", m->interp_decodes},
+  };
+  std::string Out = "{\n";
+  for (const Field &F : Fields) {
+    Out += indent;
+    Out += "\"";
+    Out += F.Name;
+    Out += "\": " + std::to_string(F.Value) + ",\n";
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", m->wire_time_us);
+  Out += indent;
+  Out += "\"wire_time_us\": ";
+  Out += Buf;
+  Out += "\n}";
+  return Out;
+}

@@ -13,9 +13,12 @@ int flick_buf_grow(flick_buf *b, size_t need) {
   size_t cap = b->cap ? b->cap : size_t(FLICK_BUF_MIN_CAP);
   while (cap < want)
     cap *= 2;
+  flick_metric_add(&flick_metrics::buf_grows, 1);
   uint8_t *data = static_cast<uint8_t *>(std::realloc(b->data, cap));
-  if (!data)
+  if (!data) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
     return FLICK_ERR_ALLOC;
+  }
   b->data = data;
   b->cap = cap;
   return FLICK_OK;
@@ -55,11 +58,13 @@ void freeRetired(flick_arena *a) {
 } // namespace
 
 void flick_arena_reset(flick_arena *a) {
+  flick_metric_max(&flick_metrics::arena_high_water, a->used);
   freeRetired(a);
   a->used = 0;
 }
 
 void flick_arena_destroy(flick_arena *a) {
+  flick_metric_max(&flick_metrics::arena_high_water, a->used);
   freeRetired(a);
   if (a->base)
     std::free(reinterpret_cast<uint8_t *>(a->base) - sizeof(ArenaBlock));
@@ -72,9 +77,12 @@ void *flick_arena_grow_alloc(flick_arena *a, size_t n) {
   size_t cap = a->cap ? a->cap * 2 : 4096;
   while (cap < n + 16)
     cap *= 2;
+  flick_metric_add(&flick_metrics::arena_grows, 1);
   auto *Blk = static_cast<ArenaBlock *>(std::malloc(sizeof(ArenaBlock) + cap));
-  if (!Blk)
+  if (!Blk) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
     return nullptr;
+  }
   if (a->base) {
     auto *Old = reinterpret_cast<ArenaBlock *>(
         reinterpret_cast<uint8_t *>(a->base) - sizeof(ArenaBlock));
@@ -102,14 +110,29 @@ void flick_client_destroy(flick_client *c) {
 
 int flick_client_invoke(flick_client *c) {
   ++c->next_xid;
-  if (int err = flick_channel_send(c->chan, c->req.data, c->req.len))
+  flick_metric_add(&flick_metrics::rpcs_sent, 1);
+  flick_metric_add(&flick_metrics::request_bytes, c->req.len);
+  if (int err = flick_channel_send(c->chan, c->req.data, c->req.len)) {
+    flick_metric_add(&flick_metrics::transport_errors, 1);
     return err;
-  return flick_channel_recv(c->chan, &c->rep);
+  }
+  if (int err = flick_channel_recv(c->chan, &c->rep)) {
+    flick_metric_add(&flick_metrics::transport_errors, 1);
+    return err;
+  }
+  flick_metric_add(&flick_metrics::replies_received, 1);
+  flick_metric_add(&flick_metrics::reply_bytes, c->rep.len);
+  return FLICK_OK;
 }
 
 int flick_client_send_oneway(flick_client *c) {
   ++c->next_xid;
-  return flick_channel_send(c->chan, c->req.data, c->req.len);
+  flick_metric_add(&flick_metrics::oneways_sent, 1);
+  flick_metric_add(&flick_metrics::request_bytes, c->req.len);
+  int err = flick_channel_send(c->chan, c->req.data, c->req.len);
+  if (err)
+    flick_metric_add(&flick_metrics::transport_errors, 1);
+  return err;
 }
 
 void flick_server_init(flick_server *s, flick_channel *chan,
@@ -128,15 +151,30 @@ void flick_server_destroy(flick_server *s) {
 }
 
 int flick_server_handle_one(flick_server *s) {
-  if (int err = flick_channel_recv(s->chan, &s->req))
+  if (int err = flick_channel_recv(s->chan, &s->req)) {
+    flick_metric_add(&flick_metrics::transport_errors, 1);
     return err;
+  }
+  flick_metric_add(&flick_metrics::rpcs_handled, 1);
+  flick_metric_add(&flick_metrics::server_request_bytes, s->req.len);
   flick_buf_reset(&s->rep);
   flick_arena_reset(&s->arena);
   int status = s->dispatch(s, &s->req, &s->rep);
-  if (status != FLICK_OK)
+  if (status != FLICK_OK) {
+    if (status == FLICK_ERR_DECODE)
+      flick_metric_add(&flick_metrics::decode_errors, 1);
+    else if (status == FLICK_ERR_NO_SUCH_OP)
+      flick_metric_add(&flick_metrics::demux_errors, 1);
     return status;
+  }
   // Oneway requests produce an empty reply buffer: nothing to send.
   if (s->rep.len == 0)
     return FLICK_OK;
-  return flick_channel_send(s->chan, s->rep.data, s->rep.len);
+  flick_metric_add(&flick_metrics::replies_sent, 1);
+  flick_metric_add(&flick_metrics::server_reply_bytes, s->rep.len);
+  if (int err = flick_channel_send(s->chan, s->rep.data, s->rep.len)) {
+    flick_metric_add(&flick_metrics::transport_errors, 1);
+    return err;
+  }
+  return FLICK_OK;
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace flick {
 class Channel;
@@ -53,6 +54,74 @@ enum {
 };
 
 //===----------------------------------------------------------------------===//
+// Runtime metrics
+//===----------------------------------------------------------------------===//
+
+/// Aggregated runtime counters: RPC and byte totals per endpoint role,
+/// buffer grow/reuse events, scratch-arena high-water mark, error counts,
+/// and accumulated simulated wire time.  Collection is OFF by default --
+/// `flick_metrics_active` is null and every hook below is one predictable
+/// pointer test -- so the generated-stub hot paths (inline encode/decode
+/// and buffer ensure/grab/take) stay untouched.  Enable with
+/// flick_metrics_enable() around a region of interest; bench binaries use
+/// this to emit machine-readable results (see bench/BenchUtil.h).
+struct flick_metrics {
+  // Client endpoint.
+  uint64_t rpcs_sent = 0;        ///< two-way invokes issued
+  uint64_t oneways_sent = 0;     ///< one-way sends issued
+  uint64_t replies_received = 0; ///< replies successfully received
+  uint64_t request_bytes = 0;    ///< bytes sent client -> server
+  uint64_t reply_bytes = 0;      ///< bytes received server -> client
+  // Server endpoint.
+  uint64_t rpcs_handled = 0;          ///< requests received and dispatched
+  uint64_t replies_sent = 0;          ///< non-empty replies sent
+  uint64_t server_request_bytes = 0;  ///< request bytes seen by the server
+  uint64_t server_reply_bytes = 0;    ///< reply bytes sent by the server
+  // Buffer reuse (paper §3.1).
+  uint64_t buf_grows = 0;  ///< flick_buf_grow slow-path entries
+  uint64_t buf_reuses = 0; ///< resets that kept an existing allocation
+  // Scratch arena.
+  uint64_t arena_grows = 0;      ///< arena block allocations
+  uint64_t arena_high_water = 0; ///< max bytes live in the current block
+  // Errors.
+  uint64_t decode_errors = 0;    ///< malformed/truncated messages
+  uint64_t transport_errors = 0; ///< channel send/recv failures
+  uint64_t demux_errors = 0;     ///< dispatch found no matching operation
+  uint64_t alloc_errors = 0;     ///< buffer/arena allocation failures
+  // Interpreted marshaling (runtime/Interp.h): type-program nodes visited.
+  uint64_t interp_encodes = 0;
+  uint64_t interp_decodes = 0;
+  // Simulated wire time accumulated by modeled links (SimClock).
+  double wire_time_us = 0;
+};
+
+/// The installed metrics block, or null when collection is disabled.
+extern flick_metrics *flick_metrics_active;
+
+/// Zeroes \p m and installs it as the active metrics block.
+void flick_metrics_enable(flick_metrics *m);
+
+/// Stops collection (the block keeps its final values).
+void flick_metrics_disable();
+
+/// Renders \p m as a JSON object, e.g. {"rpcs_sent": 3, ...}.  \p indent
+/// is prepended to each line of the body.
+std::string flick_metrics_to_json(const flick_metrics *m,
+                                  const char *indent = "  ");
+
+/// Adds \p v to the counter member \p f of the active block, if any.
+inline void flick_metric_add(uint64_t flick_metrics::*f, uint64_t v) {
+  if (flick_metrics_active)
+    flick_metrics_active->*f += v;
+}
+
+/// Raises the counter member \p f to at least \p v.
+inline void flick_metric_max(uint64_t flick_metrics::*f, uint64_t v) {
+  if (flick_metrics_active && flick_metrics_active->*f < v)
+    flick_metrics_active->*f = v;
+}
+
+//===----------------------------------------------------------------------===//
 // Marshal buffers
 //===----------------------------------------------------------------------===//
 
@@ -78,6 +147,8 @@ inline void flick_buf_destroy(flick_buf *b) {
 
 /// Rewinds both cursors, keeping the allocation (buffer reuse).
 inline void flick_buf_reset(flick_buf *b) {
+  if (flick_metrics_active && b->cap)
+    ++flick_metrics_active->buf_reuses;
   b->len = 0;
   b->pos = 0;
 }

@@ -1,0 +1,140 @@
+//===- support/Stats.h - Compiler phase timing and counters -----*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight statistics registry for flickc: scoped wall-clock phase
+/// timers, named counters, and hierarchical regions, exported as JSON via
+/// `flickc --stats[=out.json]`.  The pipeline stages (parse, verify, mint,
+/// presgen, backend) each open a StatsPhase and bump counters for the IR
+/// they build, so a compile can be inspected the way the paper inspects
+/// generated stubs.  Everything is compiled out when FLICK_STATS_ENABLED
+/// is 0, and is a single flag test per event when built in but not
+/// requested on the command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_STATS_H
+#define FLICK_SUPPORT_STATS_H
+
+#ifndef FLICK_STATS_ENABLED
+#define FLICK_STATS_ENABLED 1
+#endif
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flick {
+
+/// One node of the region tree: a named span of the compilation with its
+/// wall time, counters, and nested sub-regions.
+struct StatsRegion {
+  explicit StatsRegion(std::string Name) : Name(std::move(Name)) {}
+
+  std::string Name;
+  double WallUs = 0;
+  /// Counters in first-touch order (stable JSON output).
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::unique_ptr<StatsRegion>> Children;
+
+  /// Finds or creates the child region \p ChildName.
+  StatsRegion &child(const std::string &ChildName);
+
+  /// Finds or creates the counter \p CounterName.
+  uint64_t &counter(const std::string &CounterName);
+
+  /// Returns the counter value, or 0 when absent.
+  uint64_t counterValue(const std::string &CounterName) const;
+
+  /// Returns the child with \p ChildName, or null.
+  const StatsRegion *findChild(const std::string &ChildName) const;
+};
+
+/// Process-wide statistics registry.  Disabled by default; the driver
+/// enables it when --stats is passed, and every hook below is a no-op
+/// while it is off.  Not thread-safe: one compilation per process.
+class Stats {
+public:
+  static Stats &get();
+
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Drops all regions, counters, and notes (tests reuse the singleton).
+  void reset();
+
+  /// Opens a region named \p Name under the innermost open region.
+  void push(const std::string &Name);
+
+  /// Closes the innermost open region, crediting it \p WallUs.
+  void pop(double WallUs);
+
+  /// Adds \p Delta to counter \p Name on the innermost open region (the
+  /// root when no phase is open).
+  void count(const std::string &Name, uint64_t Delta = 1);
+
+  /// Attaches a top-level string attribute (input file, backend tag, ...).
+  void note(const std::string &Key, const std::string &Value);
+
+  /// Credits total elapsed wall time to the root region (the driver calls
+  /// this right before rendering).
+  void setTotalWallUs(double WallUs) { Root.WallUs = WallUs; }
+
+  /// Renders the whole tree as a JSON document.
+  std::string toJson() const;
+
+  const StatsRegion &root() const { return Root; }
+
+private:
+  Stats() = default;
+
+  bool Enabled = false;
+  StatsRegion Root{"flickc"};
+  std::vector<StatsRegion *> Stack;
+  std::vector<std::pair<std::string, std::string>> Notes;
+};
+
+/// RAII scoped phase timer; records wall time into Stats on destruction.
+class StatsPhase {
+public:
+  explicit StatsPhase(const char *Name);
+  ~StatsPhase();
+
+  StatsPhase(const StatsPhase &) = delete;
+  StatsPhase &operator=(const StatsPhase &) = delete;
+
+private:
+  bool Active = false;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace flick
+
+#if FLICK_STATS_ENABLED
+#define FLICK_STAT_CONCAT_IMPL(A, B) A##B
+#define FLICK_STAT_CONCAT(A, B) FLICK_STAT_CONCAT_IMPL(A, B)
+/// Times the enclosing scope as phase \p NAME.
+#define FLICK_STAT_PHASE(NAME)                                               \
+  ::flick::StatsPhase FLICK_STAT_CONCAT(FlickStatPhase, __LINE__)(NAME)
+/// Adds \p N to counter \p NAME in the current phase.
+#define FLICK_STAT_COUNT(NAME, N)                                            \
+  do {                                                                       \
+    if (::flick::Stats::get().enabled())                                     \
+      ::flick::Stats::get().count((NAME), (N));                              \
+  } while (0)
+#else
+#define FLICK_STAT_PHASE(NAME) ((void)0)
+#define FLICK_STAT_COUNT(NAME, N) ((void)0)
+#endif
+
+#endif // FLICK_SUPPORT_STATS_H

@@ -1,0 +1,218 @@
+//===- tests/MetricsTests.cpp - runtime RPC metrics tests -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the flick_metrics runtime counters: one RPC round-trip must
+/// record exact request/reply counts and byte totals with zero errors,
+/// fault paths must bump their error counters, and buffer/arena events
+/// must be accounted.  Every test verifies collection is a no-op when the
+/// metrics block is not installed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+/// Dispatch that echoes the request payload back as the reply.
+int echoDispatch(flick_server *, flick_buf *Req, flick_buf *Rep) {
+  size_t N = Req->len - Req->pos;
+  if (flick_buf_ensure(Rep, N) != FLICK_OK)
+    return FLICK_ERR_ALLOC;
+  std::memcpy(flick_buf_grab(Rep, N), Req->data + Req->pos, N);
+  return FLICK_OK;
+}
+
+int rejectDecodeDispatch(flick_server *, flick_buf *, flick_buf *) {
+  return FLICK_ERR_DECODE;
+}
+
+int rejectDemuxDispatch(flick_server *, flick_buf *, flick_buf *) {
+  return FLICK_ERR_NO_SUCH_OP;
+}
+
+/// Installs a zeroed metrics block for the test body and uninstalls it on
+/// scope exit, so test order never leaks collection state.
+struct ScopedMetrics {
+  flick_metrics M;
+  ScopedMetrics() { flick_metrics_enable(&M); }
+  ~ScopedMetrics() { flick_metrics_disable(); }
+};
+
+/// One client/server pair over an ideal in-process link.
+struct Rig {
+  LocalLink Link;
+  flick_server Srv;
+  flick_client Cli;
+
+  explicit Rig(flick_dispatch_fn Dispatch) {
+    flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
+    Link.setPump(
+        [this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+  }
+  ~Rig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+};
+
+TEST(Metrics, RoundTripCountsExactly) {
+  ScopedMetrics S;
+  Rig R(echoDispatch);
+
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 12), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 12), 0x5A, 12);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  EXPECT_EQ(R.Cli.rep.len, 12u);
+
+  EXPECT_EQ(S.M.rpcs_sent, 1u);
+  EXPECT_EQ(S.M.replies_received, 1u);
+  EXPECT_EQ(S.M.oneways_sent, 0u);
+  EXPECT_EQ(S.M.request_bytes, 12u);
+  EXPECT_EQ(S.M.reply_bytes, 12u);
+  EXPECT_EQ(S.M.rpcs_handled, 1u);
+  EXPECT_EQ(S.M.replies_sent, 1u);
+  EXPECT_EQ(S.M.server_request_bytes, 12u);
+  EXPECT_EQ(S.M.server_reply_bytes, 12u);
+  EXPECT_EQ(S.M.decode_errors, 0u);
+  EXPECT_EQ(S.M.transport_errors, 0u);
+  EXPECT_EQ(S.M.demux_errors, 0u);
+  EXPECT_EQ(S.M.alloc_errors, 0u);
+}
+
+TEST(Metrics, SeveralInvokesAccumulate) {
+  ScopedMetrics S;
+  Rig R(echoDispatch);
+  for (int I = 0; I != 3; ++I) {
+    flick_buf *Req = flick_client_begin(&R.Cli);
+    ASSERT_EQ(flick_buf_ensure(Req, 8), FLICK_OK);
+    std::memset(flick_buf_grab(Req, 8), I, 8);
+    ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  }
+  EXPECT_EQ(S.M.rpcs_sent, 3u);
+  EXPECT_EQ(S.M.replies_received, 3u);
+  EXPECT_EQ(S.M.request_bytes, 24u);
+  EXPECT_EQ(S.M.reply_bytes, 24u);
+}
+
+TEST(Metrics, DecodeErrorIncrementsCounter) {
+  ScopedMetrics S;
+  Rig R(rejectDecodeDispatch);
+
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 4), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 4), 0xFF, 4);
+  ASSERT_EQ(flick_client_send_oneway(&R.Cli), FLICK_OK);
+  EXPECT_EQ(flick_server_handle_one(&R.Srv), FLICK_ERR_DECODE);
+
+  EXPECT_EQ(S.M.oneways_sent, 1u);
+  EXPECT_EQ(S.M.rpcs_handled, 1u);
+  EXPECT_EQ(S.M.decode_errors, 1u);
+  EXPECT_EQ(S.M.replies_sent, 0u);
+}
+
+TEST(Metrics, DemuxErrorIncrementsCounter) {
+  ScopedMetrics S;
+  Rig R(rejectDemuxDispatch);
+
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 4), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 4), 0, 4);
+  ASSERT_EQ(flick_client_send_oneway(&R.Cli), FLICK_OK);
+  EXPECT_EQ(flick_server_handle_one(&R.Srv), FLICK_ERR_NO_SUCH_OP);
+  EXPECT_EQ(S.M.demux_errors, 1u);
+  EXPECT_EQ(S.M.decode_errors, 0u);
+}
+
+TEST(Metrics, TransportErrorOnDrainedServer) {
+  ScopedMetrics S;
+  Rig R(echoDispatch);
+  EXPECT_EQ(flick_server_handle_one(&R.Srv), FLICK_ERR_TRANSPORT);
+  EXPECT_EQ(S.M.transport_errors, 1u);
+  EXPECT_EQ(S.M.rpcs_handled, 0u);
+}
+
+TEST(Metrics, BufferGrowAndReuseAreCounted) {
+  ScopedMetrics S;
+  flick_buf B;
+  flick_buf_init(&B);
+  ASSERT_EQ(flick_buf_ensure(&B, 4 * FLICK_BUF_MIN_CAP), FLICK_OK);
+  EXPECT_GE(S.M.buf_grows, 1u);
+  flick_buf_reset(&B);
+  flick_buf_reset(&B);
+  EXPECT_EQ(S.M.buf_reuses, 2u);
+  flick_buf_destroy(&B);
+}
+
+TEST(Metrics, ArenaHighWaterTracksPeakUse) {
+  ScopedMetrics S;
+  flick_arena A{};
+  ASSERT_NE(flick_arena_alloc(&A, 300), nullptr);
+  ASSERT_NE(flick_arena_alloc(&A, 400), nullptr);
+  flick_arena_reset(&A);
+  EXPECT_GE(S.M.arena_high_water, 700u);
+  EXPECT_GE(S.M.arena_grows, 1u);
+  flick_arena_destroy(&A);
+}
+
+TEST(Metrics, WireTimeAccumulatesOnModeledLinks) {
+  ScopedMetrics S;
+  SimClock Clock;
+  Rig R(echoDispatch);
+  R.Link.setModel(NetworkModel::ethernet10(), &Clock);
+
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 64), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 64), 1, 64);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  EXPECT_GT(S.M.wire_time_us, 0.0);
+  EXPECT_DOUBLE_EQ(S.M.wire_time_us, Clock.totalUs());
+}
+
+TEST(Metrics, DisabledCollectionTouchesNothing) {
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  flick_metrics_disable(); // M zeroed, then uninstalled
+  Rig R(echoDispatch);
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 8), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 8), 2, 8);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  EXPECT_EQ(M.rpcs_sent, 0u);
+  EXPECT_EQ(M.request_bytes, 0u);
+}
+
+TEST(Metrics, EnableZeroesTheBlock) {
+  flick_metrics M;
+  M.rpcs_sent = 99;
+  M.wire_time_us = 3.5;
+  flick_metrics_enable(&M);
+  EXPECT_EQ(M.rpcs_sent, 0u);
+  EXPECT_EQ(M.wire_time_us, 0.0);
+  flick_metrics_disable();
+}
+
+TEST(Metrics, JsonContainsEveryCounter) {
+  flick_metrics M;
+  M.rpcs_sent = 2;
+  M.reply_bytes = 128;
+  M.wire_time_us = 1.25;
+  std::string J = flick_metrics_to_json(&M);
+  EXPECT_NE(J.find("\"rpcs_sent\": 2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"reply_bytes\": 128"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"wire_time_us\": 1.250"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"decode_errors\": 0"), std::string::npos) << J;
+}
+
+} // namespace

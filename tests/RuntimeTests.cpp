@@ -203,6 +203,45 @@ TEST(NaivePrims, PutGetRoundTrip) {
   flick_buf_destroy(&B);
 }
 
+TEST(Channel, ClientRecvFailsOnEmptyLinkWithNoPump) {
+  LocalLink Link;
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Link.clientEnd().recv(Out), FLICK_ERR_TRANSPORT);
+  // Server side fails the same way: it never pumps.
+  EXPECT_EQ(Link.serverEnd().recv(Out), FLICK_ERR_TRANSPORT);
+}
+
+TEST(Channel, PumpReturningFalseIsTransportError) {
+  LocalLink Link;
+  int Pumps = 0;
+  Link.setPump([&] {
+    ++Pumps;
+    return false;
+  });
+  std::vector<uint8_t> Out{1, 2, 3};
+  EXPECT_EQ(Link.clientEnd().recv(Out), FLICK_ERR_TRANSPORT);
+  EXPECT_EQ(Pumps, 1) << "a failing pump must not be retried";
+}
+
+TEST(Channel, PendingToServerAccounting) {
+  LocalLink Link;
+  EXPECT_EQ(Link.pendingToServer(), 0u);
+  uint8_t Msg[4] = {1, 2, 3, 4};
+  ASSERT_EQ(Link.clientEnd().send(Msg, 4), FLICK_OK);
+  ASSERT_EQ(Link.clientEnd().send(Msg, 2), FLICK_OK);
+  EXPECT_EQ(Link.pendingToServer(), 2u);
+  // Server->client traffic must not count toward the server queue.
+  ASSERT_EQ(Link.serverEnd().send(Msg, 4), FLICK_OK);
+  EXPECT_EQ(Link.pendingToServer(), 2u);
+  std::vector<uint8_t> Out;
+  ASSERT_EQ(Link.serverEnd().recv(Out), FLICK_OK);
+  EXPECT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Link.pendingToServer(), 1u);
+  ASSERT_EQ(Link.serverEnd().recv(Out), FLICK_OK);
+  EXPECT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Link.pendingToServer(), 0u);
+}
+
 TEST(ClientServer, BuffersAreReusedAcrossCalls) {
   LocalLink Link;
   flick_client C;
