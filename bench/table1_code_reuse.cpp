@@ -121,7 +121,10 @@ int main() {
   printPhase("Back End",
              {"Base Library",
               {"backends/Backend.h", "backends/Backend.cpp",
-               "mint/Wire.h", "mint/Wire.cpp"}},
+               "backends/StubShape.h", "backends/MarshalPlan.h",
+               "backends/MarshalPlan.cpp", "backends/Passes.h",
+               "backends/Passes.cpp", "backends/PlanEmit.cpp",
+               "backends/Dispatch.cpp", "mint/Wire.h", "mint/Wire.cpp"}},
              {{"CORBA IIOP", {"backends/IiopBackend.cpp"}},
               {"ONC RPC XDR", {"backends/XdrBackend.cpp"}},
               {"Mach 3 IPC", {"backends/MachBackend.cpp"}},

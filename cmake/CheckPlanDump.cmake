@@ -1,0 +1,36 @@
+# Runs `flickc --dump-marshal-plan` on an IDL file and compares the dump
+# byte-for-byte against a committed golden.  On mismatch the diff target
+# is left at ${OUT} for inspection; regenerate a golden by copying ${OUT}
+# over the file in tests/golden/ after reviewing the change.
+#
+# Usage:
+#   cmake -DFLICKC=<flickc> -DIDL=<file.idl> -DGOLDEN=<golden.plan>
+#         -DOUT=<dump.txt> -DGENDIR=<scratch-dir>
+#         [-DEXTRA_ARGS=<flag;flag...>] -P CheckPlanDump.cmake
+
+foreach(VAR FLICKC IDL GOLDEN OUT GENDIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckPlanDump.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${GENDIR}")
+execute_process(
+  COMMAND "${FLICKC}" ${EXTRA_ARGS} --dump-marshal-plan
+          -o "${GENDIR}/plan_dump_scratch" "${IDL}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flickc --dump-marshal-plan failed (rc=${RC}):\n"
+                      "${STDERR}")
+endif()
+
+file(WRITE "${OUT}" "${STDOUT}")
+file(READ "${GOLDEN}" WANT)
+if(NOT STDOUT STREQUAL WANT)
+  message(FATAL_ERROR "plan dump differs from golden ${GOLDEN}\n"
+                      "actual output saved to ${OUT}")
+endif()
+
+message(STATUS "plan dump OK: ${GOLDEN}")

@@ -34,10 +34,26 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   endif()
 endif()
 
-# One region per pipeline phase.
-foreach(PHASE parse verify mint presgen backend)
+# One region per pipeline phase, plus one per marshal-plan pass (nested
+# under the backend region; all passes are on by default).
+foreach(PHASE parse verify mint presgen backend
+              pass.inline pass.chunk pass.memcpy pass.bounded pass.scratch
+              pass.alias)
   if(NOT DOC MATCHES "\"name\": \"${PHASE}\"")
     message(FATAL_ERROR "stats JSON: missing phase '${PHASE}' in:\n${DOC}")
+  endif()
+endforeach()
+
+# Per-pass plan counters.  Presence only: the keys are created even when a
+# pass finds nothing to transform, so a missing key means the pass never
+# ran its counting path at all.
+foreach(COUNTER "plan.inline_items" "plan.chunks_before" "plan.chunks_after"
+                "plan.chunk_bytes" "plan.memcpy_members"
+                "plan.bounded_segments" "plan.scratch_segments"
+                "plan.alias_segments")
+  if(NOT DOC MATCHES "\"${COUNTER}\": [0-9]")
+    message(FATAL_ERROR
+            "stats JSON: plan counter '${COUNTER}' missing in:\n${DOC}")
   endif()
 endforeach()
 

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "backends/Backend.h"
+#include "backends/StubShape.h"
 #include "presgen/PresGen.h"
 #include "support/Stats.h"
 #include "support/StringExtras.h"
@@ -41,1773 +42,13 @@ BackendOutput Backend::generate(PresC &P, const std::string &BaseName) {
 }
 
 //===----------------------------------------------------------------------===//
-// Small shared helpers
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Broad parameter-shape classification used by the signature tables.
-enum class PKind { Scalar, Str, FixArr, Agg, Opt, Void };
-
-PKind classifyPres(const PresNode *P) {
-  if (!P)
-    return PKind::Void;
-  switch (P->kind()) {
-  case PresNode::Kind::Void:
-    return PKind::Void;
-  case PresNode::Kind::Prim:
-  case PresNode::Kind::Enum:
-    return PKind::Scalar;
-  case PresNode::Kind::String:
-    return PKind::Str;
-  case PresNode::Kind::FixedArray:
-    return PKind::FixArr;
-  case PresNode::Kind::OptPtr:
-    return PKind::Opt;
-  case PresNode::Kind::Struct:
-  case PresNode::Kind::Counted:
-  case PresNode::Kind::Union:
-    return PKind::Agg;
-  }
-  return PKind::Void;
-}
-
-bool containsUnionImpl(const PresNode *P, std::set<const PresNode *> &Seen) {
-  if (!P || !Seen.insert(P).second)
-    return false;
-  switch (P->kind()) {
-  case PresNode::Kind::Union:
-    return true;
-  case PresNode::Kind::Struct:
-    for (const PresField &F : cast<PresStruct>(P)->fields())
-      if (containsUnionImpl(F.Pres, Seen))
-        return true;
-    return false;
-  case PresNode::Kind::FixedArray:
-    return containsUnionImpl(cast<PresFixedArray>(P)->elem(), Seen);
-  case PresNode::Kind::Counted:
-    return containsUnionImpl(cast<PresCounted>(P)->elem(), Seen);
-  case PresNode::Kind::OptPtr:
-    return containsUnionImpl(cast<PresOptPtr>(P)->elem(), Seen);
-  default:
-    return false;
-  }
-}
-
-bool presContainsUnion(const PresNode *P) {
-  std::set<const PresNode *> Seen;
-  return containsUnionImpl(P, Seen);
-}
-
-uint64_t alignUpTo(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
-
-bool isAtomicMint(const MintType *T) {
-  switch (T->kind()) {
-  case MintType::Kind::Integer:
-  case MintType::Kind::Float:
-  case MintType::Kind::Char:
-  case MintType::Kind::Boolean:
-    return true;
-  default:
-    return false;
-  }
-}
-
-/// True for char/octet elements, which arrays pack one byte each with
-/// trailing padding only (the XDR `opaque` convention; CDR packs bytes
-/// naturally).  Standalone scalars still use atomSize (XDR widens them).
-bool isByteElem(const WireLayout &L, const MintType *T) {
-  (void)L;
-  if (T->kind() == MintType::Kind::Char)
-    return true;
-  const auto *I = dyn_cast<MintInteger>(T);
-  return I && I->bits() == 8;
-}
-
-/// Endianness suffix of the runtime encode/decode primitive family.
-const char *endianSuffix(WireKind K) {
-  switch (K) {
-  case WireKind::Xdr:
-  case WireKind::CdrBE:
-    return "be";
-  case WireKind::CdrLE:
-    return "le";
-  case WireKind::MachTyped:
-  case WireKind::FlukeReg:
-    return "ne";
-  }
-  return "ne";
-}
-
-std::string encFnFor(const WireLayout &L, unsigned Size) {
-  if (Size == 1)
-    return "flick_enc_u8";
-  return "flick_enc_u" + std::to_string(Size * 8) + endianSuffix(L.kind());
-}
-
-std::string decFnFor(const WireLayout &L, unsigned Size) {
-  if (Size == 1)
-    return "flick_dec_u8";
-  return "flick_dec_u" + std::to_string(Size * 8) + endianSuffix(L.kind());
-}
-
-//===----------------------------------------------------------------------===//
-// Fixed-layout measurement
-//===----------------------------------------------------------------------===//
-//
-// Exact wire offsets of a fixed-size PRES subtree, mirrored exactly by
-// StubGen::emitFixedInChunk.  Chunks start aligned to chunkAlign(), so
-// member alignment within a chunk is valid whenever MaxAlign <= chunkAlign.
-
-struct FixedLayout {
-  uint64_t Size = 0; ///< exact encoded bytes (before chunk padding)
-  unsigned MaxAlign = 1;
-  bool IsFixed = true; ///< false when the subtree has variable size
-};
-
-class LayoutMeasurer {
-public:
-  explicit LayoutMeasurer(const WireLayout &L) : L(L) {}
-
-  FixedLayout measure(const PresNode *P) {
-    FixedLayout FL;
-    uint64_t Off = 0;
-    FL.IsFixed = walk(P, Off, FL.MaxAlign);
-    FL.Size = Off;
-    return FL;
-  }
-
-  /// Measures a run of items laid out sequentially (struct fields or
-  /// top-level parameters sharing one chunk).
-  FixedLayout measureSeq(const std::vector<const PresNode *> &Items) {
-    FixedLayout FL;
-    uint64_t Off = 0;
-    for (const PresNode *P : Items)
-      if (!walk(P, Off, FL.MaxAlign)) {
-        FL.IsFixed = false;
-        break;
-      }
-    FL.Size = Off;
-    return FL;
-  }
-
-  bool walk(const PresNode *P, uint64_t &Off, unsigned &MaxAlign) {
-    if (!P)
-      return true;
-    if (!Seen.insert(P).second)
-      return false; // recursive types are never fixed-size
-    bool Ok = walkNew(P, Off, MaxAlign);
-    Seen.erase(P);
-    return Ok;
-  }
-
-private:
-  bool walkNew(const PresNode *P, uint64_t &Off, unsigned &MaxAlign) {
-    switch (P->kind()) {
-    case PresNode::Kind::Void:
-      return true;
-    case PresNode::Kind::Prim:
-    case PresNode::Kind::Enum: {
-      unsigned A = L.atomAlign(P->mint());
-      unsigned S = L.atomSize(P->mint());
-      Off = alignUpTo(Off, A);
-      Off += S;
-      MaxAlign = std::max(MaxAlign, A);
-      return true;
-    }
-    case PresNode::Kind::Struct: {
-      for (const PresField &F : cast<PresStruct>(P)->fields())
-        if (!walk(F.Pres, Off, MaxAlign))
-          return false;
-      return true;
-    }
-    case PresNode::Kind::FixedArray: {
-      const auto *A = cast<PresFixedArray>(P);
-      const MintType *EM = A->elem()->mint();
-      if (isByteElem(L, EM)) {
-        unsigned PU = L.padUnit();
-        Off = alignUpTo(Off, PU);
-        Off += L.padded(A->count());
-        MaxAlign = std::max<unsigned>(MaxAlign, PU);
-        return true;
-      }
-      FixedLayout EL;
-      {
-        uint64_t EOff = 0;
-        if (!walk(A->elem(), EOff, EL.MaxAlign))
-          return false;
-        EL.Size = EOff;
-      }
-      uint64_t Stride = L.padded(
-          alignUpTo(EL.Size, std::max<uint64_t>(EL.MaxAlign, 1)));
-      Off = alignUpTo(Off, std::max<unsigned>(EL.MaxAlign, 1));
-      Off += A->count() * Stride;
-      MaxAlign = std::max(MaxAlign, EL.MaxAlign);
-      return true;
-    }
-    case PresNode::Kind::Counted:
-    case PresNode::Kind::String:
-    case PresNode::Kind::OptPtr:
-    case PresNode::Kind::Union:
-      return false;
-    }
-    return false;
-  }
-
-  const WireLayout &L;
-  std::set<const PresNode *> Seen;
-};
-
-//===----------------------------------------------------------------------===//
-// Aggregate bit-identity (USC-style extension; the paper's §3.2 future
-// work): a presented aggregate whose host-C layout matches its wire
-// layout byte for byte may be block-copied whole.
-//===----------------------------------------------------------------------===//
-
-/// Host-C size/alignment of a presented scalar (System V x86-64-ish
-/// rules: natural alignment; enums are int-sized).  The generated code
-/// carries a static_assert so a mismatched ABI fails the build instead of
-/// corrupting messages.
-struct CScalar {
-  unsigned Size = 0;
-  unsigned Align = 0;
-};
-
-CScalar hostScalarOf(const PresNode *P) {
-  if (isa<PresEnum>(P))
-    return {4, 4};
-  const MintType *T = P->mint();
-  switch (T->kind()) {
-  case MintType::Kind::Integer: {
-    unsigned S = cast<MintInteger>(T)->bits() / 8;
-    return {S, S};
-  }
-  case MintType::Kind::Float: {
-    unsigned S = cast<MintFloat>(T)->bits() / 8;
-    return {S, S};
-  }
-  case MintType::Kind::Char:
-  case MintType::Kind::Boolean:
-    return {1, 1};
-  default:
-    return {0, 0};
-  }
-}
-
-/// Walks wire and host layouts in lockstep; true when every scalar lands
-/// at the same offset with the same size and no byte swap, i.e. the
-/// encoded bytes equal the in-memory bytes.
-bool walkBitIdentical(const PresNode *P, const WireLayout &L,
-                      uint64_t &WOff, uint64_t &COff, unsigned &CAlign) {
-  switch (P->kind()) {
-  case PresNode::Kind::Prim:
-  case PresNode::Kind::Enum: {
-    CScalar H = hostScalarOf(P);
-    if (!H.Size || !L.hostIdentical(P->mint()))
-      return false;
-    unsigned WA = L.atomAlign(P->mint());
-    unsigned WS = L.atomSize(P->mint());
-    WOff = alignUpTo(WOff, WA);
-    COff = alignUpTo(COff, H.Align);
-    if (WOff != COff || WS != H.Size)
-      return false;
-    WOff += WS;
-    COff += H.Size;
-    CAlign = std::max(CAlign, H.Align);
-    return true;
-  }
-  case PresNode::Kind::Struct: {
-    uint64_t SW = WOff, SC = COff;
-    unsigned Inner = 1;
-    for (const PresField &F : cast<PresStruct>(P)->fields())
-      if (!walkBitIdentical(F.Pres, L, WOff, COff, Inner))
-        return false;
-    // C pads the struct tail to its alignment; the wire stride (computed
-    // by LayoutMeasurer) pads to max member alignment the same way, so
-    // require the padded ends to agree.
-    uint64_t CEnd = alignUpTo(COff, Inner);
-    uint64_t WEnd = alignUpTo(WOff, Inner);
-    if (CEnd - SC != WEnd - SW)
-      return false;
-    WOff = WEnd;
-    COff = CEnd;
-    CAlign = std::max(CAlign, Inner);
-    return true;
-  }
-  case PresNode::Kind::FixedArray: {
-    const auto *A = cast<PresFixedArray>(P);
-    for (uint64_t I = 0; I != A->count(); ++I)
-      if (!walkBitIdentical(A->elem(), L, WOff, COff, CAlign))
-        return false;
-    return true;
-  }
-  default:
-    return false;
-  }
-}
-
-/// True when arrays of \p Elem may be copied whole with memcpy under
-/// \p L; \p StrideOut receives the shared element stride.
-bool presBitIdentical(const PresNode *Elem, const WireLayout &L,
-                      uint64_t &StrideOut) {
-  uint64_t W = 0, C = 0;
-  unsigned Align = 1;
-  if (!walkBitIdentical(Elem, L, W, C, Align))
-    return false;
-  uint64_t CStride = alignUpTo(C, Align);
-  // The wire stride emitArrayElems uses comes from LayoutMeasurer.
-  LayoutMeasurer M(L);
-  FixedLayout FL = M.measure(Elem);
-  if (!FL.IsFixed)
-    return false;
-  uint64_t WStride = L.padded(
-      alignUpTo(FL.Size, std::max<uint64_t>(FL.MaxAlign, 1)));
-  if (CStride != WStride)
-    return false;
-  StrideOut = CStride;
-  return true;
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
 // StubGen basics
 //===----------------------------------------------------------------------===//
 
 StubGen::StubGen(Backend &BE, PresC &P, const std::string &BaseName)
-    : BE(BE), P(P), BaseName(BaseName), B(P.Cast), Layout(BE.wire()) {
+    : BE(BE), P(P), BaseName(BaseName), B(P.Cast), Layout(BE.wire()),
+      Pipeline(BE.options(), Layout) {
   UseEnv = P.Style == "corba" || P.Style == "fluke";
-}
-
-std::string StubGen::freshVar(const std::string &Hint) {
-  return Hint + std::to_string(++VarCounter);
-}
-
-void StubGen::checkCall(CastExpr *Call, const char *ErrId) {
-  stmt(B.ifStmt(Call, B.ret(B.id(ErrId))));
-}
-
-void StubGen::checkAvail(CastExpr *N) {
-  stmt(B.ifStmt(B.nt(B.call("flick_buf_check", {bufExpr(), N})),
-                B.ret(B.id("FLICK_ERR_DECODE"))));
-}
-
-unsigned StubGen::chunkAlign() const {
-  return Layout.kind() == WireKind::Xdr ? 4 : 8;
-}
-
-void StubGen::alignTo(unsigned Align) {
-  if (Align <= 1)
-    return;
-  assert(!ChunkActive && "alignTo with open chunk");
-  if (CurEncode)
-    checkCall(B.call("flick_buf_align_write", {bufExpr(), B.unum(Align)}),
-              "FLICK_ERR_ALLOC");
-  else
-    checkCall(B.call("flick_buf_align_read", {bufExpr(), B.unum(Align)}),
-              "FLICK_ERR_DECODE");
-}
-
-std::string StubGen::markPosition() {
-  LastMark = freshVar("_mark");
-  stmt(B.varDecl(B.prim("size_t"), LastMark,
-                 B.arrow(bufExpr(), "len")));
-  return LastMark;
-}
-
-void StubGen::openChunk(uint64_t Bytes) {
-  assert(!ChunkActive && "chunk already open");
-  ChunkActive = true;
-  ChunkEncode = CurEncode;
-  ChunkOff = 0;
-  ChunkCap = Bytes;
-  ChunkVar = "_chk" + std::to_string(++ChunkCounter);
-  if (ChunkEncode) {
-    if (NoEnsure == 0)
-      checkCall(B.call("flick_buf_ensure", {bufExpr(), B.unum(Bytes)}),
-                "FLICK_ERR_ALLOC");
-    stmt(B.varDecl(B.ptr(B.prim("uint8_t")), ChunkVar,
-                   B.call("flick_buf_grab", {bufExpr(), B.unum(Bytes)})));
-  } else {
-    checkAvail(B.unum(Bytes));
-    stmt(B.varDecl(B.constPtr(B.prim("uint8_t")), ChunkVar,
-                   B.call("flick_buf_take", {bufExpr(), B.unum(Bytes)})));
-  }
-}
-
-/// Chunk-relative address expression `_chk + Off` (or just `_chk`).
-static CastExpr *chunkAddr(CastBuilder &B, const std::string &Var,
-                           uint64_t Off) {
-  if (Off == 0)
-    return B.id(Var);
-  return B.add(B.id(Var), B.unum(Off));
-}
-
-void StubGen::closeChunk() {
-  assert(ChunkActive && "no chunk open");
-  assert(ChunkOff <= ChunkCap && "chunk overflow");
-  // Zero trailing chunk padding on the encode side so the wire is
-  // deterministic (presentations of one interface must produce identical
-  // messages -- paper §2).
-  if (ChunkEncode && ChunkOff < ChunkCap)
-    stmt(B.exprStmt(B.call("memset",
-                           {chunkAddr(B, ChunkVar, ChunkOff), B.num(0),
-                            B.unum(ChunkCap - ChunkOff)})));
-  ChunkActive = false;
-}
-
-void StubGen::putWire(unsigned Size, CastExpr *WireVal) {
-  assert(ChunkActive && ChunkEncode && "putWire outside encode chunk");
-  unsigned Align = Layout.kind() == WireKind::Xdr ? 4 : Size;
-  uint64_t Aligned = alignUpTo(ChunkOff, Align);
-  if (Aligned != ChunkOff) // zero alignment gaps for determinism
-    stmt(B.exprStmt(B.call("memset",
-                           {chunkAddr(B, ChunkVar, ChunkOff), B.num(0),
-                            B.unum(Aligned - ChunkOff)})));
-  ChunkOff = Aligned;
-  stmt(B.exprStmt(B.call(encFnFor(Layout, Size),
-                         {chunkAddr(B, ChunkVar, ChunkOff), WireVal})));
-  ChunkOff += Size;
-}
-
-CastExpr *StubGen::getWire(unsigned Size) {
-  assert(ChunkActive && !ChunkEncode && "getWire outside decode chunk");
-  unsigned Align = Layout.kind() == WireKind::Xdr ? 4 : Size;
-  ChunkOff = alignUpTo(ChunkOff, Align);
-  CastExpr *Load =
-      B.call(decFnFor(Layout, Size), {chunkAddr(B, ChunkVar, ChunkOff)});
-  ChunkOff += Size;
-  return Load;
-}
-
-void StubGen::putU8(CastExpr *V) { putWire(1, V); }
-void StubGen::putU16(CastExpr *V) { putWire(2, V); }
-void StubGen::putU32(CastExpr *V) { putWire(4, V); }
-void StubGen::putU64(CastExpr *V) { putWire(8, V); }
-CastExpr *StubGen::getU8() { return getWire(1); }
-CastExpr *StubGen::getU16() { return getWire(2); }
-CastExpr *StubGen::getU32() { return getWire(4); }
-CastExpr *StubGen::getU64() { return getWire(8); }
-
-void StubGen::putBytes(const std::string &Bytes) {
-  assert(ChunkActive && ChunkEncode && "putBytes outside encode chunk");
-  stmt(B.exprStmt(B.call(
-      "memcpy", {chunkAddr(B, ChunkVar, ChunkOff), B.str(Bytes),
-                 B.unum(Bytes.size())})));
-  ChunkOff += Bytes.size();
-}
-
-//===----------------------------------------------------------------------===//
-// Atomic conversion helpers
-//===----------------------------------------------------------------------===//
-
-/// Converts the presented C value \p Val to its wire integer and stores it
-/// at the current chunk offset.
-void StubGen::putAtomicConv(const PresNode *P, CastExpr *Val) {
-  const MintType *T = P->mint();
-  unsigned Size = Layout.atomSize(T);
-  CastExpr *Wire = Val;
-  switch (T->kind()) {
-  case MintType::Kind::Integer: {
-    const char *U = Size == 8 ? "uint64_t"
-                    : Size == 4 ? "uint32_t"
-                    : Size == 2 ? "uint16_t"
-                                : "uint8_t";
-    Wire = B.castTo(B.prim(U), Val);
-    break;
-  }
-  case MintType::Kind::Float:
-    Wire = B.call(cast<MintFloat>(T)->bits() == 64 ? "flick_f64_bits"
-                                                   : "flick_f32_bits",
-                  {Val});
-    break;
-  case MintType::Kind::Char:
-    Wire = Size == 4
-               ? B.castTo(B.prim("uint32_t"),
-                          B.castTo(B.prim("unsigned char"), Val))
-               : B.castTo(B.prim("uint8_t"), Val);
-    break;
-  case MintType::Kind::Boolean:
-    Wire = B.castTo(B.prim(Size == 4 ? "uint32_t" : "uint8_t"), Val);
-    break;
-  default:
-    assert(false && "putAtomicConv on non-atomic");
-  }
-  putWire(Size, Wire);
-}
-
-/// Loads an atomic from the chunk and assigns the converted value to
-/// \p Val.
-void StubGen::getAtomicConv(const PresNode *P, CastExpr *Val) {
-  const MintType *T = P->mint();
-  unsigned Size = Layout.atomSize(T);
-  CastExpr *Load = getWire(Size);
-  CastExpr *Conv = Load;
-  if (isa<PresEnum>(P)) {
-    Conv = B.castTo(P->ctype(), Load);
-  } else {
-    switch (T->kind()) {
-    case MintType::Kind::Integer: {
-      const auto *I = cast<MintInteger>(T);
-      unsigned HostBytes = I->bits() / 8;
-      if (HostBytes != Size) // XDR widened small integers
-        Conv = B.castTo(B.prim("uint" + std::to_string(I->bits()) + "_t"),
-                        Load);
-      if (I->isSigned())
-        Conv = B.castTo(
-            B.prim("int" + std::to_string(I->bits()) + "_t"), Conv);
-      break;
-    }
-    case MintType::Kind::Float:
-      Conv = B.call(cast<MintFloat>(T)->bits() == 64 ? "flick_bits_f64"
-                                                     : "flick_bits_f32",
-                    {Load});
-      break;
-    case MintType::Kind::Char:
-      Conv = B.castTo(B.prim("char"), Load);
-      break;
-    case MintType::Kind::Boolean:
-      Conv = B.castTo(B.prim("uint8_t"), B.bin("!=", Load, B.num(0)));
-      break;
-    default:
-      assert(false && "getAtomicConv on non-atomic");
-    }
-  }
-  stmt(B.exprStmt(B.assign(Val, Conv)));
-}
-
-void StubGen::emitAtomicValue(const PresNode *P, CastExpr *Val,
-                              bool Encode) {
-  if (options().PerDatumCalls) {
-    emitNaiveAtomic(P, Val, Encode);
-    return;
-  }
-  bool Single = !ChunkActive;
-  if (Single) {
-    unsigned Size = Layout.atomSize(P->mint());
-    openChunk(Layout.padded(Size));
-  }
-  if (Encode)
-    putAtomicConv(P, Val);
-  else
-    getAtomicConv(P, Val);
-  if (Single)
-    closeChunk();
-}
-
-/// Traditional per-datum marshaling: one out-of-line runtime call per
-/// atomic value, with its own buffer check and cursor bump.
-void StubGen::emitNaiveAtomic(const PresNode *P, CastExpr *Val,
-                              bool Encode) {
-  const MintType *T = P->mint();
-  unsigned Size = Layout.atomSize(T);
-  int BigEndian = endianSuffix(Layout.kind())[0] == 'b' ? 1 : 0;
-  std::string Fn = std::string(Encode ? "flick_naive_put_u"
-                                      : "flick_naive_get_u") +
-                   std::to_string(Size * 8);
-  if (Encode) {
-    // Reuse the conversion logic: wire value expression.
-    CastExpr *Wire = Val;
-    switch (T->kind()) {
-    case MintType::Kind::Float:
-      Wire = B.call(cast<MintFloat>(T)->bits() == 64 ? "flick_f64_bits"
-                                                     : "flick_f32_bits",
-                    {Val});
-      break;
-    case MintType::Kind::Char:
-      Wire = Size == 4 ? B.castTo(B.prim("uint32_t"),
-                                  B.castTo(B.prim("unsigned char"), Val))
-                       : B.castTo(B.prim("uint8_t"), Val);
-      break;
-    default: {
-      const char *U = Size == 8 ? "uint64_t"
-                      : Size == 4 ? "uint32_t"
-                      : Size == 2 ? "uint16_t"
-                                  : "uint8_t";
-      Wire = B.castTo(B.prim(U), Val);
-    }
-    }
-    std::vector<CastExpr *> Args = {bufExpr(), Wire};
-    if (Size > 1)
-      Args.push_back(B.num(BigEndian));
-    checkCall(B.call(Fn, Args), "FLICK_ERR_ALLOC");
-    return;
-  }
-  std::string Tmp = freshVar("_t");
-  const char *U = Size == 8 ? "uint64_t"
-                  : Size == 4 ? "uint32_t"
-                  : Size == 2 ? "uint16_t"
-                              : "uint8_t";
-  stmt(B.varDecl(B.prim(U), Tmp));
-  std::vector<CastExpr *> Args = {bufExpr(), B.addr(B.id(Tmp))};
-  if (Size > 1)
-    Args.push_back(B.num(BigEndian));
-  checkCall(B.call(Fn, Args), "FLICK_ERR_DECODE");
-  CastExpr *Conv = B.id(Tmp);
-  if (isa<PresEnum>(P)) {
-    Conv = B.castTo(P->ctype(), Conv);
-  } else {
-    switch (T->kind()) {
-    case MintType::Kind::Integer: {
-      const auto *I = cast<MintInteger>(T);
-      if (I->bits() / 8 != Size)
-        Conv = B.castTo(B.prim("uint" + std::to_string(I->bits()) + "_t"),
-                        Conv);
-      if (I->isSigned())
-        Conv = B.castTo(B.prim("int" + std::to_string(I->bits()) + "_t"),
-                        Conv);
-      break;
-    }
-    case MintType::Kind::Float:
-      Conv = B.call(cast<MintFloat>(T)->bits() == 64 ? "flick_bits_f64"
-                                                     : "flick_bits_f32",
-                    {Conv});
-      break;
-    case MintType::Kind::Char:
-      Conv = B.castTo(B.prim("char"), Conv);
-      break;
-    case MintType::Kind::Boolean:
-      Conv = B.castTo(B.prim("uint8_t"), B.bin("!=", Conv, B.num(0)));
-      break;
-    default:
-      break;
-    }
-  }
-  stmt(B.exprStmt(B.assign(Val, Conv)));
-}
-
-//===----------------------------------------------------------------------===//
-// Allocation
-//===----------------------------------------------------------------------===//
-
-CastExpr *StubGen::allocExpr(const AllocSemantics &A, CastExpr *Bytes) {
-  // Scratch storage is the default when the presentation allows it and the
-  // option is on; the helper falls back to malloc when no arena is in
-  // scope (client side passes a null arena).  Paper §3.1, "Parameter
-  // Management".
-  if (options().ScratchAlloc && A.AllowStackAlloc && ServerSide)
-    return B.call("flick_arena_alloc", {B.id("_ar"), Bytes});
-  return B.call("malloc", {Bytes});
-}
-
-//===----------------------------------------------------------------------===//
-// emitValue: policy wrapper
-//===----------------------------------------------------------------------===//
-
-void StubGen::emitValue(const PresNode *P, CastExpr *Val, bool Encode) {
-  CurEncode = Encode;
-  PKind K = classifyPres(P);
-  if (K == PKind::Void)
-    return;
-
-  // Recursive types and non-inlining mode go through out-of-line helpers
-  // (paper §3.3: Flick inlines everything except recursive types).  The
-  // helper-root check comes first: when generating a helper body, the node
-  // is already on the emission stack and must inline exactly once.
-  bool NonScalar = K != PKind::Scalar;
-  const PresNode *SavedRoot = HelperRoot;
-  if (P == HelperRoot) {
-    HelperRoot = nullptr;
-  } else if (Emitting.count(P) ||
-             (!options().Inline && NonScalar)) {
-    callHelper(P, Val, Encode);
-    return;
-  }
-  bool Inserted = Emitting.insert(P).second;
-
-  bool Handled = false;
-  if (options().Chunk && !ChunkActive && !presContainsUnion(P)) {
-    LayoutMeasurer M(Layout);
-    FixedLayout FL = M.measure(P);
-    if (FL.IsFixed) {
-      // One buffer check for the whole fixed segment, then static-offset
-      // chunk addressing (paper §3.1/§3.2).
-      if (FL.Size > 0) {
-        openChunk(alignUpTo(FL.Size, chunkAlign()));
-        emitFixedInChunk(P, Val, Encode);
-        closeChunk();
-      }
-      Handled = true;
-    } else if (Encode && NoEnsure == 0) {
-      StorageInfo SI = analyzeStorage(P->mint(), Layout);
-      if (SI.Class == StorageClass::Bounded &&
-          SI.MaxBytes + 16 <= options().BoundedThreshold) {
-        // Variable but bounded below the threshold: ensure the maximum
-        // once, then marshal with no further space checks.
-        checkCall(B.call("flick_buf_ensure",
-                         {bufExpr(), B.unum(SI.MaxBytes + 16)}),
-                  "FLICK_ERR_ALLOC");
-        ++NoEnsure;
-        emitValueInner(P, Val, Encode);
-        --NoEnsure;
-        Handled = true;
-      }
-    }
-  }
-  if (!Handled)
-    emitValueInner(P, Val, Encode);
-
-  if (Inserted)
-    Emitting.erase(P);
-  HelperRoot = SavedRoot;
-}
-
-void StubGen::emitValueInner(const PresNode *P, CastExpr *Val, bool Encode) {
-  switch (P->kind()) {
-  case PresNode::Kind::Void:
-    return;
-  case PresNode::Kind::Prim:
-  case PresNode::Kind::Enum:
-    emitAtomicValue(P, Val, Encode);
-    return;
-  case PresNode::Kind::Struct:
-    emitStruct(cast<PresStruct>(P), Val, Encode);
-    return;
-  case PresNode::Kind::FixedArray: {
-    const auto *A = cast<PresFixedArray>(P);
-    emitArrayElems(A->elem(), Val, B.unum(A->count()), Encode);
-    return;
-  }
-  case PresNode::Kind::Counted:
-    emitCounted(cast<PresCounted>(P), Val, Encode);
-    return;
-  case PresNode::Kind::String:
-    emitString(cast<PresString>(P), Val, Encode);
-    return;
-  case PresNode::Kind::OptPtr:
-    emitOptPtr(cast<PresOptPtr>(P), Val, Encode);
-    return;
-  case PresNode::Kind::Union:
-    emitUnion(cast<PresUnion>(P), Val, Encode);
-    return;
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Fixed-chunk emission (mirrors LayoutMeasurer)
-//===----------------------------------------------------------------------===//
-
-uint64_t StubGen::elemStrideOf(const PresNode *Elem) const {
-  LayoutMeasurer M(Layout);
-  FixedLayout EL = M.measure(Elem);
-  assert(EL.IsFixed && "stride of variable element");
-  return Layout.padded(
-      alignUpTo(EL.Size, std::max<uint64_t>(EL.MaxAlign, 1)));
-}
-
-void StubGen::emitFixedInChunk(const PresNode *P, CastExpr *Val,
-                               bool Encode) {
-  switch (P->kind()) {
-  case PresNode::Kind::Void:
-    return;
-  case PresNode::Kind::Prim:
-  case PresNode::Kind::Enum:
-    if (Encode)
-      putAtomicConv(P, Val);
-    else
-      getAtomicConv(P, Val);
-    return;
-  case PresNode::Kind::Struct:
-    for (const PresField &F : cast<PresStruct>(P)->fields())
-      emitFixedInChunk(F.Pres, B.mem(Val, F.CName), Encode);
-    return;
-  case PresNode::Kind::FixedArray: {
-    const auto *A = cast<PresFixedArray>(P);
-    const PresNode *Elem = A->elem();
-    const MintType *EM = Elem->mint();
-    uint64_t N = A->count();
-    if (isByteElem(Layout, EM)) {
-      // Packed byte array (XDR opaque semantics): one memcpy.
-      ChunkOff = alignUpTo(ChunkOff, Layout.padUnit());
-      CastExpr *Addr = chunkAddr(B, ChunkVar, ChunkOff);
-      if (Encode) {
-        stmt(B.exprStmt(B.call("memcpy", {Addr, Val, B.unum(N)})));
-        uint64_t Pad = Layout.padded(N) - N;
-        if (Pad)
-          stmt(B.exprStmt(B.call(
-              "memset",
-              {chunkAddr(B, ChunkVar, ChunkOff + N), B.num(0),
-               B.unum(Pad)})));
-      } else {
-        stmt(B.exprStmt(B.call(
-            "memcpy", {Val, B.castTo(B.constPtr(B.voidTy()), Addr),
-                       B.unum(N)})));
-      }
-      ChunkOff += Layout.padded(N);
-      return;
-    }
-    if (isAtomicMint(EM)) {
-      unsigned S = Layout.atomSize(EM);
-      unsigned HostS = S; // hostIdentical implies sizes match
-      ChunkOff = alignUpTo(ChunkOff, Layout.atomAlign(EM));
-      CastExpr *Addr = chunkAddr(B, ChunkVar, ChunkOff);
-      if (options().Memcpy && Layout.hostIdentical(EM)) {
-        if (Encode)
-          stmt(B.exprStmt(
-              B.call("memcpy", {Addr, Val, B.unum(N * HostS)})));
-        else
-          stmt(B.exprStmt(B.call(
-              "memcpy", {Val, B.castTo(B.constPtr(B.voidTy()), Addr),
-                         B.unum(N * HostS)})));
-        ChunkOff += N * S;
-        return;
-      }
-      // Endian-mismatched arrays marshal through an element loop with
-      // chunk-relative addressing; with the single coalesced space check
-      // the compiler vectorizes it to a byte-swapping block copy (the
-      // modern equivalent of the paper's USC-style swap copy).
-      uint64_t Stride = S;
-      std::string IV = freshVar("_i");
-      uint64_t BaseOff = ChunkOff;
-      std::vector<CastStmt *> Body;
-      auto *SaveCur = Cur;
-      uint64_t SaveOff = ChunkOff;
-      std::string SaveVar = ChunkVar;
-      uint64_t SaveCap = ChunkCap;
-      std::string EP = freshVar("_ep");
-      Cur = &Body;
-      stmt(B.varDecl(Encode ? B.ptr(B.prim("uint8_t"))
-                            : B.constPtr(B.prim("uint8_t")),
-                     EP,
-                     B.add(chunkAddr(B, SaveVar, BaseOff),
-                           B.mul(B.id(IV), B.unum(Stride)))));
-      ChunkVar = EP;
-      ChunkOff = 0;
-      ChunkCap = Stride;
-      emitFixedInChunk(A->elem(), B.idx(Val, B.id(IV)), Encode);
-      Cur = SaveCur;
-      ChunkVar = SaveVar;
-      ChunkCap = SaveCap;
-      ChunkOff = SaveOff + N * Stride;
-      stmt(B.forStmt(
-          B.varDecl(B.prim("size_t"), IV, B.num(0)),
-          B.lt(B.id(IV), B.unum(N)),
-          B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))), B.block(Body)));
-      return;
-    }
-    // Fixed array of fixed aggregates: loop with per-element chunk base.
-    uint64_t Stride = elemStrideOf(Elem);
-    LayoutMeasurer M(Layout);
-    FixedLayout EL = M.measure(Elem);
-    ChunkOff = alignUpTo(ChunkOff, std::max<unsigned>(EL.MaxAlign, 1));
-    uint64_t BaseOff = ChunkOff;
-    std::string IV = freshVar("_i");
-    std::vector<CastStmt *> Body;
-    auto *SaveCur = Cur;
-    uint64_t SaveOff = ChunkOff;
-    std::string SaveVar = ChunkVar;
-    uint64_t SaveCap = ChunkCap;
-    std::string EP = freshVar("_ep");
-    Cur = &Body;
-    stmt(B.varDecl(Encode ? B.ptr(B.prim("uint8_t"))
-                          : B.constPtr(B.prim("uint8_t")),
-                   EP,
-                   B.add(chunkAddr(B, SaveVar, BaseOff),
-                         B.mul(B.id(IV), B.unum(Stride)))));
-    ChunkVar = EP;
-    ChunkOff = 0;
-    ChunkCap = Stride;
-    emitFixedInChunk(Elem, B.idx(Val, B.id(IV)), Encode);
-    Cur = SaveCur;
-    ChunkVar = SaveVar;
-    ChunkCap = SaveCap;
-    ChunkOff = SaveOff + A->count() * Stride;
-    stmt(B.forStmt(B.varDecl(B.prim("size_t"), IV, B.num(0)),
-                   B.lt(B.id(IV), B.unum(A->count())),
-                   B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-                   B.block(Body)));
-    return;
-  }
-  default:
-    assert(false && "variable-size node inside fixed chunk");
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Sequences (struct fields / parameter lists): greedy fixed-run chunking
-//===----------------------------------------------------------------------===//
-
-void StubGen::emitSequence(
-    const std::vector<std::pair<const PresNode *, CastExpr *>> &Items,
-    bool Encode) {
-  CurEncode = Encode;
-  std::vector<std::pair<const PresNode *, CastExpr *>> Run;
-
-  auto FlushRun = [&] {
-    if (Run.empty())
-      return;
-    if (Run.size() == 1) {
-      // Single item: let emitValue pick the best strategy (it will chunk
-      // it by itself).
-      emitValue(Run[0].first, Run[0].second, Encode);
-      Run.clear();
-      return;
-    }
-    LayoutMeasurer M(Layout);
-    std::vector<const PresNode *> Ps;
-    for (auto &[Pn, V] : Run)
-      Ps.push_back(Pn);
-    FixedLayout FL = M.measureSeq(Ps);
-    assert(FL.IsFixed && "non-fixed item in run");
-    if (FL.Size > 0) {
-      openChunk(alignUpTo(FL.Size, chunkAlign()));
-      for (auto &[Pn, V] : Run)
-        emitFixedInChunk(Pn, V, Encode);
-      closeChunk();
-    }
-    Run.clear();
-  };
-
-  for (const auto &[Pn, V] : Items) {
-    if (classifyPres(Pn) == PKind::Void)
-      continue;
-    bool CanRun = options().Chunk && !presContainsUnion(Pn) &&
-                  !Emitting.count(Pn) &&
-                  (options().Inline || classifyPres(Pn) == PKind::Scalar);
-    if (CanRun) {
-      LayoutMeasurer M(Layout);
-      if (M.measure(Pn).IsFixed) {
-        Run.push_back({Pn, V});
-        continue;
-      }
-    }
-    FlushRun();
-    emitValue(Pn, V, Encode);
-  }
-  FlushRun();
-}
-
-void StubGen::emitStruct(const PresStruct *P, CastExpr *Val, bool Encode) {
-  std::vector<std::pair<const PresNode *, CastExpr *>> Items;
-  for (const PresField &F : P->fields())
-    Items.push_back({F.Pres, B.mem(Val, F.CName)});
-  emitSequence(Items, Encode);
-}
-
-//===----------------------------------------------------------------------===//
-// Arrays
-//===----------------------------------------------------------------------===//
-
-/// Shared element path once a destination/source base pointer and runtime
-/// count are known.  Handles memcpy/swap bulk copies and per-element loops.
-void StubGen::emitArrayElems(const PresNode *Elem, CastExpr *BaseE,
-                             CastExpr *CountE, bool Encode) {
-  const MintType *EM = Elem->mint();
-  unsigned CA = chunkAlign();
-
-  // Bulk byte copy (strings use emitString, so this is opaque/char data).
-  if (isByteElem(Layout, EM)) {
-    std::string NB = freshVar("_nb");
-    stmt(B.varDecl(B.prim("size_t"), NB,
-                   B.castTo(B.prim("size_t"), CountE)));
-    if (Encode) {
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                  "FLICK_ERR_ALLOC");
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-           B.id(NB)})));
-    } else {
-      checkAvail(B.id(NB));
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {BaseE,
-           B.castTo(B.constPtr(B.voidTy()),
-                    B.call("flick_buf_take", {bufExpr(), B.id(NB)})),
-           B.id(NB)})));
-    }
-    alignTo(Layout.padUnit() > 1 ? Layout.padUnit() : CA);
-    return;
-  }
-
-  if (isAtomicMint(EM)) {
-    unsigned S = Layout.atomSize(EM);
-    const auto *I = dyn_cast<MintInteger>(EM);
-    bool SizeMatch = !I || I->bits() / 8 == S;
-    std::string NB = freshVar("_nb");
-    if (options().Memcpy && Layout.hostIdentical(EM)) {
-      stmt(B.varDecl(B.prim("size_t"), NB,
-                     B.mul(B.castTo(B.prim("size_t"), CountE), B.unum(S))));
-      if (Encode) {
-        if (NoEnsure == 0)
-          checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                    "FLICK_ERR_ALLOC");
-        stmt(B.exprStmt(B.call(
-            "memcpy",
-            {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-             B.id(NB)})));
-      } else {
-        checkAvail(B.id(NB));
-        stmt(B.exprStmt(B.call(
-            "memcpy",
-            {BaseE,
-             B.castTo(B.constPtr(B.voidTy()),
-                      B.call("flick_buf_take", {bufExpr(), B.id(NB)})),
-             B.id(NB)})));
-      }
-      alignTo(CA);
-      return;
-    }
-    (void)S;
-    (void)SizeMatch;
-  }
-
-  // USC-style aggregate block copy (the paper's §3.2 future work): when
-  // the element's host layout is bit-identical to its wire layout, whole
-  // arrays of aggregates move with one memcpy.  A static_assert in the
-  // generated code pins the ABI assumption.
-  uint64_t IdStride = 0;
-  if (options().Memcpy && classifyPres(Elem) != PKind::Scalar &&
-      Elem->ctype() && presBitIdentical(Elem, Layout, IdStride)) {
-    stmt(B.rawStmt("static_assert(sizeof(" +
-                   printCastType(Elem->ctype(), "") + ") == " +
-                   std::to_string(IdStride) +
-                   ", \"wire/host layout assumption\");"));
-    std::string NB = freshVar("_nb");
-    stmt(B.varDecl(
-        B.prim("size_t"), NB,
-        B.mul(B.castTo(B.prim("size_t"), CountE), B.unum(IdStride))));
-    if (Encode) {
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                  "FLICK_ERR_ALLOC");
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-           B.id(NB)})));
-    } else {
-      checkAvail(B.id(NB));
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {BaseE,
-           B.castTo(B.constPtr(B.voidTy()),
-                    B.call("flick_buf_take", {bufExpr(), B.id(NB)})),
-           B.id(NB)})));
-    }
-    alignTo(CA);
-    return;
-  }
-
-  // Fixed-size elements: one space check for the whole array, then a loop
-  // with chunk-relative addressing (this is how the paper's rectangle
-  // arrays marshal).
-  LayoutMeasurer M(Layout);
-  FixedLayout EL = M.measure(Elem);
-  if (options().Chunk && EL.IsFixed && !presContainsUnion(Elem) &&
-      (options().Inline || classifyPres(Elem) == PKind::Scalar)) {
-    uint64_t Stride = elemStrideOf(Elem);
-    std::string NB = freshVar("_nb");
-    stmt(B.varDecl(
-        B.prim("size_t"), NB,
-        B.mul(B.castTo(B.prim("size_t"), CountE), B.unum(Stride))));
-    std::string Base = freshVar("_ab");
-    if (Encode) {
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                  "FLICK_ERR_ALLOC");
-      stmt(B.varDecl(B.ptr(B.prim("uint8_t")), Base,
-                     B.call("flick_buf_grab", {bufExpr(), B.id(NB)})));
-    } else {
-      checkAvail(B.id(NB));
-      stmt(B.varDecl(B.constPtr(B.prim("uint8_t")), Base,
-                     B.call("flick_buf_take", {bufExpr(), B.id(NB)})));
-    }
-    std::string IV = freshVar("_i");
-    std::vector<CastStmt *> Body;
-    auto *SaveCur = Cur;
-    Cur = &Body;
-    std::string EP = freshVar("_ep");
-    stmt(B.varDecl(Encode ? B.ptr(B.prim("uint8_t"))
-                          : B.constPtr(B.prim("uint8_t")),
-                   EP,
-                   B.add(B.id(Base), B.mul(B.id(IV), B.unum(Stride)))));
-    bool SaveActive = ChunkActive;
-    ChunkActive = true;
-    ChunkEncode = Encode;
-    std::string SaveVar = ChunkVar;
-    uint64_t SaveOff = ChunkOff, SaveCap = ChunkCap;
-    ChunkVar = EP;
-    ChunkOff = 0;
-    ChunkCap = Stride;
-    emitFixedInChunk(Elem, B.idx(BaseE, B.id(IV)), Encode);
-    ChunkActive = SaveActive;
-    ChunkVar = SaveVar;
-    ChunkOff = SaveOff;
-    ChunkCap = SaveCap;
-    Cur = SaveCur;
-    stmt(B.forStmt(B.varDecl(B.prim("size_t"), IV, B.num(0)),
-                   B.lt(B.id(IV), B.castTo(B.prim("size_t"), CountE)),
-                   B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-                   B.block(Body)));
-    alignTo(CA);
-    return;
-  }
-
-  // General per-element path (variable-size or non-chunked elements).
-  std::string IV = freshVar("_i");
-  std::vector<CastStmt *> Body;
-  auto *SaveCur = Cur;
-  Cur = &Body;
-  emitValue(Elem, B.idx(BaseE, B.id(IV)), Encode);
-  Cur = SaveCur;
-  stmt(B.forStmt(B.varDecl(B.prim("size_t"), IV, B.num(0)),
-                 B.lt(B.id(IV), B.castTo(B.prim("size_t"), CountE)),
-                 B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-                 B.block(Body)));
-  alignTo(CA);
-}
-
-//===----------------------------------------------------------------------===//
-// Counted arrays, strings, optional pointers, unions
-//===----------------------------------------------------------------------===//
-
-void StubGen::emitCounted(const PresCounted *P, CastExpr *Val, bool Encode) {
-  const PresNode *Elem = P->elem();
-  const auto *MA = cast<MintArray>(P->mint());
-  const MintType *EM = Elem->mint();
-  unsigned CA = chunkAlign();
-
-  if (Encode) {
-    std::string Len = freshVar("_len");
-    stmt(B.varDecl(B.prim("uint32_t"), Len,
-                   B.castTo(B.prim("uint32_t"), B.mem(Val, P->lenField()))));
-    if (MA->isBounded())
-      stmt(B.ifStmt(B.bin(">", B.id(Len), B.unum(MA->maxLen())),
-                    B.ret(B.id("FLICK_ERR_DECODE"))));
-    openChunk(alignUpTo(Layout.padded(4), CA));
-    putU32(B.id(Len));
-    closeChunk();
-    emitArrayElems(Elem, B.mem(Val, P->bufField()), B.id(Len), true);
-    return;
-  }
-
-  // Decode: length word, bound check, destination storage, elements.
-  openChunk(alignUpTo(Layout.padded(4), CA));
-  std::string Len = freshVar("_len");
-  stmt(B.varDecl(B.prim("uint32_t"), Len, getU32()));
-  closeChunk();
-  if (MA->isBounded())
-    stmt(B.ifStmt(B.bin(">", B.id(Len), B.unum(MA->maxLen())),
-                  B.ret(B.id("FLICK_ERR_DECODE"))));
-  stmt(B.exprStmt(B.assign(B.mem(Val, P->lenField()), B.id(Len))));
-  if (!P->maxField().empty())
-    stmt(B.exprStmt(B.assign(B.mem(Val, P->maxField()), B.id(Len))));
-
-  CastType *ElemCT = Elem->ctype();
-  bool AliasOk = options().BufferAlias && options().ScratchAlloc &&
-                 ServerSide && P->alloc().AllowBufferAlias &&
-                 isAtomicMint(EM) && Layout.hostIdentical(EM) &&
-                 (Layout.atomSize(EM) <= 4 ||
-                  Layout.kind() != WireKind::Xdr);
-  if (AliasOk) {
-    // Decode in place: the presented array aliases the request buffer
-    // (paper §3.1); legal because the presentation forbids the servant
-    // from keeping references.
-    unsigned S = Layout.atomSize(EM);
-    std::string NB = freshVar("_nb");
-    stmt(B.varDecl(B.prim("size_t"), NB,
-                   B.mul(B.castTo(B.prim("size_t"), B.id(Len)),
-                         B.unum(S))));
-    checkAvail(B.id(NB));
-    stmt(B.exprStmt(B.assign(
-        B.mem(Val, P->bufField()),
-        B.castTo(B.ptr(ElemCT),
-                 B.call("flick_buf_take_mut", {bufExpr(), B.id(NB)})))));
-    alignTo(Layout.padUnit() > 1 ? Layout.padUnit() : CA);
-    return;
-  }
-
-  // Every element is at least one wire byte, so a length beyond the
-  // remaining buffer is malformed; reject before allocating (avoids
-  // attacker-controlled allocation bombs).
-  checkAvail(B.castTo(B.prim("size_t"), B.id(Len)));
-  std::string Dst = freshVar("_dst");
-  CastExpr *Bytes =
-      B.mul(B.add(B.castTo(B.prim("size_t"), B.id(Len)), B.num(1)),
-            B.sizeofTy(ElemCT));
-  stmt(B.varDecl(B.ptr(ElemCT), Dst,
-                 B.castTo(B.ptr(ElemCT), allocExpr(P->alloc(), Bytes))));
-  stmt(B.ifStmt(B.nt(B.id(Dst)), B.ret(B.id("FLICK_ERR_ALLOC"))));
-  emitArrayElems(Elem, B.id(Dst), B.id(Len), false);
-  stmt(B.exprStmt(B.assign(B.mem(Val, P->bufField()), B.id(Dst))));
-}
-
-void StubGen::emitString(const PresString *P, CastExpr *Val, bool Encode) {
-  const auto *MA = cast<MintArray>(P->mint());
-  bool CountsNul = Layout.stringCountsNul();
-  unsigned CA = chunkAlign();
-
-  if (Encode) {
-    std::string Sp = freshVar("_sp");
-    stmt(B.varDecl(B.constPtr(B.prim("char")), Sp,
-                   B.ternary(Val, Val, B.str(""))));
-    std::string Sl = freshVar("_sl");
-    auto KnownIt = KnownStrLenIn.find(P);
-    if (KnownIt != KnownStrLenIn.end()) {
-      // Explicit-length presentation (paper §2): the caller already knows
-      // the length, so the stub never calls strlen.
-      stmt(B.varDecl(B.prim("size_t"), Sl,
-                     B.castTo(B.prim("size_t"), KnownIt->second)));
-      KnownStrLenIn.erase(KnownIt);
-    } else {
-      stmt(B.varDecl(B.prim("size_t"), Sl, B.call("strlen", {B.id(Sp)})));
-    }
-    if (MA->isBounded())
-      stmt(B.ifStmt(B.bin(">", B.id(Sl), B.unum(MA->maxLen())),
-                    B.ret(B.id("FLICK_ERR_DECODE"))));
-    std::string Wl = freshVar("_wl");
-    stmt(B.varDecl(B.prim("size_t"), Wl,
-                   CountsNul ? B.add(B.id(Sl), B.num(1))
-                             : static_cast<CastExpr *>(B.id(Sl))));
-    openChunk(alignUpTo(Layout.padded(4), CA));
-    putU32(B.castTo(B.prim("uint32_t"), B.id(Wl)));
-    closeChunk();
-    if (options().Memcpy || options().PerDatumCalls) {
-      // Strings copy in bulk (paper §3.2: 60-70% faster than
-      // character-by-character processing).  rpcgen also bulk-copied
-      // opaque data, so the naive baseline keeps this path.  Copy only
-      // the Sl characters and store the wire NUL explicitly: with the
-      // explicit-length presentation the source need not be terminated.
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(Wl)}),
-                  "FLICK_ERR_ALLOC");
-      std::string Sd = freshVar("_sd");
-      stmt(B.varDecl(B.ptr(B.prim("uint8_t")), Sd,
-                     B.call("flick_buf_grab", {bufExpr(), B.id(Wl)})));
-      stmt(B.exprStmt(B.call("memcpy", {B.id(Sd), B.id(Sp), B.id(Sl)})));
-      if (CountsNul)
-        stmt(B.exprStmt(
-            B.assign(B.idx(B.id(Sd), B.id(Sl)), B.num(0))));
-    } else {
-      // Ablation: component-by-component character processing.
-      std::string IV = freshVar("_i");
-      std::vector<CastStmt *> Body;
-      auto *SaveCur = Cur;
-      Cur = &Body;
-      checkCall(B.call("flick_naive_put_u8",
-                       {bufExpr(), B.castTo(B.prim("uint8_t"),
-                                            B.idx(B.id(Sp), B.id(IV)))}),
-                "FLICK_ERR_ALLOC");
-      Cur = SaveCur;
-      stmt(B.forStmt(B.varDecl(B.prim("size_t"), IV, B.num(0)),
-                     B.lt(B.id(IV), B.id(Wl)),
-                     B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-                     B.block(Body)));
-    }
-    alignTo(Layout.padUnit() > 1 ? Layout.padUnit() : CA);
-    return;
-  }
-
-  openChunk(alignUpTo(Layout.padded(4), CA));
-  std::string Wl = freshVar("_wl");
-  stmt(B.varDecl(B.prim("uint32_t"), Wl, getU32()));
-  closeChunk();
-  if (CountsNul)
-    stmt(B.ifStmt(B.bin("<", B.id(Wl), B.num(1)),
-                  B.ret(B.id("FLICK_ERR_DECODE"))));
-  if (MA->isBounded())
-    stmt(B.ifStmt(B.bin(">", B.id(Wl),
-                        B.unum(MA->maxLen() + (CountsNul ? 1 : 0))),
-                  B.ret(B.id("FLICK_ERR_DECODE"))));
-  checkAvail(B.id(Wl));
-
-  bool AliasOk = options().BufferAlias && options().ScratchAlloc &&
-                 ServerSide && P->alloc().AllowBufferAlias && CountsNul;
-  if (AliasOk) {
-    // CDR strings carry their NUL on the wire, so the presented char*
-    // can point straight into the request buffer.
-    std::string Sv = freshVar("_s");
-    stmt(B.varDecl(B.ptr(B.prim("char")), Sv,
-                   B.castTo(B.ptr(B.prim("char")),
-                            B.call("flick_buf_take_mut",
-                                   {bufExpr(), B.id(Wl)}))));
-    stmt(B.ifStmt(B.ne(B.idx(B.id(Sv), B.sub(B.id(Wl), B.num(1))),
-                       B.num(0)),
-                  B.ret(B.id("FLICK_ERR_DECODE"))));
-    stmt(B.exprStmt(B.assign(Val, B.id(Sv))));
-    {
-      auto It = KnownStrLenOut.find(P);
-      if (It != KnownStrLenOut.end()) {
-        stmt(B.exprStmt(B.assign(It->second,
-                                 B.sub(B.id(Wl), B.num(1)))));
-        KnownStrLenOut.erase(It);
-      }
-    }
-    alignTo(Layout.padUnit() > 1 ? Layout.padUnit() : CA);
-    return;
-  }
-
-  auto EmitLenOut = [&](CastExpr *WireLenE) {
-    auto It = KnownStrLenOut.find(P);
-    if (It == KnownStrLenOut.end())
-      return;
-    CastExpr *Logical = CountsNul ? B.sub(WireLenE, B.num(1)) : WireLenE;
-    stmt(B.exprStmt(B.assign(It->second, Logical)));
-    KnownStrLenOut.erase(It);
-  };
-  std::string Sv = freshVar("_s");
-  CastExpr *Bytes = B.add(B.castTo(B.prim("size_t"), B.id(Wl)), B.num(1));
-  stmt(B.varDecl(
-      B.ptr(B.prim("char")), Sv,
-      B.castTo(B.ptr(B.prim("char")), allocExpr(P->alloc(), Bytes))));
-  stmt(B.ifStmt(B.nt(B.id(Sv)), B.ret(B.id("FLICK_ERR_ALLOC"))));
-  stmt(B.exprStmt(B.call(
-      "memcpy", {B.id(Sv),
-                 B.castTo(B.constPtr(B.voidTy()),
-                          B.call("flick_buf_take", {bufExpr(), B.id(Wl)})),
-                 B.id(Wl)})));
-  stmt(B.exprStmt(
-      B.assign(B.idx(B.id(Sv), B.id(Wl)), B.num(0))));
-  stmt(B.exprStmt(B.assign(Val, B.id(Sv))));
-  EmitLenOut(B.id(Wl));
-  alignTo(Layout.padUnit() > 1 ? Layout.padUnit() : CA);
-}
-
-void StubGen::emitOptPtr(const PresOptPtr *P, CastExpr *Val, bool Encode) {
-  const PresNode *Elem = P->elem();
-  CastType *ElemCT = Elem->ctype();
-  unsigned CA = chunkAlign();
-
-  if (Encode) {
-    openChunk(alignUpTo(Layout.padded(4), CA));
-    putU32(B.ternary(Val, B.num(1), B.num(0)));
-    closeChunk();
-    std::vector<CastStmt *> Then;
-    auto *SaveCur = Cur;
-    Cur = &Then;
-    emitValue(Elem, B.deref(Val), true);
-    Cur = SaveCur;
-    stmt(B.ifStmt(Val, B.block(Then)));
-    return;
-  }
-
-  openChunk(alignUpTo(Layout.padded(4), CA));
-  std::string Tag = freshVar("_tag");
-  stmt(B.varDecl(B.prim("uint32_t"), Tag, getU32()));
-  closeChunk();
-  stmt(B.ifStmt(B.bin(">", B.id(Tag), B.num(1)),
-                B.ret(B.id("FLICK_ERR_DECODE"))));
-  std::vector<CastStmt *> Then, Else;
-  auto *SaveCur = Cur;
-  Cur = &Then;
-  std::string Pv = freshVar("_p");
-  stmt(B.varDecl(
-      B.ptr(ElemCT), Pv,
-      B.castTo(B.ptr(ElemCT),
-               allocExpr(P->alloc(), B.sizeofTy(ElemCT)))));
-  stmt(B.ifStmt(B.nt(B.id(Pv)), B.ret(B.id("FLICK_ERR_ALLOC"))));
-  emitValue(Elem, B.deref(B.id(Pv)), false);
-  stmt(B.exprStmt(B.assign(Val, B.id(Pv))));
-  Cur = &Else;
-  stmt(B.exprStmt(B.assign(Val, B.num(0))));
-  Cur = SaveCur;
-  stmt(B.ifStmt(B.id(Tag), B.block(Then), B.block(Else)));
-}
-
-void StubGen::emitUnion(const PresUnion *P, CastExpr *Val, bool Encode) {
-  CastExpr *DiscL = B.mem(Val, P->discField());
-  emitAtomicValue(P->discPres(), DiscL, Encode);
-
-  std::vector<CastSwitchCase> Cases;
-  bool HasDefault = false;
-  for (const PresUnionArm &Arm : P->arms()) {
-    CastSwitchCase C;
-    if (Arm.IsDefault) {
-      HasDefault = true;
-    } else {
-      for (int64_t V : Arm.CaseValues)
-        C.Values.push_back(B.num(V));
-    }
-    auto *SaveCur = Cur;
-    Cur = &C.Stmts;
-    if (Arm.Pres)
-      emitValue(Arm.Pres,
-                B.mem(B.mem(Val, P->unionField()), Arm.ArmField), Encode);
-    else
-      stmt(B.comment("void case"));
-    Cur = SaveCur;
-    Cases.push_back(std::move(C));
-  }
-  if (!HasDefault) {
-    CastSwitchCase D;
-    D.Stmts.push_back(B.ret(B.id("FLICK_ERR_DECODE")));
-    D.FallsThrough = true;
-    Cases.push_back(std::move(D));
-  }
-  CastExpr *Cond = B.castTo(B.prim("int64_t"), DiscL);
-  stmt(B.switchStmt(Cond, std::move(Cases)));
-  alignTo(chunkAlign());
-}
-
-//===----------------------------------------------------------------------===//
-// Out-of-line helpers (recursive types; non-inlining mode)
-//===----------------------------------------------------------------------===//
-
-void StubGen::placeHelperFunc(CDFunc *Proto, CSBlock *Body, bool IntoClient,
-                              bool IntoServer) {
-  bool Inline = options().Inline;
-  auto *Def = B.func(Proto->ret(), Proto->name(), Proto->params(), Body,
-                     /*Static=*/Inline, /*Inline=*/Inline);
-  auto *Decl = B.func(Proto->ret(), Proto->name(), Proto->params(), nullptr,
-                      /*Static=*/Inline, /*Inline=*/Inline);
-  HelperProtos.push_back(Decl);
-  if (Inline) {
-    HelperDefs.push_back(Def);
-    return;
-  }
-  (void)IntoClient;
-  (void)IntoServer;
-  CommonDefs.push_back(Def);
-}
-
-void StubGen::callHelper(const PresNode *Pn, CastExpr *Val, bool Encode) {
-  assert(!ChunkActive && "helper call with open chunk");
-  PKind K = classifyPres(Pn);
-  HelperKey Key{Pn, Encode};
-  auto It = Helpers.find(Key);
-  std::string Name;
-  if (It != Helpers.end()) {
-    Name = It->second;
-  } else {
-    Name = sanitizeIdentifier(BaseName) +
-           (Encode ? "_enc_h" : "_dec_h") +
-           std::to_string(++HelperCounter);
-    Helpers.emplace(Key, Name);
-
-    // Build the helper signature.
-    CastType *VT = nullptr;
-    switch (K) {
-    case PKind::Agg:
-      VT = Encode ? B.constPtr(Pn->ctype()) : B.ptr(Pn->ctype());
-      break;
-    case PKind::Str:
-      VT = Encode ? B.constPtr(B.prim("char"))
-                  : B.ptr(B.ptr(B.prim("char")));
-      break;
-    case PKind::FixArr: {
-      CastType *E = cast<PresFixedArray>(Pn)->elem()->ctype();
-      VT = Encode ? B.constPtr(E) : B.ptr(E);
-      break;
-    }
-    case PKind::Opt: {
-      CastType *E = B.ptr(cast<PresOptPtr>(Pn)->elem()->ctype());
-      VT = Encode ? E : B.ptr(E);
-      break;
-    }
-    default:
-      assert(false && "helper for scalar");
-    }
-    std::vector<CastParam> Params;
-    Params.push_back(CastParam{B.ptr(B.structTy("flick_buf")), "_buf"});
-    if (!Encode)
-      Params.push_back(
-          CastParam{B.ptr(B.structTy("flick_arena")), "_ar"});
-    Params.push_back(CastParam{VT, "_v"});
-
-    // Generate the body with fresh chunk/recursion state.
-    auto *SaveCur = Cur;
-    bool SaveActive = ChunkActive;
-    bool SaveServer = ServerSide;
-    unsigned SaveNoEnsure = NoEnsure;
-    const PresNode *SaveRoot = HelperRoot;
-    ChunkActive = false;
-    ServerSide = false; // shared helpers must not buffer-alias
-    NoEnsure = 0;
-    HelperRoot = Pn;
-    std::vector<CastStmt *> Body;
-    Cur = &Body;
-    CastExpr *Inner = nullptr;
-    switch (K) {
-    case PKind::Agg:
-      Inner = B.deref(B.id("_v"));
-      break;
-    case PKind::Str:
-      Inner = Encode ? B.id("_v")
-                     : static_cast<CastExpr *>(B.deref(B.id("_v")));
-      break;
-    case PKind::FixArr:
-      Inner = B.id("_v");
-      break;
-    case PKind::Opt:
-      Inner = Encode ? B.id("_v")
-                     : static_cast<CastExpr *>(B.deref(B.id("_v")));
-      break;
-    default:
-      break;
-    }
-    emitValue(Pn, Inner, Encode);
-    stmt(B.ret(B.id("FLICK_OK")));
-    Cur = SaveCur;
-    ChunkActive = SaveActive;
-    ServerSide = SaveServer;
-    NoEnsure = SaveNoEnsure;
-    HelperRoot = SaveRoot;
-
-    auto *Proto = B.func(B.prim("int"), Name, Params, nullptr);
-    placeHelperFunc(Proto, B.block(Body), true, true);
-  }
-
-  // Emit the call.
-  CastExpr *Arg = nullptr;
-  switch (K) {
-  case PKind::Agg:
-    Arg = B.addr(Val);
-    break;
-  case PKind::Str:
-    Arg = Encode ? Val : static_cast<CastExpr *>(B.addr(Val));
-    break;
-  case PKind::FixArr:
-    Arg = Val;
-    break;
-  case PKind::Opt:
-    Arg = Encode ? Val : static_cast<CastExpr *>(B.addr(Val));
-    break;
-  default:
-    break;
-  }
-  std::vector<CastExpr *> Args = {bufExpr()};
-  if (!Encode)
-    Args.push_back(B.id("_ar"));
-  Args.push_back(Arg);
-  std::string Rv = freshVar("_hr");
-  stmt(B.varDecl(B.prim("int"), Rv, B.call(Name, Args)));
-  stmt(B.ifStmt(B.id(Rv), B.ret(B.id(Rv))));
-}
-
-//===----------------------------------------------------------------------===//
-// Deep-free helpers
-//===----------------------------------------------------------------------===//
-
-void StubGen::emitFree(const PresNode *Pn, CastExpr *Val) {
-  if (!presIsVariable(Pn))
-    return;
-  switch (Pn->kind()) {
-  case PresNode::Kind::String:
-    stmt(B.exprStmt(B.call("free", {Val})));
-    return;
-  case PresNode::Kind::OptPtr: {
-    const auto *O = cast<PresOptPtr>(Pn);
-    std::vector<CastStmt *> Then;
-    auto *SaveCur = Cur;
-    Cur = &Then;
-    emitFree(O->elem(), B.deref(Val));
-    stmt(B.exprStmt(B.call("free", {Val})));
-    Cur = SaveCur;
-    stmt(B.ifStmt(Val, B.block(Then)));
-    return;
-  }
-  case PresNode::Kind::FixedArray: {
-    const auto *A = cast<PresFixedArray>(Pn);
-    std::string IV = freshVar("_i");
-    std::vector<CastStmt *> Body;
-    auto *SaveCur = Cur;
-    Cur = &Body;
-    emitFree(A->elem(), B.idx(Val, B.id(IV)));
-    Cur = SaveCur;
-    stmt(B.forStmt(B.varDecl(B.prim("size_t"), IV, B.num(0)),
-                   B.lt(B.id(IV), B.unum(A->count())),
-                   B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-                   B.block(Body)));
-    return;
-  }
-  case PresNode::Kind::Struct:
-  case PresNode::Kind::Counted:
-  case PresNode::Kind::Union: {
-    std::string Fn = freeHelper(Pn);
-    stmt(B.exprStmt(B.call(Fn, {B.addr(Val)})));
-    return;
-  }
-  default:
-    return;
-  }
-}
-
-std::string StubGen::freeHelper(const PresNode *Pn) {
-  auto It = FreeHelpers.find(Pn);
-  if (It != FreeHelpers.end())
-    return It->second;
-  std::string Name;
-  if (const auto *Prim = dyn_cast_or_null<CastPrim>(Pn->ctype()))
-    Name = Prim->name() + "_flick_free";
-  else
-    Name = sanitizeIdentifier(BaseName) + "_free_h" +
-           std::to_string(++HelperCounter);
-  FreeHelpers.emplace(Pn, Name);
-
-  std::vector<CastParam> Params = {CastParam{B.ptr(Pn->ctype()), "_v"}};
-  auto *SaveCur = Cur;
-  std::vector<CastStmt *> Body;
-  Cur = &Body;
-  switch (Pn->kind()) {
-  case PresNode::Kind::Struct:
-    for (const PresField &F : cast<PresStruct>(Pn)->fields())
-      emitFree(F.Pres, B.arrow(B.id("_v"), F.CName));
-    break;
-  case PresNode::Kind::Counted: {
-    const auto *C = cast<PresCounted>(Pn);
-    if (presIsVariable(C->elem())) {
-      std::string IV = freshVar("_i");
-      std::vector<CastStmt *> Loop;
-      Cur = &Loop;
-      emitFree(C->elem(),
-               B.idx(B.arrow(B.id("_v"), C->bufField()), B.id(IV)));
-      Cur = &Body;
-      stmt(B.forStmt(
-          B.varDecl(B.prim("size_t"), IV, B.num(0)),
-          B.lt(B.id(IV), B.arrow(B.id("_v"), C->lenField())),
-          B.bin("=", B.id(IV), B.add(B.id(IV), B.num(1))),
-          B.block(Loop)));
-    }
-    stmt(B.exprStmt(
-        B.call("free", {B.arrow(B.id("_v"), C->bufField())})));
-    break;
-  }
-  case PresNode::Kind::Union: {
-    const auto *U = cast<PresUnion>(Pn);
-    std::vector<CastSwitchCase> Cases;
-    for (const PresUnionArm &Arm : U->arms()) {
-      if (!Arm.Pres || !presIsVariable(Arm.Pres))
-        continue;
-      CastSwitchCase C;
-      if (!Arm.IsDefault)
-        for (int64_t V : Arm.CaseValues)
-          C.Values.push_back(B.num(V));
-      Cur = &C.Stmts;
-      emitFree(Arm.Pres, B.mem(B.arrow(B.id("_v"), U->unionField()),
-                               Arm.ArmField));
-      Cur = &Body;
-      Cases.push_back(std::move(C));
-    }
-    if (!Cases.empty())
-      stmt(B.switchStmt(B.castTo(B.prim("int64_t"),
-                                 B.arrow(B.id("_v"), U->discField())),
-                        std::move(Cases)));
-    break;
-  }
-  default:
-    break;
-  }
-  Cur = SaveCur;
-  auto *Proto = B.func(B.voidTy(), Name, Params, nullptr);
-  placeHelperFunc(Proto, B.block(Body), true, true);
-  return Name;
-}
-
-//===----------------------------------------------------------------------===//
-// Signature tables
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-CastType *encodeSigType(CastBuilder &B, const PresNode *P) {
-  switch (classifyPres(P)) {
-  case PKind::Scalar:
-    return P->ctype();
-  case PKind::Str:
-    return B.constPtr(B.prim("char"));
-  case PKind::FixArr:
-    return B.constPtr(cast<PresFixedArray>(P)->elem()->ctype());
-  case PKind::Agg:
-    return B.constPtr(P->ctype());
-  case PKind::Opt:
-    return B.ptr(cast<PresOptPtr>(P)->elem()->ctype());
-  case PKind::Void:
-    break;
-  }
-  return B.voidTy();
-}
-
-/// Value expression for an encode-helper parameter named \p Name.
-CastExpr *encodeValExpr(CastBuilder &B, const PresNode *P,
-                        const std::string &Name) {
-  if (classifyPres(P) == PKind::Agg)
-    return B.deref(B.id(Name));
-  return B.id(Name);
-}
-
-CastType *decodeReqSigType(CastBuilder &B, const PresNode *P) {
-  switch (classifyPres(P)) {
-  case PKind::Scalar:
-    return B.ptr(P->ctype());
-  case PKind::Str:
-    return B.ptr(B.ptr(B.prim("char")));
-  case PKind::FixArr:
-    return B.ptr(cast<PresFixedArray>(P)->elem()->ctype());
-  case PKind::Agg:
-    return B.ptr(P->ctype());
-  case PKind::Opt:
-    return B.ptr(B.ptr(cast<PresOptPtr>(P)->elem()->ctype()));
-  case PKind::Void:
-    break;
-  }
-  return B.voidTy();
-}
-
-CastExpr *decodeReqValExpr(CastBuilder &B, const PresNode *P,
-                           const std::string &Name) {
-  if (classifyPres(P) == PKind::FixArr)
-    return B.id(Name);
-  return B.deref(B.id(Name));
-}
-
-/// True when the client-side reply decode allocates the value on the heap
-/// and returns it through a double pointer (CORBA variable out / any
-/// aggregate return value).
-bool decRepDoublePtr(const PresNode *P, AoiParamDir Dir, bool IsRet,
-                     bool Corba) {
-  if (!Corba || classifyPres(P) != PKind::Agg)
-    return false;
-  return IsRet || (Dir == AoiParamDir::Out && presIsVariable(P));
-}
-
-CastType *decodeRepSigType(CastBuilder &B, const PresNode *P,
-                           AoiParamDir Dir, bool IsRet, bool Corba) {
-  switch (classifyPres(P)) {
-  case PKind::Scalar:
-    return B.ptr(P->ctype());
-  case PKind::Str:
-    return B.ptr(B.ptr(B.prim("char")));
-  case PKind::FixArr:
-    return B.ptr(cast<PresFixedArray>(P)->elem()->ctype());
-  case PKind::Agg:
-    return decRepDoublePtr(P, Dir, IsRet, Corba)
-               ? B.ptr(B.ptr(P->ctype()))
-               : B.ptr(P->ctype());
-  case PKind::Opt:
-    return B.ptr(B.ptr(cast<PresOptPtr>(P)->elem()->ctype()));
-  case PKind::Void:
-    break;
-  }
-  return B.voidTy();
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// Default numeric demultiplexer
-//===----------------------------------------------------------------------===//
-
-void Backend::emitDispatchDemux(
-    StubGen &G, const PresCInterface &If,
-    const std::function<std::vector<CastStmt *>(const PresCOperation &)>
-        &CaseBody) {
-  CastBuilder &B = G.builder();
-  emitRequestHeaderDecode(G, If); // declares _xid and _opcode
-  std::vector<CastSwitchCase> Cases;
-  for (const PresCOperation &Op : If.Ops) {
-    CastSwitchCase C;
-    C.Values.push_back(B.unum(Op.RequestCode));
-    C.Stmts = CaseBody(Op);
-    C.FallsThrough = true; // bodies end in return
-    Cases.push_back(std::move(C));
-  }
-  CastSwitchCase D;
-  D.Stmts.push_back(B.ret(B.id("FLICK_ERR_NO_SUCH_OP")));
-  D.FallsThrough = true;
-  Cases.push_back(std::move(D));
-  G.stmt(B.switchStmt(B.id("_opcode"), std::move(Cases)));
-  G.stmt(B.ret(B.id("FLICK_ERR_NO_SUCH_OP")));
 }
 
 //===----------------------------------------------------------------------===//
@@ -1833,6 +74,26 @@ void StubGen::genOpHelpers(const PresCInterface &If,
   CastType *BufPtr = B.ptr(B.structTy("flick_buf"));
   CastType *ArenaPtr = B.ptr(B.structTy("flick_arena"));
 
+  // Framing hooks enter the plan as FramingHook steps, so the pass
+  // pipeline sees the whole message and the dump shows it in order; this
+  // callback lowers them back to the concrete back end.
+  auto HookFn = [this, &If, &Op](HookKind H) {
+    switch (H) {
+    case HookKind::RequestHeader:
+      BE.emitRequestHeader(*this, If, Op);
+      break;
+    case HookKind::RequestFinish:
+      BE.emitRequestFinish(*this, If, Op);
+      break;
+    case HookKind::ReplyHeader:
+      BE.emitReplyHeader(*this, If, B.id("FLICK_REPLY_OK"));
+      break;
+    case HookKind::ReplyFinish:
+      BE.emitReplyFinish(*this, If);
+      break;
+    }
+  };
+
   // ---- encode_request (client side) ----
   {
     std::vector<CastParam> Ps = {CastParam{BufPtr, "_buf"},
@@ -1848,16 +109,19 @@ void StubGen::genOpHelpers(const PresCInterface &If,
     ServerSide = false;
     CurEncode = true;
     stmt(B.rawStmt("(void)_xid;"));
-    BE.emitRequestHeader(*this, If, Op);
     std::vector<std::pair<const PresNode *, CastExpr *>> Items;
     for (const PresCParam &Pp : Op.Params)
       if (Pp.Dir != AoiParamDir::Out) {
         if (!Pp.LenParamName.empty())
           KnownStrLenIn[Pp.Pres] = B.id(Pp.LenParamName);
         Items.push_back({Pp.Pres, encodeValExpr(B, Pp.Pres, Pp.Name)});
+        NextPlanNames.push_back(Pp.Name);
       }
+    NextPlanLabel = Op.CName + "_encode_request";
+    NextPreHooks = {HookKind::RequestHeader};
+    NextPostHooks = {HookKind::RequestFinish};
+    PlanHookFn = HookFn;
     emitSequence(Items, true);
-    BE.emitRequestFinish(*this, If, Op);
     stmt(B.ret(B.id("FLICK_OK")));
     Cur = nullptr;
     PlaceOp(Op.CName + "_encode_request", Ps, Body, /*ToClient=*/true);
@@ -1889,7 +153,9 @@ void StubGen::genOpHelpers(const PresCInterface &If,
         if (!Pp.LenParamName.empty())
           KnownStrLenOut[Pp.Pres] = B.deref(B.id(Pp.LenParamName));
         Items.push_back({Pp.Pres, decodeReqValExpr(B, Pp.Pres, Pp.Name)});
+        NextPlanNames.push_back(Pp.Name);
       }
+    NextPlanLabel = Op.CName + "_decode_request";
     emitSequence(Items, false);
     stmt(B.ret(B.id("FLICK_OK")));
     Cur = nullptr;
@@ -1915,16 +181,22 @@ void StubGen::genOpHelpers(const PresCInterface &If,
     ServerSide = false;
     CurEncode = true;
     stmt(B.rawStmt("(void)_xid;"));
-    BE.emitReplyHeader(*this, If, B.id("FLICK_REPLY_OK"));
     std::vector<std::pair<const PresNode *, CastExpr *>> Items;
-    if (Op.Return.Pres)
+    if (Op.Return.Pres) {
       Items.push_back(
           {Op.Return.Pres, encodeValExpr(B, Op.Return.Pres, "_retval")});
+      NextPlanNames.push_back("_retval");
+    }
     for (const PresCParam &Pp : Op.Params)
-      if (Pp.Dir != AoiParamDir::In)
+      if (Pp.Dir != AoiParamDir::In) {
         Items.push_back({Pp.Pres, encodeValExpr(B, Pp.Pres, Pp.Name)});
+        NextPlanNames.push_back(Pp.Name);
+      }
+    NextPlanLabel = Op.CName + "_encode_reply";
+    NextPreHooks = {HookKind::ReplyHeader};
+    NextPostHooks = {HookKind::ReplyFinish};
+    PlanHookFn = HookFn;
     emitSequence(Items, true);
-    BE.emitReplyFinish(*this, If);
     stmt(B.ret(B.id("FLICK_OK")));
     Cur = nullptr;
     PlaceOp(Op.CName + "_encode_reply", Ps, Body, /*ToClient=*/false);
@@ -2032,12 +304,14 @@ void StubGen::genOpHelpers(const PresCInterface &If,
         Val = B.deref(B.id(Name));
       }
       Items.push_back({Pn, Val});
+      NextPlanNames.push_back(Name);
     };
     if (Op.Return.Pres)
       AddItem(Op.Return.Pres, "_retval", AoiParamDir::Out, true);
     for (const PresCParam &Pp : Op.Params)
       if (Pp.Dir != AoiParamDir::In)
         AddItem(Pp.Pres, Pp.Name, Pp.Dir, false);
+    NextPlanLabel = Op.CName + "_decode_reply";
     emitSequence(Items, false);
     stmt(B.ret(B.id("FLICK_OK")));
     Cur = nullptr;
@@ -2265,319 +539,6 @@ void StubGen::genClientStub(const PresCInterface &If,
 }
 
 //===----------------------------------------------------------------------===//
-// Server dispatch
-//===----------------------------------------------------------------------===//
-
-std::vector<CastStmt *>
-StubGen::genDispatchCase(const PresCInterface &If,
-                         const PresCOperation &Op) {
-  bool Corba = UseEnv;
-  bool HasExcHelper = Corba && !P.Exceptions.empty();
-  std::vector<CastStmt *> S;
-  auto *SaveCur = Cur;
-  Cur = &S;
-
-  // Locals for every parameter.
-  bool HasIns = false;
-  for (const PresCParam &Pp : Op.Params) {
-    PKind K = classifyPres(Pp.Pres);
-    if (Pp.Dir != AoiParamDir::Out)
-      HasIns = true;
-    switch (K) {
-    case PKind::Scalar:
-      stmt(B.varDecl(Pp.Pres->ctype(), Pp.Name, B.num(0)));
-      break;
-    case PKind::Str:
-      stmt(B.varDecl(B.ptr(B.prim("char")), Pp.Name, B.num(0)));
-      if (!Pp.LenParamName.empty())
-        stmt(B.varDecl(B.prim("uint32_t"), Pp.LenParamName, B.num(0)));
-      break;
-    case PKind::FixArr:
-      stmt(B.varDecl(Pp.Pres->ctype(), Pp.Name));
-      break;
-    case PKind::Opt:
-      stmt(B.varDecl(B.ptr(cast<PresOptPtr>(Pp.Pres)->elem()->ctype()),
-                     Pp.Name, B.num(0)));
-      break;
-    case PKind::Agg:
-      if (Pp.Dir == AoiParamDir::Out && presIsVariable(Pp.Pres) && Corba)
-        stmt(B.varDecl(B.ptr(Pp.Pres->ctype()), Pp.Name, B.num(0)));
-      else
-        stmt(B.varDecl(Pp.Pres->ctype(), Pp.Name));
-      break;
-    case PKind::Void:
-      break;
-    }
-  }
-
-  // Decode in-parameters.
-  if (HasIns) {
-    std::vector<CastExpr *> Args = {
-        B.id("_req"), B.addr(B.arrow(B.id("_srv"), "arena"))};
-    for (const PresCParam &Pp : Op.Params) {
-      if (Pp.Dir == AoiParamDir::Out)
-        continue;
-      PKind K = classifyPres(Pp.Pres);
-      Args.push_back(K == PKind::FixArr
-                         ? B.id(Pp.Name)
-                         : static_cast<CastExpr *>(B.addr(B.id(Pp.Name))));
-      if (!Pp.LenParamName.empty())
-        Args.push_back(B.addr(B.id(Pp.LenParamName)));
-    }
-    std::string Ev = freshVar("_de");
-    stmt(B.varDecl(B.prim("int"), Ev,
-                   B.call(Op.CName + "_decode_request", Args)));
-    stmt(B.ifStmt(B.id(Ev), B.ret(B.id(Ev))));
-  }
-
-  if (Corba) {
-    stmt(B.rawStmt("CORBA_Environment _ev;"));
-    stmt(B.rawStmt("_ev._major = CORBA_NO_EXCEPTION;"));
-    stmt(B.rawStmt("_ev._exc_code = 0;"));
-    stmt(B.rawStmt("_ev._exc_value = 0;"));
-  }
-
-  // Call the work function.
-  std::vector<CastExpr *> ImplArgs;
-  for (const PresCParam &Pp : Op.Params) {
-    PKind K = classifyPres(Pp.Pres);
-    bool ByValue =
-        Pp.Dir == AoiParamDir::In &&
-        (K == PKind::Scalar || K == PKind::Str || K == PKind::Opt);
-    if (K == PKind::FixArr)
-      ImplArgs.push_back(B.id(Pp.Name));
-    else if (ByValue)
-      ImplArgs.push_back(B.id(Pp.Name));
-    else if (K == PKind::Agg && Pp.Dir == AoiParamDir::Out &&
-             presIsVariable(Pp.Pres) && Corba)
-      ImplArgs.push_back(B.addr(B.id(Pp.Name))); // CT ** (local is CT *)
-    else
-      ImplArgs.push_back(B.addr(B.id(Pp.Name)));
-    if (!Pp.LenParamName.empty())
-      ImplArgs.push_back(B.id(Pp.LenParamName));
-  }
-
-  PKind RetK = classifyPres(Op.Return.Pres);
-  std::string RcVar;
-  if (Corba) {
-    ImplArgs.push_back(B.rawE("&_ev"));
-    CastExpr *Call = B.call(Op.ServerImplName, ImplArgs);
-    switch (RetK) {
-    case PKind::Void:
-      stmt(B.exprStmt(Call));
-      break;
-    case PKind::Scalar:
-      stmt(B.varDecl(Op.Return.Pres->ctype(), "_retval", Call));
-      break;
-    case PKind::Str:
-      stmt(B.varDecl(B.ptr(B.prim("char")), "_retval", Call));
-      break;
-    case PKind::Opt:
-      stmt(B.varDecl(
-          B.ptr(cast<PresOptPtr>(Op.Return.Pres)->elem()->ctype()),
-          "_retval", Call));
-      break;
-    case PKind::Agg:
-      stmt(B.varDecl(B.ptr(Op.Return.Pres->ctype()), "_retval", Call));
-      break;
-    case PKind::FixArr:
-      break;
-    }
-  } else {
-    // rpcgen style: int-returning work function with a result slot.
-    if (RetK != PKind::Void) {
-      if (RetK == PKind::Scalar || RetK == PKind::Agg) {
-        stmt(B.varDecl(Op.Return.Pres->ctype(), "_retval"));
-        // rpcgen requires zeroed results before the xdr routines run.
-        stmt(B.exprStmt(B.call(
-            "memset", {B.addr(B.id("_retval")), B.num(0),
-                       B.sizeofTy(Op.Return.Pres->ctype())})));
-      } else {
-        stmt(B.varDecl(Op.Return.Pres->ctype(), "_retval", B.num(0)));
-      }
-      ImplArgs.push_back(B.addr(B.id("_retval")));
-    }
-    RcVar = freshVar("_rc");
-    stmt(B.varDecl(B.prim("int"), RcVar,
-                   B.call(Op.ServerImplName, ImplArgs)));
-  }
-
-  if (Op.Oneway) {
-    stmt(B.ret(B.id("FLICK_OK")));
-    Cur = SaveCur;
-    return S;
-  }
-
-  // Exceptional replies.
-  if (Corba) {
-    std::vector<CastStmt *> Exc;
-    if (HasExcHelper) {
-      Exc.push_back(B.rawStmt(
-          "int _xe = " + If.Name +
-          "_encode_reply_exc(_rep, _xid, _ev._exc_code, _ev._exc_value);"));
-      Exc.push_back(B.rawStmt("free(_ev._exc_value);"));
-      Exc.push_back(B.rawStmt("return _xe;"));
-    } else {
-      Exc.push_back(B.rawStmt("return " + If.Name +
-                              "_encode_reply_err(_rep, _xid);"));
-    }
-    stmt(B.ifStmt(B.eq(B.rawE("_ev._major"), B.id("CORBA_USER_EXCEPTION")),
-                  B.block(Exc)));
-    stmt(B.ifStmt(B.ne(B.rawE("_ev._major"), B.id("CORBA_NO_EXCEPTION")),
-                  B.rawStmt("return " + If.Name +
-                            "_encode_reply_err(_rep, _xid);")));
-  } else {
-    stmt(B.ifStmt(B.id(RcVar),
-                  B.rawStmt("return " + If.Name +
-                            "_encode_reply_err(_rep, _xid);")));
-  }
-
-  // Successful reply.
-  std::vector<CastExpr *> RepArgs = {B.id("_rep"), B.id("_xid")};
-  if (RetK != PKind::Void) {
-    if (!Corba && RetK == PKind::Agg)
-      RepArgs.push_back(B.addr(B.id("_retval")));
-    else if (!Corba && RetK == PKind::Scalar)
-      RepArgs.push_back(B.id("_retval"));
-    else if (Corba)
-      RepArgs.push_back(B.id("_retval"));
-    else
-      RepArgs.push_back(B.id("_retval"));
-  }
-  for (const PresCParam &Pp : Op.Params) {
-    if (Pp.Dir == AoiParamDir::In)
-      continue;
-    PKind K = classifyPres(Pp.Pres);
-    if (K == PKind::Agg) {
-      bool VarOut =
-          Pp.Dir == AoiParamDir::Out && presIsVariable(Pp.Pres) && Corba;
-      RepArgs.push_back(VarOut ? B.id(Pp.Name)
-                               : static_cast<CastExpr *>(
-                                     B.addr(B.id(Pp.Name))));
-    } else {
-      RepArgs.push_back(B.id(Pp.Name));
-    }
-  }
-  std::string Re = freshVar("_re");
-  stmt(B.varDecl(B.prim("int"), Re,
-                 B.call(Op.CName + "_encode_reply", RepArgs)));
-  stmt(B.ifStmt(B.id(Re), B.ret(B.id(Re))));
-
-  // Free heap storage produced by the work function.
-  if (Corba) {
-    switch (RetK) {
-    case PKind::Str:
-      stmt(B.exprStmt(B.call("free", {B.id("_retval")})));
-      break;
-    case PKind::Opt:
-      emitFree(Op.Return.Pres, B.id("_retval"));
-      break;
-    case PKind::Agg:
-      emitFree(Op.Return.Pres, B.deref(B.id("_retval")));
-      stmt(B.exprStmt(B.call("free", {B.id("_retval")})));
-      break;
-    default:
-      break;
-    }
-    for (const PresCParam &Pp : Op.Params) {
-      if (Pp.Dir != AoiParamDir::Out)
-        continue;
-      PKind K = classifyPres(Pp.Pres);
-      if (K == PKind::Str) {
-        stmt(B.exprStmt(B.call("free", {B.id(Pp.Name)})));
-      } else if (K == PKind::Opt) {
-        emitFree(Pp.Pres, B.id(Pp.Name));
-      } else if (K == PKind::Agg && presIsVariable(Pp.Pres)) {
-        emitFree(Pp.Pres, B.deref(B.id(Pp.Name)));
-        stmt(B.exprStmt(B.call("free", {B.id(Pp.Name)})));
-      }
-    }
-  }
-  // Without the scratch arena, decoded in-parameters were heap-allocated:
-  // release them (rpcgen's xdr_free role).
-  if (!options().ScratchAlloc) {
-    for (const PresCParam &Pp : Op.Params) {
-      if (Pp.Dir == AoiParamDir::Out)
-        continue;
-      PKind K = classifyPres(Pp.Pres);
-      if (K == PKind::Str)
-        stmt(B.exprStmt(B.call("free", {B.id(Pp.Name)})));
-      else if (K == PKind::Opt)
-        emitFree(Pp.Pres, B.id(Pp.Name));
-      else if ((K == PKind::Agg || K == PKind::FixArr) &&
-               presIsVariable(Pp.Pres))
-        emitFree(Pp.Pres, B.id(Pp.Name));
-    }
-  }
-
-  stmt(B.ret(B.id("FLICK_OK")));
-  Cur = SaveCur;
-  return S;
-}
-
-void StubGen::genServerDispatch(const PresCInterface &If) {
-  // Work-function prototypes.
-  bool Corba = UseEnv;
-  for (const PresCOperation &Op : If.Ops) {
-    PKind RetK = classifyPres(Op.Return.Pres);
-    CastType *RetTy = B.voidTy();
-    switch (RetK) {
-    case PKind::Void:
-      break;
-    case PKind::Scalar:
-      RetTy = Op.Return.Pres->ctype();
-      break;
-    case PKind::Str:
-      RetTy = B.ptr(B.prim("char"));
-      break;
-    case PKind::Opt:
-      RetTy = B.ptr(cast<PresOptPtr>(Op.Return.Pres)->elem()->ctype());
-      break;
-    case PKind::Agg:
-      RetTy = B.ptr(Op.Return.Pres->ctype());
-      break;
-    case PKind::FixArr:
-      break;
-    }
-    std::vector<CastParam> Ps;
-    for (const PresCParam &Pp : Op.Params) {
-      Ps.push_back(CastParam{Pp.SigType, Pp.Name});
-      if (!Pp.LenParamName.empty())
-        Ps.push_back(CastParam{B.prim("uint32_t"), Pp.LenParamName});
-    }
-    if (Corba) {
-      Ps.push_back(CastParam{B.ptr(B.prim("CORBA_Environment")), "_ev"});
-    } else {
-      if (RetK != PKind::Void)
-        Ps.push_back(CastParam{B.ptr(Op.Return.Pres->ctype()), "_result"});
-      RetTy = B.prim("int");
-    }
-    PublicProtos.push_back(B.func(RetTy, Op.ServerImplName, Ps, nullptr));
-  }
-
-  // The dispatch function itself.
-  std::vector<CastParam> Ps = {
-      CastParam{B.ptr(B.structTy("flick_server")), "_srv"},
-      CastParam{B.ptr(B.structTy("flick_buf")), "_req"},
-      CastParam{B.ptr(B.structTy("flick_buf")), "_rep"}};
-  std::vector<CastStmt *> Body;
-  Cur = &Body;
-  ServerSide = true;
-  CurEncode = false;
-  stmt(B.rawStmt("(void)_srv;"));
-  setBufName("_req");
-  BE.emitDispatchDemux(*this, If, [&](const PresCOperation &Op) {
-    return genDispatchCase(If, Op);
-  });
-  setBufName("_buf");
-  ServerSide = false;
-  Cur = nullptr;
-  std::string Name = If.Name + "_dispatch";
-  ServerFile.add(B.func(B.prim("int"), Name, Ps, B.block(Body)));
-  PublicProtos.push_back(B.func(B.prim("int"), Name, Ps, nullptr));
-}
-
-//===----------------------------------------------------------------------===//
 // Top level
 //===----------------------------------------------------------------------===//
 
@@ -2629,6 +590,7 @@ BackendOutput StubGen::run() {
 
   BackendOutput Out;
   Out.HeaderName = BaseName + ".h";
+  Out.PlanDump = PlanDump;
   Out.Header = printCastFile(HeaderFile);
   Out.ClientSrc = printCastFile(ClientFile);
   Out.ServerSrc = printCastFile(ServerFile);

@@ -20,6 +20,8 @@
 #ifndef FLICK_BACKENDS_BACKEND_H
 #define FLICK_BACKENDS_BACKEND_H
 
+#include "backends/MarshalPlan.h"
+#include "backends/Passes.h"
 #include "cast/Builder.h"
 #include "mint/Wire.h"
 #include "pres/Pres.h"
@@ -31,30 +33,7 @@
 
 namespace flick {
 
-/// Optimization switches; each maps to a technique from paper §3 and can be
-/// disabled independently for the ablation benches.
-struct BackendOptions {
-  /// Inline marshal code into the stubs; off = per-aggregate out-of-line
-  /// marshal functions (traditional style).
-  bool Inline = true;
-  /// memcpy arrays of atomic types whose wire and host formats agree.
-  bool Memcpy = true;
-  /// Coalesce buffer checks over fixed-size segments and address them
-  /// through a chunk pointer; off = per-datum check + pointer bump.
-  bool Chunk = true;
-  /// Unmarshal server parameters into per-request scratch storage instead
-  /// of malloc.
-  bool ScratchAlloc = true;
-  /// Let unmarshaled arrays alias the request buffer when representations
-  /// are bit-identical.
-  bool BufferAlias = true;
-  /// Segments with a static bound at or below this are treated as fixed
-  /// for buffer-check purposes (the paper's 8KB threshold).
-  uint64_t BoundedThreshold = 8192;
-  /// Per-datum marshaling through out-of-line runtime calls; set by the
-  /// naive back end.
-  bool PerDatumCalls = false;
-};
+// BackendOptions (the pass-set façade) lives in backends/Passes.h.
 
 /// The generated files for one compilation.  CommonSrc holds out-of-line
 /// per-type marshal functions and is only non-empty for non-inlining
@@ -65,6 +44,8 @@ struct BackendOutput {
   std::string ClientSrc;
   std::string ServerSrc;
   std::string CommonSrc;
+  /// Accumulated --dump-marshal-plan text (empty unless DumpPlans).
+  std::string PlanDump;
 };
 
 class StubGen;
@@ -220,13 +201,10 @@ public:
   std::string freshVar(const std::string &Hint);
 
 private:
-  struct HelperKey {
-    const PresNode *P;
-    bool Encode;
-    bool operator<(const HelperKey &O) const {
-      return P < O.P || (P == O.P && Encode < O.Encode);
-    }
-  };
+  /// Out-of-line helpers are keyed by (structural type key, direction),
+  /// so structurally identical presentations share one emitted helper
+  /// (shrinking Table 2 object sizes).
+  using HelperKey = std::pair<std::string, bool>;
 
   // Top-level generation.
   void genExcEncodeHelper(const PresCInterface &If);
@@ -248,6 +226,17 @@ private:
   void emitSequence(
       const std::vector<std::pair<const PresNode *, CastExpr *>> &Items,
       bool Encode);
+
+  /// Lowers a transformed plan: FixedChunks become openChunk /
+  /// per-member stores / closeChunk, VariableSegments route through
+  /// emitValue, FramingHooks call back into \p HookFn.
+  void emitPlanSteps(const SeqPlan &Plan, const std::vector<CastExpr *> &Vals,
+                     const std::function<void(HookKind)> &HookFn);
+
+  /// Lowers one chunk member marked by the memcpy pass as a single block
+  /// copy (with a layout static_assert in the generated code).
+  void emitMemberMemcpy(const PresNode *P, CastExpr *Val, const PlanMember &M,
+                        bool Encode);
   void emitStruct(const PresStruct *P, CastExpr *Val, bool Encode);
   void emitCounted(const PresCounted *P, CastExpr *Val, bool Encode);
   void emitString(const PresString *P, CastExpr *Val, bool Encode);
@@ -285,6 +274,19 @@ private:
   std::string BaseName;
   CastBuilder B;
   WireLayout Layout;
+  /// The optimization pipeline run over every built plan.
+  PassPipeline Pipeline;
+
+  /// Plan context for the next top-level emitSequence, set by
+  /// genOpHelpers and consumed (then cleared) when the sequence starts:
+  /// framing hook steps to splice in, the dump label, item names, and
+  /// the callback that lowers FramingHook steps to backend framing.
+  std::vector<HookKind> NextPreHooks, NextPostHooks;
+  std::function<void(HookKind)> PlanHookFn;
+  std::string NextPlanLabel;
+  std::vector<std::string> NextPlanNames;
+  /// Accumulated --dump-marshal-plan text; copied into the output.
+  std::string PlanDump;
 
   CastFile HeaderFile, ClientFile, ServerFile, CommonFile;
   std::vector<CastStmt *> *Cur = nullptr;
@@ -320,7 +322,8 @@ private:
   std::vector<CastDecl *> OpHelperDefs;
   /// Public prototypes (stubs, work functions, dispatch).
   std::vector<CastDecl *> PublicProtos;
-  std::map<const PresNode *, std::string> FreeHelpers;
+  /// Deep-free helpers, keyed structurally like Helpers.
+  std::map<std::string, std::string> FreeHelpers;
   /// Explicit string-length presentation (paper §2): value expression of
   /// the caller-supplied length (encode side) / destination lvalue for
   /// the decoded length (decode side), keyed by the PresString node.

@@ -1,0 +1,111 @@
+//===- backends/StubShape.h - Stub signature shape tables -------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-shape signature tables shared by the stub, helper, and
+/// dispatch generators: how each presented parameter kind appears in the
+/// encode/decode helper signatures and how its value expression is
+/// reached from the parameter name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_BACKENDS_STUBSHAPE_H
+#define FLICK_BACKENDS_STUBSHAPE_H
+
+#include "backends/MarshalPlan.h"
+#include "cast/Builder.h"
+#include "presgen/PresGen.h"
+
+namespace flick {
+
+
+inline CastType *encodeSigType(CastBuilder &B, const PresNode *P) {
+  switch (classifyPres(P)) {
+  case PKind::Scalar:
+    return P->ctype();
+  case PKind::Str:
+    return B.constPtr(B.prim("char"));
+  case PKind::FixArr:
+    return B.constPtr(cast<PresFixedArray>(P)->elem()->ctype());
+  case PKind::Agg:
+    return B.constPtr(P->ctype());
+  case PKind::Opt:
+    return B.ptr(cast<PresOptPtr>(P)->elem()->ctype());
+  case PKind::Void:
+    break;
+  }
+  return B.voidTy();
+}
+
+/// Value expression for an encode-helper parameter named \p Name.
+inline CastExpr *encodeValExpr(CastBuilder &B, const PresNode *P,
+                        const std::string &Name) {
+  if (classifyPres(P) == PKind::Agg)
+    return B.deref(B.id(Name));
+  return B.id(Name);
+}
+
+inline CastType *decodeReqSigType(CastBuilder &B, const PresNode *P) {
+  switch (classifyPres(P)) {
+  case PKind::Scalar:
+    return B.ptr(P->ctype());
+  case PKind::Str:
+    return B.ptr(B.ptr(B.prim("char")));
+  case PKind::FixArr:
+    return B.ptr(cast<PresFixedArray>(P)->elem()->ctype());
+  case PKind::Agg:
+    return B.ptr(P->ctype());
+  case PKind::Opt:
+    return B.ptr(B.ptr(cast<PresOptPtr>(P)->elem()->ctype()));
+  case PKind::Void:
+    break;
+  }
+  return B.voidTy();
+}
+
+inline CastExpr *decodeReqValExpr(CastBuilder &B, const PresNode *P,
+                           const std::string &Name) {
+  if (classifyPres(P) == PKind::FixArr)
+    return B.id(Name);
+  return B.deref(B.id(Name));
+}
+
+/// True when the client-side reply decode allocates the value on the heap
+/// and returns it through a double pointer (CORBA variable out / any
+/// aggregate return value).
+inline bool decRepDoublePtr(const PresNode *P, AoiParamDir Dir, bool IsRet,
+                     bool Corba) {
+  if (!Corba || classifyPres(P) != PKind::Agg)
+    return false;
+  return IsRet || (Dir == AoiParamDir::Out && presIsVariable(P));
+}
+
+inline CastType *decodeRepSigType(CastBuilder &B, const PresNode *P,
+                           AoiParamDir Dir, bool IsRet, bool Corba) {
+  switch (classifyPres(P)) {
+  case PKind::Scalar:
+    return B.ptr(P->ctype());
+  case PKind::Str:
+    return B.ptr(B.ptr(B.prim("char")));
+  case PKind::FixArr:
+    return B.ptr(cast<PresFixedArray>(P)->elem()->ctype());
+  case PKind::Agg:
+    return decRepDoublePtr(P, Dir, IsRet, Corba)
+               ? B.ptr(B.ptr(P->ctype()))
+               : B.ptr(P->ctype());
+  case PKind::Opt:
+    return B.ptr(B.ptr(cast<PresOptPtr>(P)->elem()->ctype()));
+  case PKind::Void:
+    break;
+  }
+  return B.voidTy();
+}
+
+
+} // namespace flick
+
+#endif // FLICK_BACKENDS_STUBSHAPE_H

@@ -48,6 +48,7 @@ struct DriverOptions {
   BackendOptions BOpts;
   bool EmitAoi = false;
   bool EmitPresC = false;
+  bool PrintPasses = false;
   /// Where --stats JSON goes: empty = stats off, "-" = stderr.
   std::string StatsPath;
 };
@@ -64,8 +65,15 @@ void usage() {
       "      --src-ext <cc|c>          source-file extension (default cc)\n"
       "      --emit-aoi                dump the AOI and stop\n"
       "      --emit-presc              dump the PRES_C and stop\n"
+      "      --dump-marshal-plan       dump per-operation marshal plans\n"
+      "                                (before/after passes) and stop\n"
+      "      --passes <list>           select optimization passes: comma-\n"
+      "                                separated all, none, <name>, +<name>,\n"
+      "                                -<name> applied left to right\n"
+      "      --print-passes            list the registered passes and stop\n"
       "      --no-inline --no-memcpy --no-chunk --no-scratch --no-alias\n"
       "                                disable individual optimizations\n"
+      "                                (aliases for --passes=-<name>)\n"
       "      --threshold <bytes>       bounded-segment threshold\n"
       "      --stats[=out.json]        record per-phase wall time and IR\n"
       "                                counters; write JSON to the given\n"
@@ -126,16 +134,35 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       }
     } else if (A == "--string-len-params") {
       O.PresStringLen = true;
-    } else if (A == "--no-inline") {
-      O.BOpts.Inline = false;
-    } else if (A == "--no-memcpy") {
-      O.BOpts.Memcpy = false;
-    } else if (A == "--no-chunk") {
-      O.BOpts.Chunk = false;
-    } else if (A == "--no-scratch") {
-      O.BOpts.ScratchAlloc = false;
-    } else if (A == "--no-alias") {
-      O.BOpts.BufferAlias = false;
+    } else if (A == "--passes" || A.rfind("--passes=", 0) == 0) {
+      std::string Spec;
+      if (A == "--passes") {
+        const char *V = Next();
+        if (!V)
+          return false;
+        Spec = V;
+      } else {
+        Spec = A.substr(std::strlen("--passes="));
+      }
+      if (Spec.empty()) {
+        std::fprintf(stderr, "flickc: missing value for --passes\n");
+        return false;
+      }
+      std::string Err;
+      if (!parsePassList(Spec, O.BOpts, Err)) {
+        std::fprintf(stderr, "flickc: %s\n", Err.c_str());
+        return false;
+      }
+    } else if (A == "--print-passes") {
+      O.PrintPasses = true;
+    } else if (A == "--dump-marshal-plan") {
+      O.BOpts.DumpPlans = true;
+    } else if (A == "--no-inline" || A == "--no-memcpy" ||
+               A == "--no-chunk" || A == "--no-scratch" ||
+               A == "--no-alias") {
+      // Legacy spellings; aliases for --passes=-<name>.
+      std::string Err;
+      parsePassList("-" + A.substr(std::strlen("--no-")), O.BOpts, Err);
     } else if (A == "--threshold") {
       const char *V = Next();
       if (!V)
@@ -156,7 +183,7 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       O.Input = A;
     }
   }
-  if (O.Input.empty()) {
+  if (O.Input.empty() && !O.PrintPasses) {
     usage();
     return false;
   }
@@ -219,6 +246,11 @@ int main(int Argc, char **Argv) {
   DriverOptions O;
   if (!parseArgs(Argc, Argv, O))
     return 1;
+
+  if (O.PrintPasses) {
+    std::fputs(passCatalog().c_str(), stdout);
+    return 0;
+  }
 
   std::ifstream In(O.Input, std::ios::binary);
   if (!In) {
@@ -329,6 +361,11 @@ int main(int Argc, char **Argv) {
   std::string LeafBase =
       Slash == std::string::npos ? Base : Base.substr(Slash + 1);
   BackendOutput Out = BE->generate(*Pres, LeafBase);
+
+  if (O.BOpts.DumpPlans) {
+    std::fputs(Out.PlanDump.c_str(), stdout);
+    return dumpStats(O) ? 0 : 1;
+  }
 
   if (!writeFile(Base + ".h", Out.Header) ||
       !writeFile(Base + "_client." + O.SrcExt, Out.ClientSrc) ||
