@@ -143,8 +143,30 @@ inline std::string jsonNum(double V) {
 /// was requested via FLICK_BENCH_JSON, and returns the metrics block (or
 /// nullptr).  Default interactive runs leave metrics disabled, so the
 /// measured fast paths match a metrics-free build exactly.
+/// Turns span tracing on when FLICK_BENCH_TRACE names an output path for
+/// the Chrome trace-event JSON (written by JsonReport::write).  Ring size
+/// defaults to 65536 spans; FLICK_BENCH_TRACE_SPANS overrides it.
+inline flick_tracer *benchTracerIfRequested() {
+  static flick_tracer T;
+  static std::vector<flick_span> Storage;
+  const char *Path = std::getenv("FLICK_BENCH_TRACE");
+  if (!Path || !*Path)
+    return nullptr;
+  if (Storage.empty()) {
+    size_t N = 1 << 16;
+    if (const char *S = std::getenv("FLICK_BENCH_TRACE_SPANS"))
+      if (size_t V = std::strtoull(S, nullptr, 10))
+        N = V;
+    Storage.resize(N);
+  }
+  flick_trace_enable(&T, Storage.data(),
+                     static_cast<uint32_t>(Storage.size()));
+  return &T;
+}
+
 inline flick_metrics *benchMetricsIfJson() {
   static flick_metrics M;
+  benchTracerIfRequested();
   const char *Path = std::getenv("FLICK_BENCH_JSON");
   if (!Path || !*Path)
     return nullptr;
@@ -167,7 +189,7 @@ public:
   class Row {
   public:
     Row &str(const char *Key, const std::string &V) {
-      field(Key, "\"" + V + "\"");
+      field(Key, "\"" + flick_json_escape(V) + "\"");
       return *this;
     }
     Row &num(const char *Key, double V) {
@@ -214,19 +236,27 @@ public:
     add(R);
   }
 
-  /// Writes {"bench", "rows", optional "metrics"} to $FLICK_BENCH_JSON.
-  /// Returns false on write failure; quietly does nothing when the
-  /// variable is unset (normal interactive runs).
+  /// Writes {"bench", "rows", optional "metrics"} to $FLICK_BENCH_JSON,
+  /// and -- when FLICK_BENCH_TRACE is also set -- the recorded span ring
+  /// as Chrome trace-event JSON to that second path.  Refuses to clobber
+  /// an existing results file ("x" exclusive mode): two benches pointed at
+  /// one path is a harness bug, and silently keeping only the last
+  /// writer's data corrupted comparisons before.  Returns false on any
+  /// write failure; quietly does nothing when FLICK_BENCH_JSON is unset.
   bool write(const char *BenchName, const flick_metrics *M = nullptr) {
     const char *Path = std::getenv("FLICK_BENCH_JSON");
     if (!Path || !*Path)
       return true;
-    std::FILE *F = std::fopen(Path, "wb");
+    std::FILE *F = std::fopen(Path, "wbx");
     if (!F) {
-      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      std::fprintf(stderr,
+                   "bench: cannot write '%s' (exists already? each bench "
+                   "run needs a fresh FLICK_BENCH_JSON path)\n",
+                   Path);
       return false;
     }
-    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"rows\": [", BenchName);
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                 flick_json_escape(BenchName).c_str());
     for (size_t I = 0; I != Rows.size(); ++I)
       std::fprintf(F, "%s\n    %s", I ? "," : "", Rows[I].c_str());
     std::fprintf(F, "%s]", Rows.empty() ? "" : "\n  ");
@@ -235,6 +265,22 @@ public:
       std::fprintf(F, ",\n  \"metrics\": %s", Json.c_str());
     }
     std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    return writeTrace();
+  }
+
+  /// Writes the Chrome trace for the active tracer to $FLICK_BENCH_TRACE.
+  bool writeTrace() {
+    const char *Path = std::getenv("FLICK_BENCH_TRACE");
+    if (!Path || !*Path || !flick_trace_active)
+      return true;
+    std::FILE *F = std::fopen(Path, "wb");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      return false;
+    }
+    std::string Json = flick_trace_to_chrome_json(flick_trace_active);
+    std::fwrite(Json.data(), 1, Json.size(), F);
     std::fclose(F);
     return true;
   }

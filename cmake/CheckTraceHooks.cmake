@@ -1,0 +1,69 @@
+# Verifies the --trace-hooks contract both ways: with the flag, generated
+# stubs contain flick_span_begin/flick_span_end brackets; without it, they
+# contain none (tracing must cost nothing unless asked for).
+#
+# Usage:
+#   cmake -DFLICKC=<flickc> -DIDL=<file.idl> -DGENDIR=<scratch-dir>
+#         -P CheckTraceHooks.cmake
+
+foreach(VAR FLICKC IDL GENDIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckTraceHooks.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${GENDIR}")
+
+execute_process(
+  COMMAND "${FLICKC}" --trace-hooks -o "${GENDIR}/hooks_on" "${IDL}"
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flickc --trace-hooks failed (rc=${RC}):\n${STDERR}")
+endif()
+
+execute_process(
+  COMMAND "${FLICKC}" -o "${GENDIR}/hooks_off" "${IDL}"
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flickc failed (rc=${RC}):\n${STDERR}")
+endif()
+
+# Every generated file participates: the RPC root span opens in the
+# client stub (closed via flick_trace_close_to so error unwinds stay
+# paired), WORK spans bracket the dispatch cases in the server stub, and
+# the MARSHAL/UNMARSHAL begin/end pairs live with the inline
+# encode/decode helpers in the shared header.
+file(GLOB ON_SRC "${GENDIR}/hooks_on*")
+file(GLOB OFF_SRC "${GENDIR}/hooks_off*")
+if(NOT ON_SRC OR NOT OFF_SRC)
+  message(FATAL_ERROR "flickc produced no output under ${GENDIR}")
+endif()
+
+set(ON_ALL "")
+foreach(F IN LISTS ON_SRC)
+  file(READ "${F}" SRC)
+  if(NOT SRC MATCHES "flick_span_begin")
+    message(FATAL_ERROR "--trace-hooks produced no flick_span_begin "
+                        "in ${F}")
+  endif()
+  string(APPEND ON_ALL "${SRC}")
+endforeach()
+foreach(NEEDED flick_span_end flick_trace_close_to FLICK_SPAN_MARSHAL
+               FLICK_SPAN_UNMARSHAL FLICK_SPAN_WORK FLICK_SPAN_RPC)
+  if(NOT ON_ALL MATCHES "${NEEDED}")
+    message(FATAL_ERROR "--trace-hooks output is missing ${NEEDED} "
+                        "across ${ON_SRC}")
+  endif()
+endforeach()
+
+foreach(F IN LISTS OFF_SRC)
+  file(READ "${F}" SRC)
+  if(SRC MATCHES "flick_span_begin|flick_span_end|flick_trace")
+    message(FATAL_ERROR "default compilation leaked tracing hooks "
+                        "into ${F}")
+  endif()
+endforeach()
+
+message(STATUS "trace hooks OK: present with --trace-hooks, absent without")

@@ -1,0 +1,91 @@
+# Validates a Chrome trace-event JSON document: it must parse as JSON,
+# carry a traceEvents array, and hold matched B/E pairs (complete "X"
+# events count as self-matched).  Two modes:
+#
+#   cmake -DFLICKC=<flickc> -DIDL=<file.idl> -DOUT=<trace.json>
+#         -DGENDIR=<scratch-dir> -P CheckTraceJson.cmake
+#     runs `flickc --trace=<OUT>` first, then validates OUT (the ctest
+#     for the compiler's phase timeline), or
+#
+#   cmake -DTRACE=<trace.json> -P CheckTraceJson.cmake
+#     validates an existing file (CI validates the bench runtime trace
+#     written via FLICK_BENCH_TRACE this way).
+
+if(DEFINED FLICKC)
+  foreach(VAR IDL OUT GENDIR)
+    if(NOT DEFINED ${VAR})
+      message(FATAL_ERROR "CheckTraceJson.cmake: -D${VAR}=... is required "
+                          "when -DFLICKC is given")
+    endif()
+  endforeach()
+  file(MAKE_DIRECTORY "${GENDIR}")
+  execute_process(
+    COMMAND "${FLICKC}" --trace=${OUT} -o "${GENDIR}/trace_cli" "${IDL}"
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "flickc --trace failed (rc=${RC}):\n${STDERR}")
+  endif()
+  set(TRACE "${OUT}")
+elseif(NOT DEFINED TRACE)
+  message(FATAL_ERROR
+          "CheckTraceJson.cmake: pass -DTRACE=<trace.json>, or -DFLICKC "
+          "with -DIDL/-DOUT/-DGENDIR")
+endif()
+
+file(READ "${TRACE}" DOC)
+
+# Whole-document JSON validity (string(JSON) raises on malformed input)
+# plus phase accounting.  Bench traces run to 100k+ events and every
+# string(JSON ... GET) re-parses the whole document, so per-event access
+# is quadratic; the counts come from one linear regex sweep instead, and
+# the per-event field checks run only on documents small enough to afford
+# them.
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON NEVENTS LENGTH "${DOC}" traceEvents)
+  if(NEVENTS EQUAL 0)
+    message(FATAL_ERROR "trace JSON: traceEvents is empty in ${TRACE}")
+  endif()
+  foreach(PH B E X)
+    string(REGEX MATCHALL "\"ph\": \"${PH}\"" HITS "${DOC}")
+    list(LENGTH HITS N_${PH})
+  endforeach()
+  set(BEGINS ${N_B})
+  set(ENDS ${N_E})
+  set(COMPLETES ${N_X})
+  math(EXPR ACCOUNTED "${BEGINS} + ${ENDS} + ${COMPLETES}")
+  if(NOT ACCOUNTED EQUAL NEVENTS)
+    message(FATAL_ERROR "trace JSON: ${NEVENTS} events but only "
+                        "${ACCOUNTED} have phase B, E, or X in ${TRACE}")
+  endif()
+  if(NOT BEGINS EQUAL ENDS)
+    message(FATAL_ERROR "trace JSON: ${BEGINS} begin events vs ${ENDS} "
+                        "end events in ${TRACE}")
+  endif()
+  math(EXPR TOTAL "${BEGINS} + ${COMPLETES}")
+  if(TOTAL EQUAL 0)
+    message(FATAL_ERROR "trace JSON: no spans recorded in ${TRACE}")
+  endif()
+  if(NEVENTS LESS_EQUAL 512)
+    math(EXPR LAST "${NEVENTS} - 1")
+    foreach(I RANGE ${LAST})
+      string(JSON NAME GET "${DOC}" traceEvents ${I} name)
+      string(JSON TS GET "${DOC}" traceEvents ${I} ts)
+      if(NAME STREQUAL "")
+        message(FATAL_ERROR "trace JSON: event ${I} has an empty name")
+      endif()
+      if(TS LESS 0)
+        message(FATAL_ERROR "trace JSON: event ${I} has negative ts ${TS}")
+      endif()
+    endforeach()
+  endif()
+  message(STATUS "trace JSON OK: ${TRACE} (${BEGINS} B/E pairs, "
+                 "${COMPLETES} complete events)")
+else()
+  # Pre-3.19 fallback: structural smoke only.
+  if(NOT DOC MATCHES "\"traceEvents\"")
+    message(FATAL_ERROR "trace JSON: missing traceEvents in ${TRACE}")
+  endif()
+  message(STATUS "trace JSON OK (regex mode): ${TRACE}")
+endif()

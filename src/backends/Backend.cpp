@@ -450,6 +450,15 @@ void StubGen::genClientStub(const PresCInterface &If,
   std::vector<CastStmt *> Body;
   Cur = &Body;
   CurEncode = true;
+  // --trace-hooks: the stub owns the RPC root span, named after the
+  // operation, so traces show per-op marshal/unmarshal children.  The
+  // epilogue closes back to the saved depth rather than popping once, so
+  // a decode helper that error-returns mid-span cannot skew the stack.
+  if (options().TraceHooks) {
+    stmt(B.rawStmt("uint32_t _tdepth = flick_trace_depth();"));
+    stmt(B.rawStmt("flick_span_begin(FLICK_SPAN_RPC, \"" + Op.CName +
+                   "\");"));
+  }
   if (Corba)
     stmt(B.varDecl(B.ptr(B.structTy("flick_client")), "_cli",
                    B.arrow(B.id("_obj"), "client")));
@@ -526,9 +535,13 @@ void StubGen::genClientStub(const PresCInterface &If,
                         B.eq(B.arrow(B.id("_ev"), "_major"),
                              B.id("CORBA_NO_EXCEPTION"))),
                   B.block(OnErr)));
+    if (options().TraceHooks)
+      stmt(B.rawStmt("flick_trace_close_to(_tdepth);"));
     if (RetK != PKind::Void)
       stmt(B.ret(B.id(RetLocal)));
   } else {
+    if (options().TraceHooks)
+      stmt(B.rawStmt("flick_trace_close_to(_tdepth);"));
     stmt(B.ret(B.id("_err")));
   }
   Cur = nullptr;

@@ -141,6 +141,10 @@ StubGen::genDispatchCase(const PresCInterface &If,
 
   PKind RetK = classifyPres(Op.Return.Pres);
   std::string RcVar;
+  // --trace-hooks: time the user's work function apart from marshaling.
+  if (options().TraceHooks)
+    stmt(B.rawStmt("flick_span_begin(FLICK_SPAN_WORK, \"" + Op.CName +
+                   "\");"));
   if (Corba) {
     ImplArgs.push_back(B.rawE("&_ev"));
     CastExpr *Call = B.call(Op.ServerImplName, ImplArgs);
@@ -183,6 +187,8 @@ StubGen::genDispatchCase(const PresCInterface &If,
     stmt(B.varDecl(B.prim("int"), RcVar,
                    B.call(Op.ServerImplName, ImplArgs)));
   }
+  if (options().TraceHooks)
+    stmt(B.rawStmt("flick_span_end();"));
 
   if (Op.Oneway) {
     stmt(B.ret(B.id("FLICK_OK")));

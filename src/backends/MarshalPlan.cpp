@@ -672,6 +672,10 @@ std::string flick::dumpSeqPlanSteps(const SeqPlan &Plan) {
     case StepKind::FramingHook:
       Out += std::string("  framing ") + hookName(St.Hook) + "\n";
       break;
+    case StepKind::TraceHook:
+      Out += std::string("  trace ") + (St.TraceBegin ? "begin " : "end") +
+             (St.TraceBegin ? St.TraceLabel : "") + "\n";
+      break;
     case StepKind::VariableSegment: {
       Out += "  segment [" + itos(St.Item) + "] " + Plan.Items[St.Item].Name;
       if (St.PreEnsureBytes)

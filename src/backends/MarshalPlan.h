@@ -200,7 +200,7 @@ struct PlanItem {
   uint64_t MaxBytes = 0; ///< bound when Storage != Unbounded
 };
 
-enum class StepKind { FixedChunk, VariableSegment, FramingHook };
+enum class StepKind { FixedChunk, VariableSegment, FramingHook, TraceHook };
 
 /// Message-framing positions owned by the concrete back end; the plan
 /// records where they sit so coalescing never crosses them and the dump
@@ -239,6 +239,12 @@ struct MarshalStep {
 
   // FramingHook.
   HookKind Hook = HookKind::RequestHeader;
+
+  // TraceHook (--trace-hooks): lowers to flick_span_begin(kind, label)
+  // when TraceBegin, flick_span_end() otherwise.
+  bool TraceBegin = false;
+  std::string TraceKind;  ///< span-kind enumerator, e.g. "FLICK_SPAN_MARSHAL"
+  std::string TraceLabel; ///< span name literal (the plan label)
 };
 
 /// The plan for one generated function body (or one struct interior).

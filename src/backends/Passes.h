@@ -62,6 +62,11 @@ struct BackendOptions {
   bool PerDatumCalls = false;
   /// Record before/after plans for --dump-marshal-plan.
   bool DumpPlans = false;
+  /// `--trace-hooks`: bracket every generated marshal/unmarshal helper,
+  /// client stub, and server work call with flick_span_begin/end pairs.
+  /// Not a pass (it adds steps rather than rewriting them); off by
+  /// default so generated code is byte-identical without the flag.
+  bool TraceHooks = false;
 };
 
 /// One registered pass: its `--passes` name and a one-line summary.

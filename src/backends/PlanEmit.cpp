@@ -610,6 +610,21 @@ void StubGen::emitSequence(
     Plan.Steps.push_back(St);
   }
 
+  // --trace-hooks brackets the whole helper body (framing included) with
+  // span steps.  Top-level plans only: struct interiors have no label and
+  // would nest a span per aggregate.
+  if (options().TraceHooks && !Plan.Label.empty()) {
+    MarshalStep Begin;
+    Begin.Kind = StepKind::TraceHook;
+    Begin.TraceBegin = true;
+    Begin.TraceKind = Encode ? "FLICK_SPAN_MARSHAL" : "FLICK_SPAN_UNMARSHAL";
+    Begin.TraceLabel = Plan.Label;
+    Plan.Steps.insert(Plan.Steps.begin(), Begin);
+    MarshalStep End;
+    End.Kind = StepKind::TraceHook;
+    Plan.Steps.push_back(End);
+  }
+
   bool Dump = options().DumpPlans && !Plan.Label.empty();
   SeqPlan Before;
   if (Dump)
@@ -630,6 +645,11 @@ void StubGen::emitPlanSteps(const SeqPlan &Plan,
     case StepKind::FramingHook:
       assert(HookFn && "framing hook step without a hook callback");
       HookFn(St.Hook);
+      break;
+    case StepKind::TraceHook:
+      stmt(B.rawStmt(St.TraceBegin ? "flick_span_begin(" + St.TraceKind +
+                                         ", \"" + St.TraceLabel + "\");"
+                                   : "flick_span_end();"));
       break;
     case StepKind::FixedChunk: {
       if (St.Size == 0)

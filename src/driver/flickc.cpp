@@ -51,6 +51,9 @@ struct DriverOptions {
   bool PrintPasses = false;
   /// Where --stats JSON goes: empty = stats off, "-" = stderr.
   std::string StatsPath;
+  /// Where --trace Chrome trace-event JSON goes: empty = off, "-" =
+  /// stderr.  Implies stats collection (it re-emits the region tree).
+  std::string TracePath;
 };
 
 void usage() {
@@ -77,7 +80,13 @@ void usage() {
       "      --threshold <bytes>       bounded-segment threshold\n"
       "      --stats[=out.json]        record per-phase wall time and IR\n"
       "                                counters; write JSON to the given\n"
-      "                                file (stderr when omitted)\n");
+      "                                file (stderr when omitted)\n"
+      "      --trace[=out.json]        write the phase timeline as Chrome\n"
+      "                                trace-event JSON (chrome://tracing,\n"
+      "                                Perfetto); stderr when omitted\n"
+      "      --trace-hooks             bracket generated stubs with\n"
+      "                                flick_span_begin/end tracing hooks\n"
+      "                                (default: off, stubs unchanged)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
@@ -132,6 +141,16 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
         std::fprintf(stderr, "flickc: missing value for --stats=\n");
         return false;
       }
+    } else if (A == "--trace") {
+      O.TracePath = "-";
+    } else if (A.rfind("--trace=", 0) == 0) {
+      O.TracePath = A.substr(std::strlen("--trace="));
+      if (O.TracePath.empty()) {
+        std::fprintf(stderr, "flickc: missing value for --trace=\n");
+        return false;
+      }
+    } else if (A == "--trace-hooks") {
+      O.BOpts.TraceHooks = true;
     } else if (A == "--string-len-params") {
       O.PresStringLen = true;
     } else if (A == "--passes" || A.rfind("--passes=", 0) == 0) {
@@ -226,18 +245,29 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
 /// Emits the collected --stats JSON when requested; returns false only
 /// when the output file cannot be written.
 bool dumpStats(const DriverOptions &O) {
-  if (O.StatsPath.empty() || !Stats::get().enabled())
+  if ((O.StatsPath.empty() && O.TracePath.empty()) ||
+      !Stats::get().enabled())
     return true;
   Stats::get().setTotalWallUs(
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - StatsStart)
           .count());
-  std::string Json = Stats::get().toJson();
-  if (O.StatsPath == "-") {
-    std::fputs(Json.c_str(), stderr);
-    return true;
+  bool OK = true;
+  if (!O.StatsPath.empty()) {
+    std::string Json = Stats::get().toJson();
+    if (O.StatsPath == "-")
+      std::fputs(Json.c_str(), stderr);
+    else
+      OK = writeFile(O.StatsPath, Json) && OK;
   }
-  return writeFile(O.StatsPath, Json);
+  if (!O.TracePath.empty()) {
+    std::string Json = Stats::get().toChromeTrace();
+    if (O.TracePath == "-")
+      std::fputs(Json.c_str(), stderr);
+    else
+      OK = writeFile(O.TracePath, Json) && OK;
+  }
+  return OK;
 }
 
 } // namespace
@@ -263,7 +293,7 @@ int main(int Argc, char **Argv) {
 
   DiagnosticEngine Diags;
 
-  if (!O.StatsPath.empty()) {
+  if (!O.StatsPath.empty() || !O.TracePath.empty()) {
     StatsStart = std::chrono::steady_clock::now();
     Stats::get().setEnabled(true);
     Stats::get().reset();

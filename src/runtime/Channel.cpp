@@ -26,12 +26,19 @@ void LocalLink::account(size_t Len) {
   Clock->advance(Us);
   if (flick_metrics_active)
     flick_metrics_active->wire_time_us += Us;
+  // The modeled transit time is already known, so it is recorded as a
+  // completed child span of whatever send is in flight.
+  if (flick_trace_active)
+    flick_trace_record_complete(FLICK_SPAN_WIRE, "wire", Us);
 }
 
 int LocalLink::End::send(const uint8_t *Data, size_t Len) {
-  std::vector<uint8_t> Msg(Data, Data + Len);
+  Msg M;
+  M.Bytes.assign(Data, Data + Len);
+  if (flick_trace_active)
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
   Link.account(Len);
-  (IsClient ? Link.ToB : Link.ToA).push_back(std::move(Msg));
+  (IsClient ? Link.ToB : Link.ToA).push_back(std::move(M));
   return FLICK_OK;
 }
 
@@ -43,8 +50,11 @@ int LocalLink::End::recv(std::vector<uint8_t> &Out) {
     if (!IsClient || !Link.Pump || !Link.Pump())
       return FLICK_ERR_TRANSPORT;
   }
-  Out = std::move(Queue.front());
+  Msg M = std::move(Queue.front());
   Queue.pop_front();
+  if (flick_trace_active)
+    flick_trace_deposit(M.TraceId, M.ParentSpan);
+  Out = std::move(M.Bytes);
   return FLICK_OK;
 }
 

@@ -75,10 +75,19 @@ private:
     bool IsClient;
   };
 
+  /// One queued message plus its out-of-band trace context: the sender's
+  /// (trace id, span id) ride beside the bytes, never inside them, so
+  /// tracing cannot perturb the wire format.
+  struct Msg {
+    std::vector<uint8_t> Bytes;
+    uint64_t TraceId = 0;
+    uint64_t ParentSpan = 0;
+  };
+
   void account(size_t Len);
 
-  std::deque<std::vector<uint8_t>> ToA; // server -> client
-  std::deque<std::vector<uint8_t>> ToB; // client -> server
+  std::deque<Msg> ToA; // server -> client
+  std::deque<Msg> ToB; // client -> server
   NetworkModel Model = NetworkModel::ideal();
   SimClock *Clock = nullptr;
   std::function<bool()> Pump;

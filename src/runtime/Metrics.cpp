@@ -56,6 +56,11 @@ std::string flick_metrics_to_json(const flick_metrics *m,
   Out += indent;
   Out += "\"wire_time_us\": ";
   Out += Buf;
+  Out += ",\n";
+  Out += indent;
+  Out += "\"rpc_latency\": ";
+  Out += flick_hist_to_json(&m->rpc_latency,
+                            (std::string(indent) + "  ").c_str());
   Out += "\n}";
   return Out;
 }

@@ -112,16 +112,47 @@ int flick_client_invoke(flick_client *c) {
   ++c->next_xid;
   flick_metric_add(&flick_metrics::rpcs_sent, 1);
   flick_metric_add(&flick_metrics::request_bytes, c->req.len);
-  if (int err = flick_channel_send(c->chan, c->req.data, c->req.len)) {
+  // Latency sampling and tracing cost one pointer test each when off.
+  bool Timed = flick_metrics_active != nullptr;
+  std::chrono::steady_clock::time_point T0;
+  if (Timed)
+    T0 = std::chrono::steady_clock::now();
+  // Open the RPC root unless a generated stub (--trace-hooks) already did,
+  // then a SEND child for the request.  Error paths close back to Base, so
+  // nothing can leak open spans.
+  uint32_t Base = 0;
+  if (flick_trace_active) {
+    Base = flick_trace_active->depth;
+    if (Base == 0)
+      flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
+    flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
+  }
+  int err = flick_channel_send(c->chan, c->req.data, c->req.len);
+  if (flick_trace_active)
+    flick_trace_end_impl(); // SEND
+  if (err) {
     flick_metric_add(&flick_metrics::transport_errors, 1);
+    flick_trace_close_to(Base);
     return err;
   }
-  if (int err = flick_channel_recv(c->chan, &c->rep)) {
+  // The server runs synchronously under this recv (LocalLink pump); its
+  // spans parent onto the SEND span via the propagated context.
+  err = flick_channel_recv(c->chan, &c->rep);
+  if (flick_trace_active)
+    flick_trace_deposit(0, 0); // the reply's context is not a parent here
+  if (err) {
     flick_metric_add(&flick_metrics::transport_errors, 1);
+    flick_trace_close_to(Base);
     return err;
   }
   flick_metric_add(&flick_metrics::replies_received, 1);
   flick_metric_add(&flick_metrics::reply_bytes, c->rep.len);
+  flick_trace_close_to(Base);
+  if (Timed && flick_metrics_active)
+    flick_hist_record(&flick_metrics_active->rpc_latency,
+                      std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count());
   return FLICK_OK;
 }
 
@@ -129,9 +160,17 @@ int flick_client_send_oneway(flick_client *c) {
   ++c->next_xid;
   flick_metric_add(&flick_metrics::oneways_sent, 1);
   flick_metric_add(&flick_metrics::request_bytes, c->req.len);
+  uint32_t Base = 0;
+  if (flick_trace_active) {
+    Base = flick_trace_active->depth;
+    if (Base == 0)
+      flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
+    flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
+  }
   int err = flick_channel_send(c->chan, c->req.data, c->req.len);
   if (err)
     flick_metric_add(&flick_metrics::transport_errors, 1);
+  flick_trace_close_to(Base);
   return err;
 }
 
@@ -155,6 +194,13 @@ int flick_server_handle_one(flick_server *s) {
     flick_metric_add(&flick_metrics::transport_errors, 1);
     return err;
   }
+  // The receive deposited the request's trace context; the server root
+  // adopts it as an explicit remote parent (out-of-band propagation).
+  uint32_t Base = 0;
+  if (flick_trace_active) {
+    Base = flick_trace_active->depth;
+    flick_trace_begin_remote_impl(FLICK_SPAN_DEMUX, "demux");
+  }
   flick_metric_add(&flick_metrics::rpcs_handled, 1);
   flick_metric_add(&flick_metrics::server_request_bytes, s->req.len);
   flick_buf_reset(&s->rep);
@@ -165,14 +211,21 @@ int flick_server_handle_one(flick_server *s) {
       flick_metric_add(&flick_metrics::decode_errors, 1);
     else if (status == FLICK_ERR_NO_SUCH_OP)
       flick_metric_add(&flick_metrics::demux_errors, 1);
+    flick_trace_close_to(Base);
     return status;
   }
   // Oneway requests produce an empty reply buffer: nothing to send.
-  if (s->rep.len == 0)
+  if (s->rep.len == 0) {
+    flick_trace_close_to(Base);
     return FLICK_OK;
+  }
   flick_metric_add(&flick_metrics::replies_sent, 1);
   flick_metric_add(&flick_metrics::server_reply_bytes, s->rep.len);
-  if (int err = flick_channel_send(s->chan, s->rep.data, s->rep.len)) {
+  if (flick_trace_active)
+    flick_trace_begin_impl(FLICK_SPAN_REPLY, "reply");
+  int err = flick_channel_send(s->chan, s->rep.data, s->rep.len);
+  flick_trace_close_to(Base); // ends REPLY and the DEMUX root
+  if (err) {
     flick_metric_add(&flick_metrics::transport_errors, 1);
     return err;
   }

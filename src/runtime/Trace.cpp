@@ -1,0 +1,445 @@
+//===- runtime/Trace.cpp - Per-RPC distributed tracing --------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Trace.h"
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+flick_tracer *flick_trace_active = nullptr;
+
+//===----------------------------------------------------------------------===//
+// Latency histogram
+//===----------------------------------------------------------------------===//
+
+void flick_hist_record(flick_latency_hist *h, double us) {
+  if (us < 0)
+    us = 0;
+  ++h->count;
+  h->sum_us += us;
+  if (us > h->max_us)
+    h->max_us = us;
+  // Bucket i holds [2^(i-1), 2^i); find the smallest i with us < 2^i.
+  int I = 0;
+  while (I < FLICK_HIST_BUCKETS - 1 &&
+         us >= static_cast<double>(uint64_t(1) << I))
+    ++I;
+  ++h->buckets[I];
+}
+
+double flick_hist_percentile(const flick_latency_hist *h, double p) {
+  if (h->count == 0)
+    return 0;
+  if (p < 0)
+    p = 0;
+  if (p > 1)
+    p = 1;
+  uint64_t Target = static_cast<uint64_t>(p * static_cast<double>(h->count));
+  if (Target * 1.0 < p * static_cast<double>(h->count))
+    ++Target; // ceil
+  if (Target == 0)
+    Target = 1;
+  uint64_t Cum = 0;
+  for (int I = 0; I != FLICK_HIST_BUCKETS; ++I) {
+    Cum += h->buckets[I];
+    if (Cum >= Target) {
+      double Bound = static_cast<double>(uint64_t(1) << I);
+      return Bound < h->max_us ? Bound : h->max_us;
+    }
+  }
+  return h->max_us;
+}
+
+std::string flick_hist_to_json(const flick_latency_hist *h,
+                               const char *indent) {
+  char Buf[96];
+  std::string Out = "{\n";
+  auto Line = [&](const char *Key, double V, bool Comma) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %.3f%s\n", indent, Key, V,
+                  Comma ? "," : "");
+    Out += Buf;
+  };
+  std::snprintf(Buf, sizeof(Buf), "%s\"count\": %llu,\n", indent,
+                static_cast<unsigned long long>(h->count));
+  Out += Buf;
+  Line("sum_us", h->sum_us, true);
+  Line("mean_us",
+       h->count ? h->sum_us / static_cast<double>(h->count) : 0, true);
+  Line("p50_us", flick_hist_percentile(h, 0.50), true);
+  Line("p90_us", flick_hist_percentile(h, 0.90), true);
+  Line("p99_us", flick_hist_percentile(h, 0.99), true);
+  Line("max_us", h->max_us, true);
+  // Nonzero buckets as [upper_bound_us, count] pairs.
+  Out += indent;
+  Out += "\"buckets\": [";
+  bool First = true;
+  for (int I = 0; I != FLICK_HIST_BUCKETS; ++I) {
+    if (!h->buckets[I])
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%s[%llu, %llu]", First ? "" : ", ",
+                  static_cast<unsigned long long>(uint64_t(1) << I),
+                  static_cast<unsigned long long>(h->buckets[I]));
+    Out += Buf;
+    First = false;
+  }
+  Out += "]\n";
+  // Close at the indent one level up from the body.
+  std::string Ind = indent;
+  if (Ind.size() >= 2)
+    Ind.resize(Ind.size() - 2);
+  Out += Ind + "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double nowUs(const flick_tracer *T) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - T->epoch)
+      .count();
+}
+
+/// Pushes \p S into the completed-span ring.
+void record(flick_tracer *T, const flick_span &S) {
+  if (!T->spans || T->cap == 0)
+    return;
+  if (T->head >= T->cap)
+    ++T->dropped;
+  T->spans[T->head % T->cap] = S;
+  ++T->head;
+}
+
+/// Opens \p S (already initialized except ids/begin) under the current
+/// innermost span, or as a root of a fresh trace when the stack is empty.
+void pushOpen(flick_tracer *T, flick_span &S) {
+  S.span_id = ++T->next_span_id;
+  S.begin_us = nowUs(T);
+  if (S.trace_id == 0) {
+    if (T->depth > 0) {
+      const flick_span &Top =
+          T->open[(T->depth <= FLICK_TRACE_MAX_DEPTH ? T->depth
+                                                     : FLICK_TRACE_MAX_DEPTH) -
+                  1];
+      S.trace_id = Top.trace_id;
+      S.parent_id = Top.span_id;
+    } else {
+      S.trace_id = ++T->next_trace_id;
+      S.parent_id = 0;
+    }
+  }
+  if (T->depth < FLICK_TRACE_MAX_DEPTH)
+    T->open[T->depth] = S;
+  else
+    ++T->truncated; // depth still advances so the matching end pairs up
+  ++T->depth;
+}
+
+} // namespace
+
+void flick_trace_enable(flick_tracer *t, flick_span *storage, uint32_t cap) {
+  *t = flick_tracer{};
+  t->spans = storage;
+  t->cap = cap;
+  t->epoch = std::chrono::steady_clock::now();
+  flick_trace_active = t;
+}
+
+void flick_trace_disable() { flick_trace_active = nullptr; }
+
+void flick_trace_begin_impl(int kind, const char *name) {
+  flick_tracer *T = flick_trace_active;
+  flick_span S;
+  S.kind = static_cast<uint8_t>(kind);
+  S.name = name;
+  pushOpen(T, S);
+}
+
+void flick_trace_begin_remote_impl(int kind, const char *name) {
+  flick_tracer *T = flick_trace_active;
+  flick_span S;
+  S.kind = static_cast<uint8_t>(kind);
+  S.name = name;
+  if (T->pending_valid) {
+    S.trace_id = T->pending_trace_id;
+    S.parent_id = T->pending_parent_id;
+    T->pending_valid = 0;
+  }
+  pushOpen(T, S);
+}
+
+void flick_trace_end_impl() {
+  flick_tracer *T = flick_trace_active;
+  if (T->depth == 0)
+    return;
+  --T->depth;
+  if (T->depth < FLICK_TRACE_MAX_DEPTH) {
+    flick_span S = T->open[T->depth];
+    S.dur_us = nowUs(T) - S.begin_us;
+    record(T, S);
+  }
+}
+
+void flick_trace_close_to(uint32_t depth) {
+  flick_tracer *T = flick_trace_active;
+  if (!T)
+    return;
+  while (T->depth > depth)
+    flick_trace_end_impl();
+}
+
+void flick_trace_record_complete(int kind, const char *name, double dur_us) {
+  flick_tracer *T = flick_trace_active;
+  if (!T)
+    return;
+  flick_span S;
+  S.kind = static_cast<uint8_t>(kind);
+  S.name = name;
+  S.span_id = ++T->next_span_id;
+  S.begin_us = nowUs(T);
+  S.dur_us = dur_us;
+  if (T->depth > 0) {
+    const flick_span &Top =
+        T->open[(T->depth <= FLICK_TRACE_MAX_DEPTH ? T->depth
+                                                   : FLICK_TRACE_MAX_DEPTH) -
+                1];
+    S.trace_id = Top.trace_id;
+    S.parent_id = Top.span_id;
+  } else {
+    S.trace_id = ++T->next_trace_id;
+  }
+  record(T, S);
+}
+
+void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id) {
+  *trace_id = 0;
+  *parent_id = 0;
+  flick_tracer *T = flick_trace_active;
+  if (!T || T->depth == 0)
+    return;
+  const flick_span &Top =
+      T->open[(T->depth <= FLICK_TRACE_MAX_DEPTH ? T->depth
+                                                 : FLICK_TRACE_MAX_DEPTH) -
+              1];
+  *trace_id = Top.trace_id;
+  *parent_id = Top.span_id;
+}
+
+void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id) {
+  flick_tracer *T = flick_trace_active;
+  if (!T)
+    return;
+  T->pending_trace_id = trace_id;
+  T->pending_parent_id = parent_id;
+  T->pending_valid = trace_id != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Reading and exporting
+//===----------------------------------------------------------------------===//
+
+const char *flick_span_kind_name(int kind) {
+  switch (kind) {
+  case FLICK_SPAN_RPC:
+    return "rpc";
+  case FLICK_SPAN_MARSHAL:
+    return "marshal";
+  case FLICK_SPAN_SEND:
+    return "send";
+  case FLICK_SPAN_WIRE:
+    return "wire";
+  case FLICK_SPAN_DEMUX:
+    return "demux";
+  case FLICK_SPAN_WORK:
+    return "work";
+  case FLICK_SPAN_UNMARSHAL:
+    return "unmarshal";
+  case FLICK_SPAN_REPLY:
+    return "reply";
+  default:
+    return "unknown";
+  }
+}
+
+size_t flick_trace_span_count(const flick_tracer *t) {
+  if (!t->spans || t->cap == 0)
+    return 0;
+  return t->head < t->cap ? static_cast<size_t>(t->head) : t->cap;
+}
+
+const flick_span *flick_trace_span(const flick_tracer *t, size_t i) {
+  size_t N = flick_trace_span_count(t);
+  if (i >= N)
+    return nullptr;
+  size_t First = t->head < t->cap ? 0 : static_cast<size_t>(t->head % t->cap);
+  return &t->spans[(First + i) % t->cap];
+}
+
+std::string flick_json_escape(const std::string &s) {
+  std::string Out;
+  Out.reserve(s.size());
+  for (char C : s) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Nesting depth of each span, for the B/E ordering rules below.  Spans
+/// whose parents were overwritten in the ring count as roots.
+std::vector<unsigned>
+spanDepths(const flick_tracer *T,
+           const std::unordered_map<uint64_t, size_t> &ById) {
+  size_t N = flick_trace_span_count(T);
+  std::vector<unsigned> Depth(N, 0);
+  for (size_t I = 0; I != N; ++I) {
+    unsigned D = 0;
+    uint64_t P = flick_trace_span(T, I)->parent_id;
+    while (P) {
+      auto It = ById.find(P);
+      if (It == ById.end() || ++D >= 2 * FLICK_TRACE_MAX_DEPTH)
+        break;
+      P = flick_trace_span(T, It->second)->parent_id;
+    }
+    Depth[I] = D;
+  }
+  return Depth;
+}
+
+std::unordered_map<uint64_t, size_t> indexById(const flick_tracer *T) {
+  std::unordered_map<uint64_t, size_t> ById;
+  size_t N = flick_trace_span_count(T);
+  for (size_t I = 0; I != N; ++I)
+    ById.emplace(flick_trace_span(T, I)->span_id, I);
+  return ById;
+}
+
+} // namespace
+
+std::string flick_trace_to_chrome_json(const flick_tracer *t) {
+  struct Event {
+    double Ts;
+    bool IsBegin;
+    unsigned Depth;
+    const flick_span *S;
+  };
+  auto ById = indexById(t);
+  std::vector<unsigned> Depth = spanDepths(t, ById);
+  size_t N = flick_trace_span_count(t);
+  std::vector<Event> Events;
+  Events.reserve(2 * N);
+  for (size_t I = 0; I != N; ++I) {
+    const flick_span *S = flick_trace_span(t, I);
+    Events.push_back({S->begin_us, true, Depth[I], S});
+    Events.push_back({S->begin_us + S->dur_us, false, Depth[I], S});
+  }
+  // Chrome requires well-nested B/E per track: order by time; at equal
+  // times, ends before begins; deeper ends first, shallower begins first.
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const Event &A, const Event &B) {
+                     if (A.Ts != B.Ts)
+                       return A.Ts < B.Ts;
+                     if (A.IsBegin != B.IsBegin)
+                       return !A.IsBegin;
+                     return A.IsBegin ? A.Depth < B.Depth
+                                      : A.Depth > B.Depth;
+                   });
+  std::string Out = "{\n  \"traceEvents\": [";
+  char Buf[256];
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    std::string Name =
+        flick_json_escape(E.S->name ? E.S->name
+                                    : flick_span_kind_name(E.S->kind));
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                  "\"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, "
+                  "\"tid\": %llu}",
+                  I ? "," : "", Name.c_str(),
+                  flick_span_kind_name(E.S->kind), E.IsBegin ? 'B' : 'E',
+                  E.Ts,
+                  static_cast<unsigned long long>(E.S->trace_id));
+    Out += Buf;
+  }
+  Out += Events.empty() ? "]" : "\n  ]";
+  std::snprintf(Buf, sizeof(Buf),
+                ",\n  \"displayTimeUnit\": \"ms\",\n"
+                "  \"flick\": {\"spans\": %zu, \"dropped\": %llu, "
+                "\"truncated\": %llu, \"open_at_export\": %u}\n}\n",
+                N, static_cast<unsigned long long>(t->dropped),
+                static_cast<unsigned long long>(t->truncated), t->depth);
+  Out += Buf;
+  return Out;
+}
+
+std::string flick_trace_to_collapsed(const flick_tracer *t) {
+  auto ById = indexById(t);
+  size_t N = flick_trace_span_count(t);
+  // Self time: a span's duration minus its children's.
+  std::vector<double> Self(N);
+  for (size_t I = 0; I != N; ++I)
+    Self[I] = flick_trace_span(t, I)->dur_us;
+  for (size_t I = 0; I != N; ++I) {
+    auto It = ById.find(flick_trace_span(t, I)->parent_id);
+    if (It != ById.end())
+      Self[It->second] -= flick_trace_span(t, I)->dur_us;
+  }
+  std::map<std::string, double> Stacks;
+  for (size_t I = 0; I != N; ++I) {
+    std::string Stack;
+    const flick_span *S = flick_trace_span(t, I);
+    unsigned Guard = 0;
+    for (const flick_span *W = S; W;) {
+      std::string Frame =
+          W->name ? W->name : flick_span_kind_name(W->kind);
+      Stack = Stack.empty() ? Frame : Frame + ";" + Stack;
+      auto It = ById.find(W->parent_id);
+      W = (It != ById.end() && ++Guard < 2 * FLICK_TRACE_MAX_DEPTH)
+              ? flick_trace_span(t, It->second)
+              : nullptr;
+    }
+    Stacks[Stack] += Self[I] > 0 ? Self[I] : 0;
+  }
+  std::string Out;
+  char Buf[32];
+  for (const auto &[Stack, Us] : Stacks) {
+    std::snprintf(Buf, sizeof(Buf), " %llu\n",
+                  static_cast<unsigned long long>(Us + 0.5));
+    Out += Stack + Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,200 @@
+//===- runtime/Trace.h - Per-RPC distributed tracing ------------*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-call span recording for generated stubs and the runtime: one RPC
+/// becomes a tree of timed spans (marshal / send / simulated-wire / demux
+/// / server-work / unmarshal / reply) written into a caller-supplied,
+/// fixed-size ring buffer with monotonic timestamps.  Like flick_metrics,
+/// collection is OFF by default -- `flick_trace_active` is null and every
+/// hook below costs one predictable pointer test -- so stubs compiled
+/// against this header lose nothing when tracing is disabled.
+///
+/// Trace context crosses the "wire" out of band: LocalLink carries the
+/// sender's (trace id, span id) beside the message bytes, never inside
+/// them, so enabling tracing cannot perturb the wire format.  The
+/// recording path never allocates; the exporters (Chrome trace-event JSON
+/// and collapsed flamegraph stacks) may.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_RUNTIME_TRACE_H
+#define FLICK_RUNTIME_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+//===----------------------------------------------------------------------===//
+// Log-bucketed latency histogram
+//===----------------------------------------------------------------------===//
+
+/// Power-of-two microsecond buckets: bucket i counts durations in
+/// [2^(i-1), 2^i) us, with bucket 0 taking everything below 1 us.  64
+/// buckets cover any double that can plausibly be a latency.
+enum { FLICK_HIST_BUCKETS = 64 };
+
+struct flick_latency_hist {
+  uint64_t count = 0;
+  uint64_t buckets[FLICK_HIST_BUCKETS] = {};
+  double sum_us = 0;
+  double max_us = 0;
+};
+
+/// Records one duration (negative values clamp to 0).
+void flick_hist_record(flick_latency_hist *h, double us);
+
+/// Percentile estimate from the bucket upper bounds: the smallest bucket
+/// boundary at or above the \p p quantile (0 < p <= 1), clamped to the
+/// observed maximum so p99 can never exceed max.  Returns 0 on an empty
+/// histogram.
+double flick_hist_percentile(const flick_latency_hist *h, double p);
+
+/// Renders {"count": ..., "p50_us": ..., ..., "buckets": [[le_us, n], ...]}.
+/// \p indent prefixes each line of the body.
+std::string flick_hist_to_json(const flick_latency_hist *h,
+                               const char *indent = "  ");
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+/// What phase of an RPC a span covers.  Kept as plain enum constants so
+/// generated (C-flavored) stub code can name them.
+enum {
+  FLICK_SPAN_RPC = 0,   ///< client root: one whole invocation
+  FLICK_SPAN_MARSHAL,   ///< generated encode helper (--trace-hooks)
+  FLICK_SPAN_SEND,      ///< channel send of the request
+  FLICK_SPAN_WIRE,      ///< simulated wire time (NetworkModel)
+  FLICK_SPAN_DEMUX,     ///< server root: receive + dispatch of one request
+  FLICK_SPAN_WORK,      ///< server work function (--trace-hooks)
+  FLICK_SPAN_UNMARSHAL, ///< generated decode helper (--trace-hooks)
+  FLICK_SPAN_REPLY,     ///< channel send of the reply
+  FLICK_SPAN_KIND_COUNT
+};
+
+/// Printable name of a span kind ("rpc", "marshal", ...).
+const char *flick_span_kind_name(int kind);
+
+/// One completed span.  `name` must be a string literal (or otherwise
+/// outlive the tracer): the recording path stores the pointer only.
+struct flick_span {
+  uint64_t trace_id = 0;  ///< groups the spans of one RPC tree
+  uint64_t span_id = 0;   ///< unique within the tracer
+  uint64_t parent_id = 0; ///< 0 for roots
+  const char *name = nullptr;
+  double begin_us = 0; ///< monotonic, relative to flick_trace_enable
+  double dur_us = 0;
+  uint8_t kind = FLICK_SPAN_RPC;
+};
+
+/// Deepest span nesting the tracer tracks; begins past this depth are
+/// counted in `truncated` and dropped.
+enum { FLICK_TRACE_MAX_DEPTH = 32 };
+
+/// Span recorder: completed spans go into the caller-supplied ring
+/// `spans[cap]` (oldest overwritten first), open spans live on a fixed
+/// stack.  All counters are plain fields so tests and exporters can read
+/// them directly.  Not thread-safe -- one traced conversation per process,
+/// matching the deterministic single-threaded LocalLink.
+struct flick_tracer {
+  flick_span *spans = nullptr; ///< caller-owned ring storage
+  uint32_t cap = 0;
+  uint64_t head = 0;    ///< spans recorded ever; ring slot = head % cap
+  uint64_t dropped = 0; ///< completed spans that overwrote older ones
+  /// Open-span stack (the innermost is open[depth-1]).
+  flick_span open[FLICK_TRACE_MAX_DEPTH];
+  uint32_t depth = 0;
+  uint64_t truncated = 0; ///< begins dropped for exceeding MAX_DEPTH
+  uint64_t next_trace_id = 0;
+  uint64_t next_span_id = 0;
+  /// Remote context deposited by a channel receive, consumed by the next
+  /// root begin on this side (out-of-band propagation).
+  uint64_t pending_trace_id = 0;
+  uint64_t pending_parent_id = 0;
+  int pending_valid = 0;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+/// The installed tracer, or null when tracing is disabled.
+extern flick_tracer *flick_trace_active;
+
+/// Resets \p t, points it at \p storage (capacity \p cap spans), and
+/// installs it.  Storage stays caller-owned; recording never allocates.
+void flick_trace_enable(flick_tracer *t, flick_span *storage, uint32_t cap);
+
+/// Stops collection; the tracer keeps its recorded spans for export.
+void flick_trace_disable();
+
+// Out-of-line slow paths (only reached when a tracer is installed).
+void flick_trace_begin_impl(int kind, const char *name);
+void flick_trace_end_impl();
+
+/// Opens a span, consuming a pending remote context (if any) as the
+/// parent: the receive side of out-of-band propagation.
+void flick_trace_begin_remote_impl(int kind, const char *name);
+
+/// Ends every span deeper than \p depth (crediting them "now").  The
+/// runtime closes its root spans with this so early error returns inside
+/// generated helpers cannot leak open spans.
+void flick_trace_close_to(uint32_t depth);
+
+/// Records an already-measured span (e.g. simulated wire time) as a
+/// completed child of the innermost open span.
+void flick_trace_record_complete(int kind, const char *name, double dur_us);
+
+/// Current (trace id, innermost open span id) for stamping outgoing
+/// messages; both 0 when no span is open.
+void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id);
+
+/// Deposits a received message's context for the next remote begin.
+/// (0, 0) clears instead.
+void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id);
+
+//===----------------------------------------------------------------------===//
+// Inline hooks (the only calls on stub hot paths)
+//===----------------------------------------------------------------------===//
+
+inline void flick_span_begin(int kind, const char *name) {
+  if (flick_trace_active)
+    flick_trace_begin_impl(kind, name);
+}
+
+inline void flick_span_end(void) {
+  if (flick_trace_active)
+    flick_trace_end_impl();
+}
+
+inline uint32_t flick_trace_depth(void) {
+  return flick_trace_active ? flick_trace_active->depth : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Reading and exporting
+//===----------------------------------------------------------------------===//
+
+/// Completed spans currently held in the ring.
+size_t flick_trace_span_count(const flick_tracer *t);
+
+/// The \p i-th held span, oldest first (0 <= i < span_count).
+const flick_span *flick_trace_span(const flick_tracer *t, size_t i);
+
+/// Chrome trace-event JSON (chrome://tracing, Perfetto): one B/E event
+/// pair per span, tid = trace id so each RPC gets its own track.  Extra
+/// top-level keys record drop counters; Chrome ignores them.
+std::string flick_trace_to_chrome_json(const flick_tracer *t);
+
+/// Flamegraph-friendly collapsed stacks: "root;child;leaf <self_us>" per
+/// line, aggregated over all spans, durations in integer microseconds.
+std::string flick_trace_to_collapsed(const flick_tracer *t);
+
+/// Escapes \p s for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).  Shared by every runtime/bench JSON
+/// emitter so no exporter writes raw strings.
+std::string flick_json_escape(const std::string &s);
+
+#endif // FLICK_RUNTIME_TRACE_H

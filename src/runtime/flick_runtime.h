@@ -20,6 +20,7 @@
 #ifndef FLICK_RUNTIME_FLICK_RUNTIME_H
 #define FLICK_RUNTIME_FLICK_RUNTIME_H
 
+#include "Trace.h"
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +94,10 @@ struct flick_metrics {
   uint64_t interp_decodes = 0;
   // Simulated wire time accumulated by modeled links (SimClock).
   double wire_time_us = 0;
+  // Per-call round-trip latency distribution: flick_client_invoke records
+  // its wall time here, so every metrics dump (and every FLICK_BENCH_JSON
+  // document) carries p50/p90/p99/max beside the aggregate counters.
+  flick_latency_hist rpc_latency;
 };
 
 /// The installed metrics block, or null when collection is disabled.

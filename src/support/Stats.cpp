@@ -47,15 +47,22 @@ Stats &Stats::get() {
 
 void Stats::reset() {
   Root.WallUs = 0;
+  Root.StartUs = 0;
   Root.Counters.clear();
   Root.Children.clear();
   Stack.clear();
   Notes.clear();
+  Epoch = std::chrono::steady_clock::now();
 }
 
 void Stats::push(const std::string &Name) {
   StatsRegion &Parent = Stack.empty() ? Root : *Stack.back();
-  Stack.push_back(&Parent.child(Name));
+  StatsRegion &R = Parent.child(Name);
+  if (R.StartUs < 0)
+    R.StartUs = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - Epoch)
+                    .count();
+  Stack.push_back(&R);
 }
 
 void Stats::pop(double WallUs) {
@@ -199,6 +206,46 @@ std::string Stats::toJson() const {
     indentTo(Out, 1);
   }
   Out += "]\n}\n";
+  return Out;
+}
+
+namespace {
+
+void renderChromeRegion(std::string &Out, const StatsRegion &R,
+                        bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  double Ts = R.StartUs < 0 ? 0 : R.StartUs;
+  Out += "    {\"name\": \"" + jsonEscape(R.Name) +
+         "\", \"cat\": \"flickc\", \"ph\": \"X\", \"ts\": " + fmtUs(Ts) +
+         ", \"dur\": " + fmtUs(R.WallUs) + ", \"pid\": 1, \"tid\": 1";
+  if (!R.Counters.empty()) {
+    Out += ", \"args\": {";
+    for (size_t I = 0; I != R.Counters.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "\"" + jsonEscape(R.Counters[I].first) +
+             "\": " + std::to_string(R.Counters[I].second);
+    }
+    Out += "}";
+  }
+  Out += "}";
+  for (const auto &C : R.Children)
+    renderChromeRegion(Out, *C, First);
+}
+
+} // namespace
+
+std::string Stats::toChromeTrace() const {
+  std::string Out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  for (const auto &N : Notes)
+    Out += "  \"" + jsonEscape(N.first) + "\": \"" + jsonEscape(N.second) +
+           "\",\n";
+  Out += "  \"traceEvents\": [\n";
+  bool First = true;
+  renderChromeRegion(Out, Root, First);
+  Out += "\n  ]\n}\n";
   return Out;
 }
 

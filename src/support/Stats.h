@@ -40,6 +40,10 @@ struct StatsRegion {
 
   std::string Name;
   double WallUs = 0;
+  /// First time this region was entered, in microseconds since the Stats
+  /// epoch (reset); -1 until pushed.  Lets --trace re-emit the region tree
+  /// as Chrome trace events with real positions on the timeline.
+  double StartUs = -1;
   /// Counters in first-touch order (stable JSON output).
   std::vector<std::pair<std::string, uint64_t>> Counters;
   std::vector<std::unique_ptr<StatsRegion>> Children;
@@ -90,6 +94,10 @@ public:
   /// Renders the whole tree as a JSON document.
   std::string toJson() const;
 
+  /// Renders the region tree as Chrome trace-event JSON ("X" complete
+  /// events positioned by StartUs) for `flickc --trace=out.json`.
+  std::string toChromeTrace() const;
+
   const StatsRegion &root() const { return Root; }
 
 private:
@@ -99,6 +107,7 @@ private:
   StatsRegion Root{"flickc"};
   std::vector<StatsRegion *> Stack;
   std::vector<std::pair<std::string, std::string>> Notes;
+  std::chrono::steady_clock::time_point Epoch;
 };
 
 /// RAII scoped phase timer; records wall time into Stats on destruction.

@@ -1,0 +1,138 @@
+//===- tests/BenchJsonTests.cpp - bench JSON report tests -----------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the FLICK_BENCH_JSON report writer: string values must be
+/// escaped (not spliced raw into the document), an existing results file
+/// must be refused rather than silently overwritten, and FLICK_BENCH_TRACE
+/// must produce a Chrome trace beside the results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace flickbench;
+
+namespace {
+
+std::string tempPath(const char *Leaf) {
+  return ::testing::TempDir() + Leaf;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+/// Points FLICK_BENCH_JSON (and optionally FLICK_BENCH_TRACE) at fresh
+/// paths for the test body; restores an unset environment on exit.
+struct ScopedBenchEnv {
+  explicit ScopedBenchEnv(const std::string &Json,
+                          const std::string &Trace = "") {
+    std::remove(Json.c_str());
+    setenv("FLICK_BENCH_JSON", Json.c_str(), 1);
+    if (!Trace.empty()) {
+      std::remove(Trace.c_str());
+      setenv("FLICK_BENCH_TRACE", Trace.c_str(), 1);
+    }
+  }
+  ~ScopedBenchEnv() {
+    unsetenv("FLICK_BENCH_JSON");
+    unsetenv("FLICK_BENCH_TRACE");
+  }
+};
+
+TEST(BenchJson, UnsetEnvironmentMeansNoFile) {
+  unsetenv("FLICK_BENCH_JSON");
+  JsonReport R;
+  EXPECT_TRUE(R.write("noop"));
+}
+
+TEST(BenchJson, WritesRowsAndEscapesStrings) {
+  std::string Path = tempPath("bench_json_escape.json");
+  ScopedBenchEnv Env(Path);
+  JsonReport R;
+  JsonReport::Row Row;
+  Row.str("workload", "evil\"name\\with\nnewline").num("payload_bytes",
+                                                       size_t(42));
+  R.add(Row);
+  ASSERT_TRUE(R.write("quo\"ted"));
+  std::string Doc = slurp(Path);
+  EXPECT_NE(Doc.find("\"bench\": \"quo\\\"ted\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("evil\\\"name\\\\with\\nnewline"), std::string::npos)
+      << Doc;
+  EXPECT_EQ(Doc.find("evil\"name"), std::string::npos)
+      << "raw quote leaked into JSON:\n"
+      << Doc;
+  std::remove(Path.c_str());
+}
+
+TEST(BenchJson, RefusesToOverwriteExistingResults) {
+  std::string Path = tempPath("bench_json_existing.json");
+  ScopedBenchEnv Env(Path);
+  {
+    std::ofstream Out(Path);
+    Out << "{\"bench\": \"earlier run\"}\n";
+  }
+  JsonReport R;
+  EXPECT_FALSE(R.write("clobber"));
+  // The original document survives untouched.
+  EXPECT_NE(slurp(Path).find("earlier run"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(BenchJson, FreshPathSucceedsAfterRefusal) {
+  std::string Path = tempPath("bench_json_fresh.json");
+  ScopedBenchEnv Env(Path);
+  JsonReport R;
+  ASSERT_TRUE(R.write("fresh"));
+  EXPECT_NE(slurp(Path).find("\"bench\": \"fresh\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(BenchJson, TraceEnvEnablesTracerAndWritesChromeJson) {
+  std::string Json = tempPath("bench_json_traced.json");
+  std::string Trace = tempPath("bench_trace.json");
+  ScopedBenchEnv Env(Json, Trace);
+
+  EXPECT_NE(benchTracerIfRequested(), nullptr);
+  ASSERT_NE(flick_trace_active, nullptr);
+  flick_span_begin(FLICK_SPAN_RPC, "bench_call");
+  flick_span_end();
+
+  JsonReport R;
+  ASSERT_TRUE(R.write("traced"));
+  flick_trace_disable();
+
+  std::string Doc = slurp(Trace);
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("bench_call"), std::string::npos) << Doc;
+  std::remove(Json.c_str());
+  std::remove(Trace.c_str());
+}
+
+TEST(BenchJson, MetricsBlockCarriesLatencyHistogram) {
+  std::string Path = tempPath("bench_json_hist.json");
+  ScopedBenchEnv Env(Path);
+  flick_metrics M{};
+  flick_hist_record(&M.rpc_latency, 12.5);
+  JsonReport R;
+  ASSERT_TRUE(R.write("hist", &M));
+  std::string Doc = slurp(Path);
+  EXPECT_NE(Doc.find("\"rpc_latency\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"p99_us\""), std::string::npos) << Doc;
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/NetworkModelTests.cpp - simulated wire-time tests ------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for NetworkModel's wire-time accounting: the per-byte /
+/// per-message / per-packet formula on known inputs, the latency floor on
+/// empty messages, and agreement between the flick_metrics wire-time
+/// counter and the model's own prediction for a round trip of known
+/// payload (one request message plus one reply message).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace flick;
+
+namespace {
+
+int echoDispatch(flick_server *, flick_buf *Req, flick_buf *Rep) {
+  size_t N = Req->len - Req->pos;
+  if (flick_buf_ensure(Rep, N) != FLICK_OK)
+    return FLICK_ERR_ALLOC;
+  std::memcpy(flick_buf_grab(Rep, N), Req->data + Req->pos, N);
+  return FLICK_OK;
+}
+
+struct Rig {
+  LocalLink Link;
+  flick_server Srv;
+  flick_client Cli;
+
+  Rig() {
+    flick_server_init(&Srv, &Link.serverEnd(), echoDispatch);
+    Link.setPump(
+        [this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+  }
+  ~Rig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+};
+
+/// 8 Mbit/s => exactly 1 us per byte, so expectations stay readable.
+NetworkModel knownModel() {
+  return NetworkModel{"test", 8.0e6, 100.0, 1000, 10.0};
+}
+
+TEST(NetworkModel, FormulaSumsPerBytePerMessageAndPerPacketCosts) {
+  NetworkModel M = knownModel();
+  // 2500 bytes: 100 us/message + 2500 us serialization + 3 packets * 10 us.
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(2500), 100.0 + 2500.0 + 30.0);
+  // One byte still pays a whole packet.
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(1), 100.0 + 1.0 + 10.0);
+  // Exactly one MTU is exactly one packet.
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(1000), 100.0 + 1000.0 + 10.0);
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(1001), 100.0 + 1001.0 + 20.0);
+}
+
+TEST(NetworkModel, EmptyMessagePaysTheLatencyFloor) {
+  NetworkModel M = knownModel();
+  // Per-message overhead plus one forced packet: the floor below which no
+  // message can travel, no matter how small.
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(0), 100.0 + 10.0);
+}
+
+TEST(NetworkModel, IdealTransportIsFree) {
+  NetworkModel M = NetworkModel::ideal();
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(0), 0.0);
+  EXPECT_DOUBLE_EQ(M.wireTimeUs(1 << 20), 0.0);
+}
+
+TEST(NetworkModel, FactoriesOrderByEffectiveBandwidth) {
+  EXPECT_LT(NetworkModel::ethernet10().EffectiveBitsPerSec,
+            NetworkModel::ethernet100().EffectiveBitsPerSec);
+  EXPECT_LT(NetworkModel::ethernet100().EffectiveBitsPerSec,
+            NetworkModel::myrinet640().EffectiveBitsPerSec);
+}
+
+TEST(NetworkModel, ClockAccumulatesOneEntryPerMessage) {
+  SimClock Clock;
+  Rig R;
+  R.Link.setModel(knownModel(), &Clock);
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 500), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 500), 7, 500);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  // Echo server: request and reply are both 500 bytes => two messages.
+  EXPECT_DOUBLE_EQ(Clock.totalUs(), 2 * knownModel().wireTimeUs(500));
+}
+
+TEST(NetworkModel, MetricsWireTimeMatchesModelPredictionOnKnownPayload) {
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  SimClock Clock;
+  Rig R;
+  R.Link.setModel(knownModel(), &Clock);
+
+  const size_t Payload = 2500;
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, Payload), FLICK_OK);
+  std::memset(flick_buf_grab(Req, Payload), 9, Payload);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  flick_metrics_disable();
+
+  double Predicted = 2 * knownModel().wireTimeUs(Payload);
+  EXPECT_DOUBLE_EQ(M.wire_time_us, Predicted);
+  EXPECT_DOUBLE_EQ(M.wire_time_us, Clock.totalUs());
+}
+
+TEST(NetworkModel, UnmodeledLinkAccountsNothing) {
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  Rig R; // no setModel: ideal in-process link
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 64), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 64), 1, 64);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+  flick_metrics_disable();
+  EXPECT_DOUBLE_EQ(M.wire_time_us, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,334 @@
+//===- tests/TraceTests.cpp - per-RPC distributed tracing tests -----------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the flick_trace span recorder: a multi-call client/server
+/// exchange must produce complete span trees (every parent id resolves,
+/// exactly one root per trace), the Chrome exporter must emit matched
+/// B/E pairs, the ring must overflow by dropping oldest spans without
+/// desynchronizing begin/end pairing, latency histogram percentiles must
+/// be ordered, and everything must be a no-op when no tracer is
+/// installed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+#include <cstring>
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace flick;
+
+namespace {
+
+/// Dispatch that echoes the request payload back as the reply.
+int echoDispatch(flick_server *, flick_buf *Req, flick_buf *Rep) {
+  size_t N = Req->len - Req->pos;
+  if (flick_buf_ensure(Rep, N) != FLICK_OK)
+    return FLICK_ERR_ALLOC;
+  std::memcpy(flick_buf_grab(Rep, N), Req->data + Req->pos, N);
+  return FLICK_OK;
+}
+
+/// Installs a tracer over caller-sized storage for the test body and
+/// uninstalls it on scope exit, so test order never leaks trace state.
+struct ScopedTracer {
+  flick_tracer T;
+  std::vector<flick_span> Storage;
+  explicit ScopedTracer(uint32_t Cap = 256) : Storage(Cap) {
+    flick_trace_enable(&T, Storage.data(), Cap);
+  }
+  ~ScopedTracer() { flick_trace_disable(); }
+};
+
+/// One client/server pair over an in-process link.
+struct Rig {
+  LocalLink Link;
+  flick_server Srv;
+  flick_client Cli;
+
+  explicit Rig(flick_dispatch_fn Dispatch = echoDispatch) {
+    flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
+    Link.setPump(
+        [this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+  }
+  ~Rig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+};
+
+void invokeOnce(Rig &R, size_t Bytes = 16) {
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, Bytes), FLICK_OK);
+  std::memset(flick_buf_grab(Req, Bytes), 0x42, Bytes);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+}
+
+TEST(Trace, DisabledCollectionIsANoop) {
+  ASSERT_EQ(flick_trace_active, nullptr);
+  EXPECT_EQ(flick_trace_depth(), 0u);
+  flick_span_begin(FLICK_SPAN_RPC, "ignored");
+  flick_span_end();
+  flick_trace_close_to(0);
+  Rig R;
+  invokeOnce(R);
+  EXPECT_EQ(flick_trace_active, nullptr);
+}
+
+TEST(Trace, MultiCallExchangeBuildsCompleteSpanTrees) {
+  ScopedTracer S;
+  Rig R;
+  const int Calls = 5;
+  for (int I = 0; I != Calls; ++I)
+    invokeOnce(R);
+
+  // Runtime-level spans per call: rpc root, send, demux, reply.
+  ASSERT_EQ(flick_trace_span_count(&S.T), size_t(4 * Calls));
+  EXPECT_EQ(S.T.dropped, 0u);
+  EXPECT_EQ(S.T.truncated, 0u);
+  EXPECT_EQ(S.T.depth, 0u) << "a span leaked open";
+
+  std::map<uint64_t, const flick_span *> ById;
+  std::map<uint64_t, std::vector<const flick_span *>> ByTrace;
+  for (size_t I = 0; I != flick_trace_span_count(&S.T); ++I) {
+    const flick_span *Sp = flick_trace_span(&S.T, I);
+    ASSERT_NE(Sp, nullptr);
+    EXPECT_NE(Sp->trace_id, 0u);
+    EXPECT_NE(Sp->span_id, 0u);
+    EXPECT_GE(Sp->dur_us, 0.0);
+    ById[Sp->span_id] = Sp;
+    ByTrace[Sp->trace_id].push_back(Sp);
+  }
+  ASSERT_EQ(ByTrace.size(), size_t(Calls)) << "one trace per RPC";
+
+  for (const auto &[Trace, Spans] : ByTrace) {
+    ASSERT_EQ(Spans.size(), 4u);
+    int Roots = 0;
+    std::set<int> Kinds;
+    for (const flick_span *Sp : Spans) {
+      Kinds.insert(Sp->kind);
+      if (Sp->parent_id == 0) {
+        ++Roots;
+        EXPECT_EQ(Sp->kind, FLICK_SPAN_RPC);
+      } else {
+        // Every parent id must resolve, within the same trace: the demux
+        // root crossed the link via the propagated context.
+        auto It = ById.find(Sp->parent_id);
+        ASSERT_NE(It, ById.end()) << "orphan span " << Sp->name;
+        EXPECT_EQ(It->second->trace_id, Trace);
+      }
+    }
+    EXPECT_EQ(Roots, 1) << "exactly one root per trace";
+    EXPECT_TRUE(Kinds.count(FLICK_SPAN_RPC));
+    EXPECT_TRUE(Kinds.count(FLICK_SPAN_SEND));
+    EXPECT_TRUE(Kinds.count(FLICK_SPAN_DEMUX));
+    EXPECT_TRUE(Kinds.count(FLICK_SPAN_REPLY));
+  }
+}
+
+TEST(Trace, ServerSpanParentsOntoClientSendAcrossTheLink) {
+  ScopedTracer S;
+  Rig R;
+  invokeOnce(R);
+  const flick_span *Send = nullptr, *Demux = nullptr, *Reply = nullptr;
+  for (size_t I = 0; I != flick_trace_span_count(&S.T); ++I) {
+    const flick_span *Sp = flick_trace_span(&S.T, I);
+    if (Sp->kind == FLICK_SPAN_SEND)
+      Send = Sp;
+    else if (Sp->kind == FLICK_SPAN_DEMUX)
+      Demux = Sp;
+    else if (Sp->kind == FLICK_SPAN_REPLY)
+      Reply = Sp;
+  }
+  ASSERT_NE(Send, nullptr);
+  ASSERT_NE(Demux, nullptr);
+  ASSERT_NE(Reply, nullptr);
+  EXPECT_EQ(Demux->parent_id, Send->span_id);
+  EXPECT_EQ(Demux->trace_id, Send->trace_id);
+  EXPECT_EQ(Reply->parent_id, Demux->span_id);
+}
+
+TEST(Trace, ModeledLinkRecordsWireSpansMatchingTheModel) {
+  ScopedTracer S;
+  SimClock Clock;
+  Rig R;
+  NetworkModel Model = NetworkModel::ethernet100();
+  R.Link.setModel(Model, &Clock);
+  invokeOnce(R, 64);
+  double WireUs = 0;
+  int Wires = 0;
+  for (size_t I = 0; I != flick_trace_span_count(&S.T); ++I) {
+    const flick_span *Sp = flick_trace_span(&S.T, I);
+    if (Sp->kind == FLICK_SPAN_WIRE) {
+      ++Wires;
+      WireUs += Sp->dur_us;
+      EXPECT_NE(Sp->parent_id, 0u) << "wire span must nest under a send";
+    }
+  }
+  EXPECT_EQ(Wires, 2) << "request + reply";
+  EXPECT_DOUBLE_EQ(WireUs, Clock.totalUs());
+  EXPECT_DOUBLE_EQ(WireUs, 2 * Model.wireTimeUs(64));
+}
+
+TEST(Trace, RingOverflowDropsOldestAndCounts) {
+  ScopedTracer S(8);
+  Rig R;
+  for (int I = 0; I != 5; ++I)
+    invokeOnce(R); // 20 spans into an 8-slot ring
+  EXPECT_EQ(flick_trace_span_count(&S.T), 8u);
+  EXPECT_EQ(S.T.head, 20u);
+  EXPECT_EQ(S.T.dropped, 12u);
+  EXPECT_EQ(S.T.depth, 0u);
+  // The survivors are the newest spans, still well-formed.
+  for (size_t I = 0; I != 8; ++I)
+    EXPECT_NE(flick_trace_span(&S.T, I)->span_id, 0u);
+}
+
+TEST(Trace, DepthOverflowKeepsBeginEndPairing) {
+  ScopedTracer S;
+  const int Deep = FLICK_TRACE_MAX_DEPTH + 8;
+  for (int I = 0; I != Deep; ++I)
+    flick_span_begin(FLICK_SPAN_WORK, "deep");
+  EXPECT_EQ(S.T.depth, uint32_t(Deep));
+  EXPECT_EQ(S.T.truncated, 8u);
+  for (int I = 0; I != Deep; ++I)
+    flick_span_end();
+  EXPECT_EQ(S.T.depth, 0u);
+  // Only the spans that fit the open stack were recorded.
+  EXPECT_EQ(flick_trace_span_count(&S.T), size_t(FLICK_TRACE_MAX_DEPTH));
+}
+
+TEST(Trace, CloseToUnwindsLeakedSpans) {
+  ScopedTracer S;
+  flick_span_begin(FLICK_SPAN_RPC, "root");
+  flick_span_begin(FLICK_SPAN_MARSHAL, "leaky");
+  flick_span_begin(FLICK_SPAN_WORK, "leakier");
+  flick_trace_close_to(0);
+  EXPECT_EQ(S.T.depth, 0u);
+  EXPECT_EQ(flick_trace_span_count(&S.T), 3u);
+}
+
+TEST(Trace, ChromeExportHasMatchedBeginEndPairs) {
+  ScopedTracer S;
+  Rig R;
+  for (int I = 0; I != 3; ++I)
+    invokeOnce(R);
+  std::string Json = flick_trace_to_chrome_json(&S.T);
+  size_t Begins = 0, Ends = 0, Pos = 0;
+  while ((Pos = Json.find("\"ph\": \"B\"", Pos)) != std::string::npos)
+    ++Begins, Pos += 1;
+  Pos = 0;
+  while ((Pos = Json.find("\"ph\": \"E\"", Pos)) != std::string::npos)
+    ++Ends, Pos += 1;
+  EXPECT_EQ(Begins, flick_trace_span_count(&S.T));
+  EXPECT_EQ(Begins, Ends);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json[Json.size() - 2], '}'); // trailing newline after the brace
+}
+
+TEST(Trace, CollapsedStacksFollowParentChains) {
+  ScopedTracer S;
+  Rig R;
+  invokeOnce(R);
+  std::string Out = flick_trace_to_collapsed(&S.T);
+  EXPECT_NE(Out.find("rpc;send"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("rpc;send;demux;reply"), std::string::npos) << Out;
+}
+
+TEST(Trace, InvokeRecordsLatencyHistogramWhenMetricsOn) {
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  Rig R;
+  const int Calls = 7;
+  for (int I = 0; I != Calls; ++I)
+    invokeOnce(R);
+  flick_metrics_disable();
+
+  const flick_latency_hist &H = M.rpc_latency;
+  EXPECT_EQ(H.count, uint64_t(Calls));
+  uint64_t BucketSum = 0;
+  for (uint64_t B : H.buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, H.count);
+  double P50 = flick_hist_percentile(&H, 0.50);
+  double P90 = flick_hist_percentile(&H, 0.90);
+  double P99 = flick_hist_percentile(&H, 0.99);
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  EXPECT_LE(P99, H.max_us);
+}
+
+TEST(Trace, HistogramPercentilesAreOrderedOnKnownData) {
+  flick_latency_hist H;
+  for (int I = 0; I != 90; ++I)
+    flick_hist_record(&H, 3.0); // bucket [2,4)
+  for (int I = 0; I != 9; ++I)
+    flick_hist_record(&H, 100.0); // bucket [64,128)
+  flick_hist_record(&H, 5000.0);  // bucket [4096,8192)
+  EXPECT_EQ(H.count, 100u);
+  EXPECT_DOUBLE_EQ(H.max_us, 5000.0);
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.50), 4.0);
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.90), 4.0);
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.99), 128.0);
+  // The last bucket's upper bound exceeds the observed max: clamp.
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 1.0), 5000.0);
+  flick_latency_hist Empty;
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&Empty, 0.5), 0.0);
+}
+
+TEST(Trace, HistogramJsonCarriesPercentilesAndBuckets) {
+  flick_latency_hist H;
+  flick_hist_record(&H, 10.0);
+  flick_hist_record(&H, 20.0);
+  std::string J = flick_hist_to_json(&H);
+  EXPECT_NE(J.find("\"count\": 2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p50_us\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p90_us\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p99_us\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"max_us\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"buckets\""), std::string::npos) << J;
+}
+
+TEST(Trace, MetricsJsonEmbedsRpcLatency) {
+  flick_metrics M{};
+  flick_hist_record(&M.rpc_latency, 42.0);
+  std::string J = flick_metrics_to_json(&M);
+  EXPECT_NE(J.find("\"rpc_latency\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"count\": 1"), std::string::npos) << J;
+}
+
+TEST(Trace, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(flick_json_escape("plain"), "plain");
+  EXPECT_EQ(flick_json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(flick_json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(flick_json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(flick_json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Trace, EnableResetsAndDisableKeepsRecordedSpans) {
+  flick_tracer T;
+  std::vector<flick_span> Storage(16);
+  T.head = 99;
+  T.depth = 3;
+  flick_trace_enable(&T, Storage.data(), 16);
+  EXPECT_EQ(T.head, 0u);
+  EXPECT_EQ(T.depth, 0u);
+  flick_span_begin(FLICK_SPAN_RPC, "kept");
+  flick_span_end();
+  flick_trace_disable();
+  EXPECT_EQ(flick_trace_active, nullptr);
+  EXPECT_EQ(flick_trace_span_count(&T), 1u);
+  EXPECT_STREQ(flick_trace_span(&T, 0)->name, "kept");
+}
+
+} // namespace
