@@ -35,6 +35,10 @@ struct TimeStats {
   double StdDev = 0; ///< standard deviation of the per-round means
   size_t Iters = 0;  ///< calls per round
   int Rounds = 0;    ///< rounds measured
+  // Copy accounting deltas over the measured region, per call; zero when
+  // metrics collection is off (the default interactive configuration).
+  double BytesCopiedPerCall = 0; ///< message-path bytes copied per call
+  double CopyOpsPerCall = 0;     ///< bulk copy operations per call
 };
 
 /// Runs \p Fn repeatedly until ~MinMillis of wall time accumulates per
@@ -57,6 +61,11 @@ inline TimeStats timeIt(const std::function<void()> &Fn,
   T.Iters = Iters;
   T.Rounds = Rounds;
   T.Best = 1e100;
+  uint64_t Copied0 = 0, Ops0 = 0;
+  if (flick_metrics_active) {
+    Copied0 = flick_metrics_active->bytes_copied;
+    Ops0 = flick_metrics_active->copy_ops;
+  }
   double Sum = 0, SumSq = 0;
   for (int Round = 0; Round != Rounds; ++Round) {
     auto S = Clock::now();
@@ -73,6 +82,14 @@ inline TimeStats timeIt(const std::function<void()> &Fn,
   T.Mean = Sum / Rounds;
   double Var = SumSq / Rounds - T.Mean * T.Mean;
   T.StdDev = Var > 0 ? std::sqrt(Var) : 0;
+  if (flick_metrics_active) {
+    double Calls = static_cast<double>(Iters) * Rounds;
+    T.BytesCopiedPerCall =
+        static_cast<double>(flick_metrics_active->bytes_copied - Copied0) /
+        Calls;
+    T.CopyOpsPerCall =
+        static_cast<double>(flick_metrics_active->copy_ops - Ops0) / Calls;
+  }
   return T;
 }
 
@@ -200,13 +217,17 @@ public:
       field(Key, std::to_string(V));
       return *this;
     }
-    /// Records the timing triple from one timeIt() measurement.
+    /// Records the timing triple from one timeIt() measurement, plus the
+    /// copy-accounting deltas timeIt snapshotted around the measured
+    /// region (zeros when metrics collection was off).
     Row &time(const TimeStats &T) {
       num("secs_per_call", T.Best);
       num("secs_per_call_mean", T.Mean);
       num("stddev", T.StdDev);
       num("iters", T.Iters);
       num("rounds", static_cast<size_t>(T.Rounds));
+      num("bytes_copied_per_call", T.BytesCopiedPerCall);
+      num("copy_ops_per_call", T.CopyOpsPerCall);
       return *this;
     }
 

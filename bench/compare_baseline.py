@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON export against a committed baseline.
+
+Rows are matched by (workload, series, payload_bytes) and compared on
+rate_mb_per_s.  The check fails only when a matched row regressed by more
+than --max-regression (default 2x): perf smoke across heterogeneous CI
+hardware can only catch order-of-magnitude breakage, not percent-level
+drift.  Rows missing from either side are reported but never fatal, so
+adding or dropping a series does not break the job.
+
+Rows whose baseline rate exceeds --noise-floor-mb (default 1e6 MB/s) are
+skipped: at those rates the stub only records a buffer reference, the
+timer measures noise, and run-to-run swings beyond 2x are expected.
+
+Stdlib only; exit 0 on pass, 1 on regression, 2 on usage/format errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(row):
+    return (row.get("workload"), row.get("series"), row.get("payload_bytes"))
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: no 'rows' array")
+    return {key(r): r for r in rows if None not in key(r)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail when baseline_rate / current_rate exceeds this")
+    ap.add_argument("--noise-floor-mb", type=float, default=1e6,
+                    help="skip rows whose baseline rate exceeds this (MB/s)")
+    args = ap.parse_args()
+
+    try:
+        base = load_rows(args.baseline)
+        cur = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"compare_baseline: {e}", file=sys.stderr)
+        return 2
+
+    checked = skipped = 0
+    failures = []
+    for k, brow in sorted(base.items(), key=str):
+        brate = brow.get("rate_mb_per_s")
+        crow = cur.get(k)
+        if brate is None:
+            continue
+        if crow is None or crow.get("rate_mb_per_s") is None:
+            print(f"  missing in current (ignored): {k}")
+            continue
+        crate = crow["rate_mb_per_s"]
+        if brate > args.noise_floor_mb:
+            skipped += 1
+            continue
+        checked += 1
+        if crate <= 0 or brate / crate > args.max_regression:
+            failures.append((k, brate, crate))
+    for k in sorted(set(cur) - set(base), key=str):
+        print(f"  new in current (ignored): {k}")
+
+    for k, brate, crate in failures:
+        print(f"REGRESSION {k}: baseline {brate:.1f} MB/s -> "
+              f"current {crate:.1f} MB/s "
+              f"(>{args.max_regression:g}x slower)", file=sys.stderr)
+    print(f"compare_baseline: {checked} rows checked, {skipped} above the "
+          f"noise floor skipped, {len(failures)} regressed "
+          f"(limit {args.max_regression:g}x)")
+    if checked == 0:
+        print("compare_baseline: nothing comparable -- treating as failure",
+              file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

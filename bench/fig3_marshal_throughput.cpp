@@ -23,6 +23,7 @@
 #include "BenchUtil.h"
 #include "b_cdr.h"
 #include "b_flick.h"
+#include "b_gather.h"
 #include "b_naive.h"
 #include "runtime/Interp.h"
 #include <cstring>
@@ -67,19 +68,21 @@ constexpr InterpWire XdrWire{true, true};
 
 struct Row {
   size_t Payload;
-  double FlickXdr, FlickCdr, Naive, Interp;
+  double FlickXdr, FlickCdr, FlickCdrGather, Naive, Interp;
 };
 
 void printRows(const char *Title, const std::vector<Row> &Rows) {
   std::printf("\n%s\n", Title);
-  std::printf("%8s %12s %12s %12s %12s %12s\n", "size", "flick-xdr",
-              "flick-cdr", "naive", "interp", "flick/naive");
+  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "size", "flick-xdr",
+              "flick-cdr", "cdr-gather", "naive", "interp",
+              "flick/naive");
   for (const Row &R : Rows) {
-    std::printf("%8s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %11.1fx\n",
-                fmtBytes(R.Payload).c_str(), fmtRate(R.FlickXdr).c_str(),
-                fmtRate(R.FlickCdr).c_str(), fmtRate(R.Naive).c_str(),
-                fmtRate(R.Interp).c_str(),
-                R.Naive > 0 ? R.FlickCdr / R.Naive : 0.0);
+    std::printf(
+        "%8s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %11.1fx\n",
+        fmtBytes(R.Payload).c_str(), fmtRate(R.FlickXdr).c_str(),
+        fmtRate(R.FlickCdr).c_str(), fmtRate(R.FlickCdrGather).c_str(),
+        fmtRate(R.Naive).c_str(), fmtRate(R.Interp).c_str(),
+        R.Naive > 0 ? R.FlickCdr / R.Naive : 0.0);
   }
 }
 
@@ -109,6 +112,7 @@ void benchInts() {
     F_intseq FS{N, Data.data()};
     N_intseq NS{N, Data.data()};
     C_IntSeq CS{N, N, Data.data()};
+    G_IntSeq GS{N, N, Data.data()};
     Row R{};
     R.Payload = Bytes;
     R.FlickXdr = rate("ints", "flick-xdr", Bytes, &Buf, [&] {
@@ -116,6 +120,9 @@ void benchInts() {
     });
     R.FlickCdr = rate("ints", "flick-cdr", Bytes, &Buf, [&] {
       C_Transfer_send_ints_encode_request(&Buf, 1, &CS);
+    });
+    R.FlickCdrGather = rate("ints", "flick-cdr-gather", Bytes, &Buf, [&] {
+      G_Transfer_send_ints_encode_request(&Buf, 1, &GS);
     });
     R.Naive = rate("ints", "naive", Bytes, &Buf, [&] {
       N_send_ints_1_encode_request(&Buf, 1, &NS);
@@ -145,6 +152,7 @@ void benchRects() {
     F_rectseq FS{N, Data.data()};
     N_rectseq NS{N, reinterpret_cast<N_rect *>(Data.data())};
     C_RectSeq CS{N, N, reinterpret_cast<C_Rect *>(Data.data())};
+    G_RectSeq GS{N, N, reinterpret_cast<G_Rect *>(Data.data())};
     Row R{};
     R.Payload = Payload;
     R.FlickXdr = rate("rects", "flick-xdr", Payload, &Buf, [&] {
@@ -152,6 +160,9 @@ void benchRects() {
     });
     R.FlickCdr = rate("rects", "flick-cdr", Payload, &Buf, [&] {
       C_Transfer_send_rects_encode_request(&Buf, 1, &CS);
+    });
+    R.FlickCdrGather = rate("rects", "flick-cdr-gather", Payload, &Buf, [&] {
+      G_Transfer_send_rects_encode_request(&Buf, 1, &GS);
     });
     R.Naive = rate("rects", "naive", Payload, &Buf, [&] {
       N_send_rects_1_encode_request(&Buf, 1, &NS);
@@ -178,26 +189,31 @@ void benchDirents() {
     std::vector<F_dirent> FD(N);
     std::vector<N_dirent> ND(N);
     std::vector<C_Dirent> CD(N);
+    std::vector<G_Dirent> GD(N);
     for (uint32_t I = 0; I != N; ++I) {
       char *Name = Names[I].data();
       FD[I].name = Name;
       ND[I].name = Name;
       CD[I].name = Name;
+      GD[I].name = Name;
       for (int W = 0; W != 30; ++W) {
         uint32_t V = I * 31 + W;
         FD[I].info.words[W] = V;
         ND[I].info.words[W] = V;
         CD[I].info.words[W] = V;
+        GD[I].info.words[W] = V;
       }
       std::memset(FD[I].info.tag, 0x42, 16);
       std::memset(ND[I].info.tag, 0x42, 16);
       std::memset(CD[I].info.tag, 0x42, 16);
+      std::memset(GD[I].info.tag, 0x42, 16);
     }
     size_t Payload = size_t(N) * 256; // encoded bytes per the paper
     F_direntseq FS{N, FD.data()};
     N_direntseq NS{N, ND.data()};
     (void)NS;
     C_DirentSeq CS{N, N, CD.data()};
+    G_DirentSeq GS{N, N, GD.data()};
     Row R{};
     R.Payload = Payload;
     R.FlickXdr = rate("dirents", "flick-xdr", Payload, &Buf, [&] {
@@ -206,6 +222,12 @@ void benchDirents() {
     R.FlickCdr = rate("dirents", "flick-cdr", Payload, &Buf, [&] {
       C_Transfer_send_dirents_encode_request(&Buf, 1, &CS);
     });
+    // Dirents carry strings, so the gather pass leaves them alone: this
+    // series documents that gathered stubs cost nothing off the bulk path.
+    R.FlickCdrGather =
+        rate("dirents", "flick-cdr-gather", Payload, &Buf, [&] {
+          G_Transfer_send_dirents_encode_request(&Buf, 1, &GS);
+        });
     R.Naive = rate("dirents", "naive", Payload, &Buf, [&] {
       N_send_dirents_1_encode_request(&Buf, 1, &NS);
     });

@@ -1,0 +1,68 @@
+# Verifies the --gather-min-bytes contract both ways: with the flag,
+# generated stubs take large dense arrays by reference (flick_buf_ref)
+# behind a size test against the threshold; without it, no scatter-gather
+# symbol leaks into the output (the zero-copy path must cost nothing
+# unless asked for -- default output is golden-pinned byte-identical).
+#
+# Usage:
+#   cmake -DFLICKC=<flickc> -DIDL=<file.idl> -DGENDIR=<scratch-dir>
+#         -P CheckGatherStubs.cmake
+
+foreach(VAR FLICKC IDL GENDIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckGatherStubs.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${GENDIR}")
+
+execute_process(
+  COMMAND "${FLICKC}" --gather-min-bytes=1024 -o "${GENDIR}/gather_on"
+          "${IDL}"
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flickc --gather-min-bytes failed (rc=${RC}):\n"
+                      "${STDERR}")
+endif()
+
+execute_process(
+  COMMAND "${FLICKC}" -o "${GENDIR}/gather_off" "${IDL}"
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flickc failed (rc=${RC}):\n${STDERR}")
+endif()
+
+file(GLOB ON_SRC "${GENDIR}/gather_on*")
+file(GLOB OFF_SRC "${GENDIR}/gather_off*")
+if(NOT ON_SRC OR NOT OFF_SRC)
+  message(FATAL_ERROR "flickc produced no output under ${GENDIR}")
+endif()
+
+# The by-reference branch lives with the inline encode helpers: a size
+# test against the threshold guarding flick_buf_ref, with the plain copy
+# as the else-arm, and the message-size patch widened to the logical
+# (owned + borrowed) length.
+set(ON_ALL "")
+foreach(F IN LISTS ON_SRC)
+  file(READ "${F}" SRC)
+  string(APPEND ON_ALL "${SRC}")
+endforeach()
+foreach(NEEDED flick_buf_ref "1024u" flick_buf_total)
+  if(NOT ON_ALL MATCHES "${NEEDED}")
+    message(FATAL_ERROR "--gather-min-bytes output is missing ${NEEDED} "
+                        "across ${ON_SRC}")
+  endif()
+endforeach()
+
+foreach(F IN LISTS OFF_SRC)
+  file(READ "${F}" SRC)
+  if(SRC MATCHES "flick_buf_ref|flick_iov|flick_buf_total")
+    message(FATAL_ERROR "default compilation leaked scatter-gather "
+                        "symbols into ${F}")
+  endif()
+endforeach()
+
+message(STATUS "gather stubs OK: by-reference with --gather-min-bytes, "
+               "plain copies without")

@@ -248,6 +248,11 @@ private:
   void emitArrayElems(const PresNode *Elem, CastExpr *BaseE, CastExpr *CountE,
                       bool Encode);
 
+  /// Emits the encode-side bulk copy of \p NB bytes from \p BaseE:
+  /// ensure+grab+memcpy, or -- inside a GatherRef step -- a size branch
+  /// between flick_buf_ref and that copy.
+  void emitBulkEncode(const std::string &NB, CastExpr *BaseE);
+
   /// Wire stride of one fixed-size array element (padded to alignment).
   uint64_t elemStrideOf(const PresNode *Elem) const;
 
@@ -304,6 +309,11 @@ private:
   /// When positive (encode side), buffer space is pre-ensured for the
   /// current bounded segment and ensure calls are elided (paper §3.1).
   unsigned NoEnsure = 0;
+  /// When positive, the current GatherRef step's threshold: bulk encode
+  /// copies of at least this many bytes lower to flick_buf_ref (borrow)
+  /// with the plain copy kept as the runtime small-size branch.  Zero
+  /// outside GatherRef steps and inside out-of-line helpers.
+  uint64_t GatherMin = 0;
   /// Direction of the function body being generated (mirrors the Encode
   /// argument; consulted by openChunk/alignTo).
   bool CurEncode = false;
@@ -400,6 +410,7 @@ private:
     O.Chunk = false;
     O.ScratchAlloc = false;
     O.BufferAlias = false;
+    O.GatherMinBytes = 0;
     O.PerDatumCalls = true;
     return O;
   }

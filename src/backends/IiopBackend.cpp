@@ -57,15 +57,20 @@ void putGiopHeader(StubGen &G, uint8_t MsgType) {
   G.putU32(B.num(0)); // message size, patched afterwards
 }
 
-/// Patches the GIOP message-size field recorded by markPosition().
+/// Patches the GIOP message-size field recorded by markPosition().  With
+/// the gather pass armed the body length is the *logical* length
+/// (flick_buf_total: owned + borrowed bytes); without it the historical
+/// `len` expression is kept so default output stays byte-identical.
 void patchGiopSize(StubGen &G) {
   CastBuilder &B = G.builder();
   CastExpr *Base = B.add(B.arrow(G.bufExpr(), "data"),
                          B.add(B.id(G.lastMark()), B.num(8)));
+  CastExpr *Len = G.options().GatherMinBytes > 0
+                      ? B.call("flick_buf_total", {G.bufExpr()})
+                      : B.arrow(G.bufExpr(), "len");
   CastExpr *Size = B.castTo(
       B.prim("uint32_t"),
-      B.sub(B.sub(B.arrow(G.bufExpr(), "len"), B.id(G.lastMark())),
-            B.num(12)));
+      B.sub(B.sub(Len, B.id(G.lastMark())), B.num(12)));
   G.stmt(B.exprStmt(B.call("flick_enc_u32le", {Base, Size})));
 }
 

@@ -28,9 +28,15 @@ void patchMsghSize(StubGen &G) {
   CastBuilder &B = G.builder();
   CastExpr *Base = B.add(B.arrow(G.bufExpr(), "data"),
                          B.add(B.id(G.lastMark()), B.num(4)));
+  // Like GIOP, the size must cover borrowed gather segments (host-endian
+  // Mach data is gatherable); the historical `len` form is kept when the
+  // gather pass is off so default output stays byte-identical.
+  CastExpr *Len = G.options().GatherMinBytes > 0
+                      ? B.call("flick_buf_total", {G.bufExpr()})
+                      : B.arrow(G.bufExpr(), "len");
   CastExpr *Size = B.castTo(
       B.prim("uint32_t"),
-      B.sub(B.arrow(G.bufExpr(), "len"), B.id(G.lastMark())));
+      B.sub(Len, B.id(G.lastMark())));
   G.stmt(B.exprStmt(B.call("flick_enc_u32ne", {Base, Size})));
 }
 

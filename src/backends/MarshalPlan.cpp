@@ -689,6 +689,10 @@ std::string flick::dumpSeqPlanSteps(const SeqPlan &Plan) {
       Out += "\n";
       break;
     }
+    case StepKind::GatherRef:
+      Out += "  GatherRef [" + itos(St.Item) + "] " + Plan.Items[St.Item].Name +
+             " min_bytes=" + itos(St.GatherMinBytes) + "\n";
+      break;
     case StepKind::FixedChunk: {
       Out += "  chunk size=" + itos(St.Size) + " align=" + itos(St.Align) +
              "\n";
@@ -774,4 +778,28 @@ bool flick::aliasableString(const PresString *P, const WireLayout &L) {
   // The presented char* can only point into the buffer when the wire
   // carries the terminating NUL (CDR counts it; XDR does not).
   return L.stringCountsNul();
+}
+
+bool flick::gatherableSegment(const PresNode *P, const WireLayout &L,
+                              bool MemcpyOn) {
+  const PresNode *Elem = nullptr;
+  if (const auto *C = dyn_cast_or_null<PresCounted>(P))
+    Elem = C->elem();
+  else if (const auto *A = dyn_cast_or_null<PresFixedArray>(P))
+    Elem = A->elem();
+  if (!Elem)
+    return false;
+  const MintType *EM = Elem->mint();
+  // Byte arrays always lower to one dense copy from presented storage.
+  if (isByteElem(L, EM))
+    return true;
+  // The wider cases are the memcpy pass's bulk copies: without that pass
+  // the emitter marshals per element and there is no copy to replace.
+  if (!MemcpyOn)
+    return false;
+  if (isAtomicMint(EM) && L.hostIdentical(EM))
+    return true;
+  uint64_t Stride = 0;
+  return classifyPres(Elem) != PKind::Scalar && Elem->ctype() &&
+         presBitIdentical(Elem, L, Stride);
 }

@@ -200,7 +200,13 @@ struct PlanItem {
   uint64_t MaxBytes = 0; ///< bound when Storage != Unbounded
 };
 
-enum class StepKind { FixedChunk, VariableSegment, FramingHook, TraceHook };
+enum class StepKind {
+  FixedChunk,
+  VariableSegment,
+  FramingHook,
+  TraceHook,
+  GatherRef
+};
 
 /// Message-framing positions owned by the concrete back end; the plan
 /// records where they sit so coalescing never crosses them and the dump
@@ -245,6 +251,12 @@ struct MarshalStep {
   bool TraceBegin = false;
   std::string TraceKind;  ///< span-kind enumerator, e.g. "FLICK_SPAN_MARSHAL"
   std::string TraceLabel; ///< span name literal (the plan label)
+
+  // GatherRef (--gather-min-bytes): an encode-side VariableSegment whose
+  // dense bulk copies should instead *borrow* the presented storage via
+  // flick_buf_ref when at least this many bytes are in play (the emitter
+  // keeps the copying path as the small-size / ref-overflow fallback).
+  uint64_t GatherMinBytes = 0;
 };
 
 /// The plan for one generated function body (or one struct interior).
@@ -295,6 +307,13 @@ bool aliasableCountedElem(const PresCounted *P, const WireLayout &L);
 /// Type-level half of the string alias decision (the wire must carry the
 /// NUL for the presented char* to point into the buffer).
 bool aliasableString(const PresString *P, const WireLayout &L);
+
+/// True when an encode-side array segment of \p P's elements would lower
+/// to a single dense memcpy from presented storage (byte elements, or --
+/// when the memcpy pass is on -- host-identical atoms / bit-identical
+/// aggregates), i.e. the bulk copy the gather pass can replace with a
+/// borrowed reference.
+bool gatherableSegment(const PresNode *P, const WireLayout &L, bool MemcpyOn);
 
 } // namespace flick
 

@@ -35,6 +35,9 @@ const std::vector<PassInfo> &flick::passRegistry() {
        [](const BackendOptions &O) { return O.Chunk; }},
       {"memcpy", "block-copy bit-identical arrays and dense chunk members",
        [](const BackendOptions &O) { return O.Memcpy; }},
+      {"gather", "rewrite large dense copies into by-reference "
+                 "scatter-gather segments (flick_iov)",
+       [](const BackendOptions &O) { return O.GatherMinBytes > 0; }},
       {"bounded", "pre-ensure bounded variable segments below the "
                   "threshold, eliding their space checks",
        [](const BackendOptions &O) { return O.BoundedThreshold > 0; }},
@@ -69,6 +72,9 @@ bool setPass(BackendOptions &O, const std::string &Name, bool On) {
     O.BoundedThreshold =
         On ? (O.BoundedThreshold ? O.BoundedThreshold : DefaultBoundedThreshold)
            : 0;
+  else if (Name == "gather")
+    O.GatherMinBytes =
+        On ? (O.GatherMinBytes ? O.GatherMinBytes : DefaultGatherMinBytes) : 0;
   else if (Name == "scratch")
     O.ScratchAlloc = On;
   else if (Name == "alias")
@@ -111,8 +117,8 @@ bool flick::parsePassList(const std::string &Spec, BackendOptions &O,
     }
     if (!setPass(O, Name, On)) {
       Err = "unknown pass '" + Name +
-            "' (valid: inline, chunk, memcpy, bounded, scratch, alias, "
-            "plus 'all' and 'none')";
+            "' (valid: inline, chunk, memcpy, gather, bounded, scratch, "
+            "alias, plus 'all' and 'none')";
       return false;
     }
   }
@@ -163,6 +169,8 @@ void PassPipeline::run(SeqPlan &Plan) const {
     runTimed("chunk", [&] { passChunk(Plan); });
   if (O.Memcpy)
     runTimed("memcpy", [&] { passMemcpy(Plan); });
+  if (O.GatherMinBytes > 0)
+    runTimed("gather", [&] { passGather(Plan); });
   if (O.BoundedThreshold > 0)
     runTimed("bounded", [&] { passBounded(Plan); });
   if (O.ScratchAlloc)
@@ -291,6 +299,39 @@ void PassPipeline::passMemcpy(SeqPlan &Plan) const {
   }
   FLICK_STAT_COUNT("plan.memcpy_members", Members);
   FLICK_STAT_COUNT("plan.memcpy_bytes", Bytes);
+}
+
+/// Scatter-gather rewrite: an encode-request variable segment whose bulk
+/// would lower to one dense copy from presented storage becomes a
+/// GatherRef step -- the emitter borrows the storage via flick_buf_ref
+/// when at least GatherMinBytes are in play and copies below that.
+/// Restricted to client request encoding: the segments are only borrowed
+/// until the synchronous send inside flick_client_invoke/send_oneway
+/// returns, whereas reply buffers are sent after the dispatch frame (and
+/// its locals) is gone (DESIGN.md §11).
+void PassPipeline::passGather(SeqPlan &Plan) const {
+  static const std::string ReqSuffix = "_encode_request";
+  uint64_t Segs = 0, MaxBytes = 0;
+  if (Plan.Encode && Plan.Label.size() > ReqSuffix.size() &&
+      Plan.Label.compare(Plan.Label.size() - ReqSuffix.size(),
+                         ReqSuffix.size(), ReqSuffix) == 0) {
+    for (MarshalStep &St : Plan.Steps) {
+      if (St.Kind != StepKind::VariableSegment)
+        continue;
+      const PlanItem &It = Plan.Items[St.Item];
+      if (!It.Pres || It.HasUnion || It.Recursive || It.OutOfLine)
+        continue;
+      if (!gatherableSegment(It.Pres, L, O.Memcpy))
+        continue;
+      St.Kind = StepKind::GatherRef;
+      St.GatherMinBytes = O.GatherMinBytes;
+      ++Segs;
+      if (It.Storage == StorageClass::Bounded)
+        MaxBytes += It.MaxBytes;
+    }
+  }
+  FLICK_STAT_COUNT("plan.gather_segments", Segs);
+  FLICK_STAT_COUNT("plan.gather_bytes_max", MaxBytes);
 }
 
 /// Bounded→fixed promotion (annotation): an encode-side variable segment

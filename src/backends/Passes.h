@@ -31,6 +31,12 @@ namespace flick {
 /// `+bounded` when the pass was previously disabled (paper §3.1's 8KB).
 inline constexpr uint64_t DefaultBoundedThreshold = 8192;
 
+/// Gather threshold installed by `--passes=all` / `+gather` when no
+/// explicit `--gather-min-bytes` was given: below this, flick_buf_ref
+/// bookkeeping costs more than the memcpy it saves (tuned on
+/// micro_primitives-class workloads; see DESIGN.md §11).
+inline constexpr uint64_t DefaultGatherMinBytes = 4096;
+
 /// Optimization switches; each maps to a technique from paper §3 and can be
 /// disabled independently for the ablation benches.  This is the façade
 /// over the pass pipeline: every field (except PerDatumCalls) enables one
@@ -56,6 +62,11 @@ struct BackendOptions {
   /// treated as fixed for buffer-check purposes (the paper's 8KB
   /// threshold).  0 disables the pass.
   uint64_t BoundedThreshold = DefaultBoundedThreshold;
+  /// "gather" pass (`--gather-min-bytes=N`): rewrite encode-request bulk
+  /// copies of at least N bytes into by-reference scatter-gather segments
+  /// (flick_buf_ref / flick_iov).  0 disables the pass, which is the
+  /// default: generated stubs are byte-identical without the flag.
+  uint64_t GatherMinBytes = 0;
   /// Per-datum marshaling through out-of-line runtime calls; set by the
   /// naive back end.  Not a pass: it replaces the emitter's atom
   /// primitives and is selected only by `-b naive`.
@@ -109,6 +120,7 @@ private:
   void passBounded(SeqPlan &Plan) const;
   void passScratch(SeqPlan &Plan) const;
   void passAlias(SeqPlan &Plan) const;
+  void passGather(SeqPlan &Plan) const;
 
   const BackendOptions &O;
   const WireLayout &L;

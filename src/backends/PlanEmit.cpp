@@ -672,6 +672,16 @@ void StubGen::emitPlanSteps(const SeqPlan &Plan,
       // the emitted strategy matches the annotated plan by construction.
       emitValue(Plan.Items[St.Item].Pres, Vals[St.Item], Plan.Encode);
       break;
+    case StepKind::GatherRef: {
+      // Same lowering as a VariableSegment, with the gather threshold
+      // armed: the bulk-copy site inside (emitBulkEncode) branches to
+      // flick_buf_ref for payloads at or above it.
+      uint64_t Save = GatherMin;
+      GatherMin = St.GatherMinBytes;
+      emitValue(Plan.Items[St.Item].Pres, Vals[St.Item], Plan.Encode);
+      GatherMin = Save;
+      break;
+    }
     }
   }
 }
@@ -706,6 +716,37 @@ void StubGen::emitStruct(const PresStruct *P, CastExpr *Val, bool Encode) {
 // Arrays
 //===----------------------------------------------------------------------===//
 
+/// The encode-side bulk copy of NB bytes from BaseE.  Outside a GatherRef
+/// step this is exactly the historical ensure+grab+memcpy.  Inside one,
+/// the copy becomes the else-branch of a runtime size test: at or above
+/// the gather threshold the bytes are *borrowed* via flick_buf_ref and the
+/// transport gathers them at send time, so the payload is never copied
+/// into the marshal buffer at all.
+void StubGen::emitBulkEncode(const std::string &NB, CastExpr *BaseE) {
+  auto PlainCopy = [&] {
+    if (NoEnsure == 0)
+      checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
+                "FLICK_ERR_ALLOC");
+    stmt(B.exprStmt(B.call(
+        "memcpy",
+        {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE, B.id(NB)})));
+  };
+  if (GatherMin == 0) {
+    PlainCopy();
+    return;
+  }
+  std::vector<CastStmt *> Then, Else;
+  auto *SaveCur = Cur;
+  Cur = &Then;
+  checkCall(B.call("flick_buf_ref", {bufExpr(), BaseE, B.id(NB)}),
+            "FLICK_ERR_ALLOC");
+  Cur = &Else;
+  PlainCopy();
+  Cur = SaveCur;
+  stmt(B.ifStmt(B.bin(">=", B.id(NB), B.unum(GatherMin)), B.block(Then),
+                B.block(Else)));
+}
+
 /// Shared element path once a destination/source base pointer and runtime
 /// count are known.  Handles memcpy/swap bulk copies and per-element loops.
 void StubGen::emitArrayElems(const PresNode *Elem, CastExpr *BaseE,
@@ -719,13 +760,7 @@ void StubGen::emitArrayElems(const PresNode *Elem, CastExpr *BaseE,
     stmt(B.varDecl(B.prim("size_t"), NB,
                    B.castTo(B.prim("size_t"), CountE)));
     if (Encode) {
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                  "FLICK_ERR_ALLOC");
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-           B.id(NB)})));
+      emitBulkEncode(NB, BaseE);
     } else {
       checkAvail(B.id(NB));
       stmt(B.exprStmt(B.call(
@@ -748,13 +783,7 @@ void StubGen::emitArrayElems(const PresNode *Elem, CastExpr *BaseE,
       stmt(B.varDecl(B.prim("size_t"), NB,
                      B.mul(B.castTo(B.prim("size_t"), CountE), B.unum(S))));
       if (Encode) {
-        if (NoEnsure == 0)
-          checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                    "FLICK_ERR_ALLOC");
-        stmt(B.exprStmt(B.call(
-            "memcpy",
-            {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-             B.id(NB)})));
+        emitBulkEncode(NB, BaseE);
       } else {
         checkAvail(B.id(NB));
         stmt(B.exprStmt(B.call(
@@ -787,13 +816,7 @@ void StubGen::emitArrayElems(const PresNode *Elem, CastExpr *BaseE,
         B.prim("size_t"), NB,
         B.mul(B.castTo(B.prim("size_t"), CountE), B.unum(IdStride))));
     if (Encode) {
-      if (NoEnsure == 0)
-        checkCall(B.call("flick_buf_ensure", {bufExpr(), B.id(NB)}),
-                  "FLICK_ERR_ALLOC");
-      stmt(B.exprStmt(B.call(
-          "memcpy",
-          {B.call("flick_buf_grab", {bufExpr(), B.id(NB)}), BaseE,
-           B.id(NB)})));
+      emitBulkEncode(NB, BaseE);
     } else {
       checkAvail(B.id(NB));
       stmt(B.exprStmt(B.call(
@@ -1230,10 +1253,12 @@ void StubGen::callHelper(const PresNode *Pn, CastExpr *Val, bool Encode) {
     bool SaveActive = ChunkActive;
     bool SaveServer = ServerSide;
     unsigned SaveNoEnsure = NoEnsure;
+    uint64_t SaveGather = GatherMin;
     const PresNode *SaveRoot = HelperRoot;
     ChunkActive = false;
     ServerSide = false; // shared helpers must not buffer-alias
     NoEnsure = 0;
+    GatherMin = 0; // shared helpers serve replies too: never borrow
     HelperRoot = Pn;
     std::vector<CastStmt *> Body;
     Cur = &Body;
@@ -1262,6 +1287,7 @@ void StubGen::callHelper(const PresNode *Pn, CastExpr *Val, bool Encode) {
     ChunkActive = SaveActive;
     ServerSide = SaveServer;
     NoEnsure = SaveNoEnsure;
+    GatherMin = SaveGather;
     HelperRoot = SaveRoot;
 
     auto *Proto = B.func(B.prim("int"), Name, Params, nullptr);

@@ -78,6 +78,10 @@ void usage() {
       "                                disable individual optimizations\n"
       "                                (aliases for --passes=-<name>)\n"
       "      --threshold <bytes>       bounded-segment threshold\n"
+      "      --gather-min-bytes <n>    enable the gather pass: bulk encode\n"
+      "                                copies of >= n bytes become\n"
+      "                                by-reference scatter-gather segments\n"
+      "                                (default: off, stubs unchanged)\n"
       "      --stats[=out.json]        record per-phase wall time and IR\n"
       "                                counters; write JSON to the given\n"
       "                                file (stderr when omitted)\n"
@@ -187,6 +191,18 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       if (!V)
         return false;
       O.BOpts.BoundedThreshold = std::strtoull(V, nullptr, 10);
+    } else if (A == "--gather-min-bytes") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.BOpts.GatherMinBytes = std::strtoull(V, nullptr, 10);
+    } else if (A.rfind("--gather-min-bytes=", 0) == 0) {
+      std::string V = A.substr(std::strlen("--gather-min-bytes="));
+      if (V.empty()) {
+        std::fprintf(stderr, "flickc: missing value for --gather-min-bytes=\n");
+        return false;
+      }
+      O.BOpts.GatherMinBytes = std::strtoull(V.c_str(), nullptr, 10);
     } else if (A == "-h" || A == "--help") {
       usage();
       return false;

@@ -12,7 +12,77 @@ using namespace flick;
 
 Channel::~Channel() = default;
 
+size_t flick_buf_iovec(const flick_buf *b, flick_iov *iov) {
+  size_t n = 0;
+  size_t own = 0; // owned bytes already emitted
+  for (size_t i = 0; i != b->nrefs; ++i) {
+    const flick_buf_ref_ent &E = b->refs[i];
+    if (E.own_off > own) {
+      iov[n].base = b->data + own;
+      iov[n].len = E.own_off - own;
+      ++n;
+      own = E.own_off;
+    }
+    iov[n].base = E.base;
+    iov[n].len = E.len;
+    ++n;
+  }
+  if (b->len > own) {
+    iov[n].base = b->data + own;
+    iov[n].len = b->len - own;
+    ++n;
+  }
+  return n;
+}
+
+// Default scatter-gather bridges: correct for any transport, at the price
+// of one staging copy.  Transports that own their message storage override
+// these (LocalLink below does both with a single pooled copy / a move).
+
+int Channel::sendv(const flick_iov *Segs, size_t Count) {
+  size_t Total = 0;
+  for (size_t i = 0; i != Count; ++i)
+    Total += Segs[i].len;
+  std::vector<uint8_t> Flat(Total);
+  size_t Off = 0;
+  for (size_t i = 0; i != Count; ++i) {
+    std::memcpy(Flat.data() + Off, Segs[i].base, Segs[i].len);
+    Off += Segs[i].len;
+  }
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Total;
+    ++flick_metrics_active->copy_ops;
+  }
+  return send(Flat.data(), Flat.size());
+}
+
+int Channel::recvInto(flick_buf *Into) {
+  std::vector<uint8_t> Msg;
+  if (int err = recv(Msg))
+    return err;
+  flick_buf_reset(Into);
+  if (int err = flick_buf_ensure(Into, Msg.size()))
+    return err;
+  std::memcpy(Into->data, Msg.data(), Msg.size());
+  Into->len = Msg.size();
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Msg.size();
+    ++flick_metrics_active->copy_ops;
+  }
+  return FLICK_OK;
+}
+
+void Channel::release(flick_buf *) {}
+
 LocalLink::LocalLink() : AEnd(*this, true), BEnd(*this, false) {}
+
+LocalLink::~LocalLink() {
+  for (std::deque<Msg> *Q : {&ToA, &ToB})
+    for (Msg &M : *Q)
+      std::free(M.Data);
+  for (size_t i = 0; i != PoolCount; ++i)
+    std::free(Pool[i].Data);
+}
 
 void LocalLink::setModel(NetworkModel Model, SimClock *Clock) {
   this->Model = std::move(Model);
@@ -32,13 +102,78 @@ void LocalLink::account(size_t Len) {
     flick_trace_record_complete(FLICK_SPAN_WIRE, "wire", Us);
 }
 
+uint8_t *LocalLink::poolAcquire(size_t Need, size_t *Cap) {
+  for (size_t i = 0; i != PoolCount; ++i) {
+    if (Pool[i].Cap >= Need) {
+      uint8_t *Data = Pool[i].Data;
+      *Cap = Pool[i].Cap;
+      Pool[i] = Pool[--PoolCount];
+      flick_metric_add(&flick_metrics::pool_hits, 1);
+      return Data;
+    }
+  }
+  flick_metric_add(&flick_metrics::pool_misses, 1);
+  size_t C = Need ? Need : 1;
+  *Cap = C;
+  return static_cast<uint8_t *>(std::malloc(C));
+}
+
+void LocalLink::poolRelease(uint8_t *Data, size_t Cap) {
+  if (!Data)
+    return;
+  if (PoolCount < PoolMaxBufs) {
+    Pool[PoolCount].Data = Data;
+    Pool[PoolCount].Cap = Cap;
+    ++PoolCount;
+    return;
+  }
+  std::free(Data);
+}
+
 int LocalLink::End::send(const uint8_t *Data, size_t Len) {
   Msg M;
-  M.Bytes.assign(Data, Data + Len);
+  M.Data = Link.poolAcquire(Len, &M.Cap);
+  if (!M.Data) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
+    return FLICK_ERR_TRANSPORT;
+  }
+  std::memcpy(M.Data, Data, Len);
+  M.Len = Len;
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Len;
+    ++flick_metrics_active->copy_ops;
+  }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan);
   Link.account(Len);
-  (IsClient ? Link.ToB : Link.ToA).push_back(std::move(M));
+  (IsClient ? Link.ToB : Link.ToA).push_back(M);
+  return FLICK_OK;
+}
+
+int LocalLink::End::sendv(const flick_iov *Segs, size_t Count) {
+  size_t Total = 0;
+  for (size_t i = 0; i != Count; ++i)
+    Total += Segs[i].len;
+  Msg M;
+  M.Data = Link.poolAcquire(Total, &M.Cap);
+  if (!M.Data) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
+    return FLICK_ERR_TRANSPORT;
+  }
+  size_t Off = 0;
+  for (size_t i = 0; i != Count; ++i) {
+    std::memcpy(M.Data + Off, Segs[i].base, Segs[i].len);
+    Off += Segs[i].len;
+  }
+  M.Len = Total;
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Total;
+    ++flick_metrics_active->copy_ops;
+  }
+  if (flick_trace_active)
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+  Link.account(Total);
+  (IsClient ? Link.ToB : Link.ToA).push_back(M);
   return FLICK_OK;
 }
 
@@ -50,12 +185,52 @@ int LocalLink::End::recv(std::vector<uint8_t> &Out) {
     if (!IsClient || !Link.Pump || !Link.Pump())
       return FLICK_ERR_TRANSPORT;
   }
-  Msg M = std::move(Queue.front());
+  Msg M = Queue.front();
   Queue.pop_front();
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan);
-  Out = std::move(M.Bytes);
+  Out.assign(M.Data, M.Data + M.Len);
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += M.Len;
+    ++flick_metrics_active->copy_ops;
+  }
+  Link.poolRelease(M.Data, M.Cap);
   return FLICK_OK;
+}
+
+int LocalLink::End::recvInto(flick_buf *Into) {
+  auto &Queue = IsClient ? Link.ToA : Link.ToB;
+  while (Queue.empty()) {
+    if (!IsClient || !Link.Pump || !Link.Pump())
+      return FLICK_ERR_TRANSPORT;
+  }
+  Msg M = Queue.front();
+  Queue.pop_front();
+  if (flick_trace_active)
+    flick_trace_deposit(M.TraceId, M.ParentSpan);
+  // Hand the pooled wire buffer to the caller whole and park the caller's
+  // old allocation for the next send: the receive itself copies nothing.
+  // Legal because flick_buf manages data with realloc/free and the pool
+  // allocates with malloc.
+  flick_buf_reset(Into);
+  Link.poolRelease(Into->data, Into->cap);
+  Into->data = M.Data;
+  Into->cap = M.Cap;
+  Into->len = M.Len;
+  Into->pos = 0;
+  return FLICK_OK;
+}
+
+void LocalLink::End::release(flick_buf *Buf) {
+  // Reclaim the adopted wire storage the moment its reader is done with
+  // it: the next send then refills this same (cache-hot) allocation.
+  // Without the early release two buffers alternate -- one adopted, one
+  // filling -- doubling the transport's cache footprint per direction.
+  Link.poolRelease(Buf->data, Buf->cap);
+  Buf->data = nullptr;
+  Buf->cap = 0;
+  Buf->len = 0;
+  Buf->pos = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -66,14 +241,15 @@ int flick_channel_send(flick_channel *ch, const uint8_t *data, size_t len) {
   return ch->send(data, len);
 }
 
+int flick_channel_sendv(flick_channel *ch, const flick_iov *segs,
+                        size_t count) {
+  return ch->sendv(segs, count);
+}
+
 int flick_channel_recv(flick_channel *ch, flick_buf *into) {
-  std::vector<uint8_t> msg;
-  if (int err = ch->recv(msg))
-    return err;
-  flick_buf_reset(into);
-  if (int err = flick_buf_ensure(into, msg.size()))
-    return err;
-  std::memcpy(into->data, msg.data(), msg.size());
-  into->len = msg.size();
-  return FLICK_OK;
+  return ch->recvInto(into);
+}
+
+void flick_channel_release(flick_channel *ch, flick_buf *buf) {
+  ch->release(buf);
 }

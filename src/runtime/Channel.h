@@ -25,10 +25,15 @@
 #include <vector>
 
 struct flick_buf;
+struct flick_iov;
 
 namespace flick {
 
 /// Abstract message transport: send one framed message / receive one.
+/// The scatter-gather entry points have distinct names (not overloads) so
+/// a subclass overriding only the flat pair keeps working unchanged: the
+/// base-class defaults bridge to send()/recv(), paying one staging copy,
+/// while transports that can do better (LocalLink) override them.
 class Channel {
 public:
   virtual ~Channel();
@@ -39,6 +44,24 @@ public:
   /// Receives one message into \p Out (cleared first).  Returns FLICK_OK
   /// or FLICK_ERR_TRANSPORT when no message can be produced.
   virtual int recv(std::vector<uint8_t> &Out) = 0;
+
+  /// Queues one message given as \p Count scatter-gather segments, which
+  /// are borrowed only for the duration of the call.  Default: flattens
+  /// the segments into one staging vector and calls send().
+  virtual int sendv(const flick_iov *Segs, size_t Count);
+
+  /// Receives one message directly into \p Into (reset first).  Default:
+  /// stages through recv() and copies; transports owning their message
+  /// storage can hand the buffer over by move instead.
+  virtual int recvInto(flick_buf *Into);
+
+  /// Hint that \p Buf's contents are dead (the dispatch frame or client
+  /// call that was reading them has finished).  Transports that adopt
+  /// pooled storage into receive buffers (recvInto) reclaim it here, so
+  /// the next sender refills the same hot allocation instead of
+  /// ping-ponging between two; others leave the buffer's storage alone
+  /// for flick_buf's own reuse.  The buffer stays valid either way.
+  virtual void release(flick_buf *Buf);
 };
 
 /// An in-process bidirectional link with two endpoints.  Endpoint A is the
@@ -49,6 +72,7 @@ public:
 class LocalLink {
 public:
   LocalLink();
+  ~LocalLink();
 
   /// Attaches a wire-time model; every send advances \p Clock.
   void setModel(NetworkModel Model, SimClock *Clock);
@@ -69,6 +93,9 @@ private:
     End(LocalLink &Link, bool IsClient) : Link(Link), IsClient(IsClient) {}
     int send(const uint8_t *Data, size_t Len) override;
     int recv(std::vector<uint8_t> &Out) override;
+    int sendv(const flick_iov *Segs, size_t Count) override;
+    int recvInto(flick_buf *Into) override;
+    void release(flick_buf *Buf) override;
 
   private:
     LocalLink &Link;
@@ -77,17 +104,36 @@ private:
 
   /// One queued message plus its out-of-band trace context: the sender's
   /// (trace id, span id) ride beside the bytes, never inside them, so
-  /// tracing cannot perturb the wire format.
+  /// tracing cannot perturb the wire format.  The wire bytes live in a
+  /// pool-managed malloc allocation so a receiver can adopt it whole
+  /// (recvInto) instead of copying it out.
   struct Msg {
-    std::vector<uint8_t> Bytes;
+    uint8_t *Data = nullptr;
+    size_t Cap = 0;
+    size_t Len = 0;
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
   };
 
+  /// One parked wire-buffer allocation, waiting to back the next send.
+  struct PoolEnt {
+    uint8_t *Data;
+    size_t Cap;
+  };
+
+  enum { PoolMaxBufs = 8 };
+
   void account(size_t Len);
+  /// Returns a buffer with capacity >= \p Need: a pooled one when the
+  /// free list has a fit (pool_hits), else a fresh malloc (pool_misses).
+  uint8_t *poolAcquire(size_t Need, size_t *Cap);
+  /// Parks \p Data for reuse, or frees it when the pool is full.
+  void poolRelease(uint8_t *Data, size_t Cap);
 
   std::deque<Msg> ToA; // server -> client
   std::deque<Msg> ToB; // client -> server
+  PoolEnt Pool[PoolMaxBufs];
+  size_t PoolCount = 0;
   NetworkModel Model = NetworkModel::ideal();
   SimClock *Clock = nullptr;
   std::function<bool()> Pump;

@@ -43,6 +43,12 @@ std::string flick_metrics_to_json(const flick_metrics *m,
       {"alloc_errors", m->alloc_errors},
       {"interp_encodes", m->interp_encodes},
       {"interp_decodes", m->interp_decodes},
+      {"bytes_copied", m->bytes_copied},
+      {"copy_ops", m->copy_ops},
+      {"gather_refs", m->gather_refs},
+      {"gather_bytes", m->gather_bytes},
+      {"pool_hits", m->pool_hits},
+      {"pool_misses", m->pool_misses},
   };
   std::string Out = "{\n";
   for (const Field &F : Fields) {
@@ -52,6 +58,15 @@ std::string flick_metrics_to_json(const flick_metrics *m,
     Out += "\": " + std::to_string(F.Value) + ",\n";
   }
   char Buf[64];
+  // Derived: bulk copies per issued RPC, the headline zero-copy number.
+  uint64_t Calls = m->rpcs_sent + m->oneways_sent;
+  std::snprintf(Buf, sizeof(Buf), "%.3f",
+                static_cast<double>(m->copy_ops) /
+                    static_cast<double>(Calls ? Calls : 1));
+  Out += indent;
+  Out += "\"copies_per_rpc\": ";
+  Out += Buf;
+  Out += ",\n";
   std::snprintf(Buf, sizeof(Buf), "%.3f", m->wire_time_us);
   Out += indent;
   Out += "\"wire_time_us\": ";

@@ -40,6 +40,18 @@ void flick_swap_copy_u64(uint8_t *dst, const uint8_t *src, size_t dwords) {
 }
 
 namespace {
+/// Sends \p b over \p ch, as scatter-gather segments when the buffer
+/// carries borrowed spans (gathered marshaling) and as flat bytes
+/// otherwise.  The flat path is byte-for-byte the pre-gather behavior.
+int sendBuf(flick_channel *ch, const flick_buf *b) {
+  if (b->nrefs) {
+    flick_iov iov[2 * FLICK_BUF_MAX_REFS + 1];
+    size_t n = flick_buf_iovec(b, iov);
+    return flick_channel_sendv(ch, iov, n);
+  }
+  return flick_channel_send(ch, b->data, b->len);
+}
+
 /// Header linking retired arena blocks; block data follows the header.
 /// 16-byte alignment keeps the data area aligned for any presented type.
 struct alignas(16) ArenaBlock {
@@ -111,7 +123,7 @@ void flick_client_destroy(flick_client *c) {
 int flick_client_invoke(flick_client *c) {
   ++c->next_xid;
   flick_metric_add(&flick_metrics::rpcs_sent, 1);
-  flick_metric_add(&flick_metrics::request_bytes, c->req.len);
+  flick_metric_add(&flick_metrics::request_bytes, flick_buf_total(&c->req));
   // Latency sampling and tracing cost one pointer test each when off.
   bool Timed = flick_metrics_active != nullptr;
   std::chrono::steady_clock::time_point T0;
@@ -127,7 +139,7 @@ int flick_client_invoke(flick_client *c) {
       flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
     flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
   }
-  int err = flick_channel_send(c->chan, c->req.data, c->req.len);
+  int err = sendBuf(c->chan, &c->req);
   if (flick_trace_active)
     flick_trace_end_impl(); // SEND
   if (err) {
@@ -159,7 +171,7 @@ int flick_client_invoke(flick_client *c) {
 int flick_client_send_oneway(flick_client *c) {
   ++c->next_xid;
   flick_metric_add(&flick_metrics::oneways_sent, 1);
-  flick_metric_add(&flick_metrics::request_bytes, c->req.len);
+  flick_metric_add(&flick_metrics::request_bytes, flick_buf_total(&c->req));
   uint32_t Base = 0;
   if (flick_trace_active) {
     Base = flick_trace_active->depth;
@@ -167,7 +179,7 @@ int flick_client_send_oneway(flick_client *c) {
       flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
     flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
   }
-  int err = flick_channel_send(c->chan, c->req.data, c->req.len);
+  int err = sendBuf(c->chan, &c->req);
   if (err)
     flick_metric_add(&flick_metrics::transport_errors, 1);
   flick_trace_close_to(Base);
@@ -206,6 +218,11 @@ int flick_server_handle_one(flick_server *s) {
   flick_buf_reset(&s->rep);
   flick_arena_reset(&s->arena);
   int status = s->dispatch(s, &s->req, &s->rep);
+  // The request's bytes are dead once dispatch returns: aliased decode
+  // pointers are scoped to the dispatch frame and replies never gather.
+  // Handing the adopted wire storage back now lets the client's next
+  // request refill the same hot allocation.
+  s->chan->release(&s->req);
   if (status != FLICK_OK) {
     if (status == FLICK_ERR_DECODE)
       flick_metric_add(&flick_metrics::decode_errors, 1);

@@ -92,6 +92,18 @@ struct flick_metrics {
   // Interpreted marshaling (runtime/Interp.h): type-program nodes visited.
   uint64_t interp_encodes = 0;
   uint64_t interp_decodes = 0;
+  // Copy accounting (zero-copy message path): every bulk byte movement on
+  // the message path -- stub marshal/unmarshal copies, transport staging,
+  // pooled-buffer fills -- adds to these, so "how many times was this
+  // payload copied" is a measured number, not an argument.
+  uint64_t bytes_copied = 0; ///< payload bytes moved by message-path copies
+  uint64_t copy_ops = 0;     ///< number of such bulk copy operations
+  // Scatter-gather marshaling (--gather-min-bytes).
+  uint64_t gather_refs = 0;  ///< segments appended by reference (no copy)
+  uint64_t gather_bytes = 0; ///< bytes covered by those segments
+  // Wire-buffer pool (LocalLink free list).
+  uint64_t pool_hits = 0;   ///< pooled wire buffers reused
+  uint64_t pool_misses = 0; ///< pool empty or too small: fresh allocation
   // Simulated wire time accumulated by modeled links (SimClock).
   double wire_time_us = 0;
   // Per-call round-trip latency distribution: flick_client_invoke records
@@ -130,14 +142,44 @@ inline void flick_metric_max(uint64_t flick_metrics::*f, uint64_t v) {
 // Marshal buffers
 //===----------------------------------------------------------------------===//
 
+/// One scatter-gather segment: a borrowed span of caller memory.  Gathered
+/// sends (flick_channel_sendv) consume an array of these.
+struct flick_iov {
+  const uint8_t *base;
+  size_t len;
+};
+
+/// One by-reference segment recorded in a flick_buf: \p base/\p len borrow
+/// caller memory, \p own_off is the owned-byte offset the segment splices
+/// into (the value of buf.len when the reference was taken).
+struct flick_buf_ref_ent {
+  const uint8_t *base;
+  size_t len;
+  size_t own_off;
+};
+
+/// Bound on by-reference segments per buffer; beyond it flick_buf_ref
+/// falls back to copying, so the segment list needs no heap storage.
+enum { FLICK_BUF_MAX_REFS = 8 };
+
 /// A growable byte buffer with separate append (len) and read (pos)
 /// cursors.  Stubs keep one request and one reply buffer per client/server
 /// and reset them between invocations instead of reallocating.
+///
+/// Under scatter-gather marshaling (--gather-min-bytes) a buffer may also
+/// carry up to FLICK_BUF_MAX_REFS *borrowed* segments: spans of caller
+/// memory recorded by flick_buf_ref instead of being copied in.  The
+/// logical message is the owned bytes with each borrowed span spliced in
+/// at its own_off -- flick_buf_iovec materializes that order.  Borrowed
+/// spans must outlive the send that consumes them (see DESIGN.md §11).
 struct flick_buf {
   uint8_t *data = nullptr;
   size_t cap = 0;
-  size_t len = 0; ///< bytes written (marshal cursor)
+  size_t len = 0; ///< owned bytes written (marshal cursor)
   size_t pos = 0; ///< bytes consumed (unmarshal cursor)
+  size_t nrefs = 0;     ///< borrowed segments recorded
+  size_t ref_bytes = 0; ///< total bytes across borrowed segments
+  flick_buf_ref_ent refs[FLICK_BUF_MAX_REFS];
 };
 
 /// Initial capacity given to lazily grown buffers.
@@ -150,12 +192,15 @@ inline void flick_buf_destroy(flick_buf *b) {
   *b = flick_buf{};
 }
 
-/// Rewinds both cursors, keeping the allocation (buffer reuse).
+/// Rewinds both cursors and drops borrowed segments, keeping the
+/// allocation (buffer reuse).
 inline void flick_buf_reset(flick_buf *b) {
   if (flick_metrics_active && b->cap)
     ++flick_metrics_active->buf_reuses;
   b->len = 0;
   b->pos = 0;
+  b->nrefs = 0;
+  b->ref_bytes = 0;
 }
 
 /// Grows so that at least \p need more bytes can be appended.  Out-of-line
@@ -172,8 +217,13 @@ inline int flick_buf_ensure(flick_buf *b, size_t need) {
 }
 
 /// Reserves \p n appended bytes and returns the chunk pointer for them.
-/// Callers must have ensured capacity.
+/// Callers must have ensured capacity.  Counted as a copy: every grab is
+/// immediately filled by stores or a memcpy from presented data.
 inline uint8_t *flick_buf_grab(flick_buf *b, size_t n) {
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += n;
+    ++flick_metrics_active->copy_ops;
+  }
   uint8_t *p = b->data + b->len;
   b->len += n;
   return p;
@@ -185,8 +235,14 @@ inline int flick_buf_check(const flick_buf *b, size_t n) {
 }
 
 /// Consumes \p n bytes and returns the chunk pointer for them.  Callers
-/// must have checked availability.
+/// must have checked availability.  Counted as a copy: taken bytes are
+/// loaded/memcpy'd into presented storage (unlike flick_buf_take_mut,
+/// which aliases them in place at zero cost).
 inline const uint8_t *flick_buf_take(flick_buf *b, size_t n) {
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += n;
+    ++flick_metrics_active->copy_ops;
+  }
   const uint8_t *p = b->data + b->pos;
   b->pos += n;
   return p;
@@ -200,9 +256,45 @@ inline uint8_t *flick_buf_take_mut(flick_buf *b, size_t n) {
   return p;
 }
 
+/// Records a borrowed segment: the \p n bytes at \p p join the logical
+/// message at the current append position without being copied.  When the
+/// segment list is full, degrades to a plain copy so callers never need a
+/// fallback path of their own.  Returns FLICK_OK or FLICK_ERR_ALLOC.
+inline int flick_buf_ref(flick_buf *b, const void *p, size_t n) {
+  if (b->nrefs == FLICK_BUF_MAX_REFS) {
+    if (int err = flick_buf_ensure(b, n))
+      return err;
+    std::memcpy(flick_buf_grab(b, n), p, n);
+    return FLICK_OK;
+  }
+  flick_buf_ref_ent &E = b->refs[b->nrefs++];
+  E.base = static_cast<const uint8_t *>(p);
+  E.len = n;
+  E.own_off = b->len;
+  b->ref_bytes += n;
+  if (flick_metrics_active) {
+    ++flick_metrics_active->gather_refs;
+    flick_metrics_active->gather_bytes += n;
+  }
+  return FLICK_OK;
+}
+
+/// Logical message length: owned bytes plus borrowed segments.  Equals
+/// b->len whenever no references were taken.
+inline size_t flick_buf_total(const flick_buf *b) {
+  return b->len + b->ref_bytes;
+}
+
+/// Flattens \p b into wire-order segments: owned-byte runs interleaved
+/// with borrowed spans at their splice points.  \p iov must hold at least
+/// 2 * FLICK_BUF_MAX_REFS + 1 entries; returns the count used.
+size_t flick_buf_iovec(const flick_buf *b, flick_iov *iov);
+
 /// Zero-pads the append cursor up to \p a alignment (a power of two).
+/// Alignment is of the *logical* position (owned + borrowed bytes), so a
+/// gathered message keeps the exact wire layout of its copied twin.
 inline int flick_buf_align_write(flick_buf *b, size_t a) {
-  size_t pad = (a - (b->len & (a - 1))) & (a - 1);
+  size_t pad = (a - ((b->len + b->ref_bytes) & (a - 1))) & (a - 1);
   if (!pad)
     return FLICK_OK;
   if (int err = flick_buf_ensure(b, pad))
@@ -395,8 +487,15 @@ struct flick_client {
 void flick_client_init(flick_client *c, flick_channel *chan);
 void flick_client_destroy(flick_client *c);
 
-/// Resets and returns the reused request buffer.
+void flick_channel_release(flick_channel *ch, flick_buf *buf);
+
+/// Resets and returns the reused request buffer.  The previous reply's
+/// bytes are dead by now (the caller decoded them before starting a new
+/// call), so the reply buffer's adopted wire storage is handed back to
+/// the transport first -- the server's next reply refills the same hot
+/// allocation instead of ping-ponging between two.
 inline flick_buf *flick_client_begin(flick_client *c) {
+  flick_channel_release(c->chan, &c->rep);
   flick_buf_reset(&c->req);
   return &c->req;
 }
@@ -474,8 +573,16 @@ inline void CORBA_exception_free(CORBA_Environment *ev) {
 //===----------------------------------------------------------------------===//
 
 int flick_channel_send(flick_channel *ch, const uint8_t *data, size_t len);
+/// Sends one message given as \p count scatter-gather segments.  The
+/// segments are only borrowed for the duration of the call.
+int flick_channel_sendv(flick_channel *ch, const flick_iov *segs,
+                        size_t count);
 /// Receives one message into \p into (reset first).  Returns FLICK_OK or
 /// FLICK_ERR_TRANSPORT.
 int flick_channel_recv(flick_channel *ch, flick_buf *into);
+/// Tells the transport \p buf's contents are dead so adopted wire storage
+/// can return to the buffer pool early (see Channel::release).  Declared
+/// above flick_client_begin, which uses it.
+void flick_channel_release(flick_channel *ch, flick_buf *buf);
 
 #endif // FLICK_RUNTIME_FLICK_RUNTIME_H

@@ -91,6 +91,29 @@ TEST(PassRegistry, EnabledNamesFollowOptions) {
   EXPECT_EQ(enabledPassNames(O), Two);
 }
 
+TEST(PassList, GatherTokenControlsThreshold) {
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none", O, Err));
+  EXPECT_EQ(O.GatherMinBytes, 0u); // off by default
+  ASSERT_TRUE(parsePassList("+gather", O, Err));
+  EXPECT_EQ(O.GatherMinBytes, DefaultGatherMinBytes);
+  ASSERT_TRUE(parsePassList("-gather", O, Err));
+  EXPECT_EQ(O.GatherMinBytes, 0u);
+  // Enabling while already enabled keeps a custom threshold.
+  O.GatherMinBytes = 777;
+  ASSERT_TRUE(parsePassList("gather", O, Err));
+  EXPECT_EQ(O.GatherMinBytes, 777u);
+}
+
+TEST(PassRegistry, GatherListsInPipelineOrder) {
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none,memcpy,gather,bounded", O, Err));
+  std::vector<std::string> Want = {"memcpy", "gather", "bounded"};
+  EXPECT_EQ(enabledPassNames(O), Want);
+}
+
 //===----------------------------------------------------------------------===//
 // Chunk coalescing over synthetic plans
 //===----------------------------------------------------------------------===//
@@ -302,6 +325,98 @@ TEST(MemcpyRuns, TinySubtreesAreNotWorthABlockCopy) {
   MemcpyRuns R = memcpyRunsOf(S, L);
   EXPECT_TRUE(R.Identical);
   EXPECT_FALSE(denseBitIdentical(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Gather pass: large dense segments go by reference
+//===----------------------------------------------------------------------===//
+
+/// Extends PresFixture with the sequence/byte shapes the gather pass
+/// inspects.
+struct GatherFixture : PresFixture {
+  PresPrim *u8() {
+    return P.make<PresPrim>(P.Mint.integer(8, false), B.prim("uint8_t"));
+  }
+  PresCounted *seqOf(PresNode *Elem) {
+    auto *M = P.Mint.make<MintArray>(Elem->mint(), 0, 1 << 20);
+    AllocSemantics AS;
+    return P.make<PresCounted>(M, B.prim("seq"), Elem, "_length", "_buffer",
+                               "_maximum", AS);
+  }
+  SeqPlan seqPlan(PresNode *Item, std::string Label) {
+    SeqPlan Plan;
+    Plan.Label = std::move(Label);
+    Plan.Encode = true;
+    PlanItem It;
+    It.Name = "data";
+    It.Pres = Item;
+    Plan.Items = {It};
+    Plan.Steps = {segStep(0)};
+    return Plan;
+  }
+};
+
+TEST(GatherPass, RewritesDenseSegmentsInEncodeRequestPlans) {
+  GatherFixture F;
+  WireLayout L(WireKind::CdrLE);
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none,memcpy,gather", O, Err));
+  SeqPlan Plan = F.seqPlan(F.seqOf(F.i32()), "op_encode_request");
+  PassPipeline(O, L).run(Plan);
+  ASSERT_EQ(Plan.Steps.size(), 1u);
+  EXPECT_EQ(Plan.Steps[0].Kind, StepKind::GatherRef);
+  EXPECT_EQ(Plan.Steps[0].GatherMinBytes, DefaultGatherMinBytes);
+}
+
+TEST(GatherPass, LeavesRepliesAndDecodesAlone) {
+  // Borrowed spans must outlive the send; reply encoding runs inside the
+  // dispatch frame where that cannot be guaranteed, so only client
+  // request plans gather (DESIGN.md §11).
+  GatherFixture F;
+  WireLayout L(WireKind::CdrLE);
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none,memcpy,gather", O, Err));
+  SeqPlan Reply = F.seqPlan(F.seqOf(F.i32()), "op_encode_reply");
+  PassPipeline(O, L).run(Reply);
+  EXPECT_EQ(Reply.Steps[0].Kind, StepKind::VariableSegment);
+
+  SeqPlan Decode = F.seqPlan(F.seqOf(F.i32()), "op_decode_request");
+  Decode.Encode = false;
+  PassPipeline(O, L).run(Decode);
+  EXPECT_EQ(Decode.Steps[0].Kind, StepKind::VariableSegment);
+}
+
+TEST(GatherPass, SwappedWireKeepsTheCopy) {
+  // XDR is big-endian: the marshal copy also swaps, so there is no dense
+  // byte-identical span to borrow.
+  GatherFixture F;
+  WireLayout L(WireKind::Xdr);
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none,memcpy,gather", O, Err));
+  SeqPlan Plan = F.seqPlan(F.seqOf(F.i32()), "op_encode_request");
+  PassPipeline(O, L).run(Plan);
+  EXPECT_EQ(Plan.Steps[0].Kind, StepKind::VariableSegment);
+}
+
+TEST(GatherPass, WithoutMemcpyOnlyByteArraysGather) {
+  // The wide cases replace the memcpy pass's bulk copies; without that
+  // pass the emitter marshals per element and only byte arrays (always a
+  // dense copy) remain gatherable.
+  GatherFixture F;
+  WireLayout L(WireKind::CdrLE);
+  BackendOptions O;
+  std::string Err;
+  ASSERT_TRUE(parsePassList("none,gather", O, Err));
+  SeqPlan Ints = F.seqPlan(F.seqOf(F.i32()), "op_encode_request");
+  PassPipeline(O, L).run(Ints);
+  EXPECT_EQ(Ints.Steps[0].Kind, StepKind::VariableSegment);
+
+  SeqPlan Bytes = F.seqPlan(F.seqOf(F.u8()), "op_encode_request");
+  PassPipeline(O, L).run(Bytes);
+  EXPECT_EQ(Bytes.Steps[0].Kind, StepKind::GatherRef);
 }
 
 //===----------------------------------------------------------------------===//

@@ -203,6 +203,47 @@ TEST(Metrics, EnableZeroesTheBlock) {
   flick_metrics_disable();
 }
 
+TEST(Metrics, CopyAccountingCountsGrabAndTake) {
+  // Every bulk byte movement on the message path is measured: grab on
+  // encode, take on decode.  take_mut is the zero-cost alias and must not
+  // count.
+  ScopedMetrics S;
+  flick_buf B;
+  flick_buf_init(&B);
+  ASSERT_EQ(flick_buf_ensure(&B, 64), FLICK_OK);
+  std::memset(flick_buf_grab(&B, 24), 1, 24);
+  EXPECT_EQ(S.M.bytes_copied, 24u);
+  EXPECT_EQ(S.M.copy_ops, 1u);
+  (void)flick_buf_take(&B, 16);
+  EXPECT_EQ(S.M.bytes_copied, 40u);
+  EXPECT_EQ(S.M.copy_ops, 2u);
+  (void)flick_buf_take_mut(&B, 8); // aliasing consume: free
+  EXPECT_EQ(S.M.bytes_copied, 40u);
+  EXPECT_EQ(S.M.copy_ops, 2u);
+  flick_buf_destroy(&B);
+}
+
+TEST(Metrics, JsonCarriesCopyAccounting) {
+  flick_metrics M;
+  M.bytes_copied = 4096;
+  M.copy_ops = 6;
+  M.gather_refs = 2;
+  M.gather_bytes = 8192;
+  M.pool_hits = 5;
+  M.pool_misses = 1;
+  M.rpcs_sent = 2;
+  M.oneways_sent = 1;
+  std::string J = flick_metrics_to_json(&M);
+  EXPECT_NE(J.find("\"bytes_copied\": 4096"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"copy_ops\": 6"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"gather_refs\": 2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"gather_bytes\": 8192"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pool_hits\": 5"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pool_misses\": 1"), std::string::npos) << J;
+  // Derived: 6 copy ops over 3 issued calls.
+  EXPECT_NE(J.find("\"copies_per_rpc\": 2.000"), std::string::npos) << J;
+}
+
 TEST(Metrics, JsonContainsEveryCounter) {
   flick_metrics M;
   M.rpcs_sent = 2;
