@@ -6,12 +6,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Message transports beneath the generated stubs.  LocalLink provides a
-/// deterministic in-process request/reply pair: the client endpoint's recv
-/// "pumps" the registered server when its queue is empty, so examples and
-/// benches run single-threaded.  A link may carry a NetworkModel + SimClock
-/// to account simulated wire time per message (the substitute for the
-/// paper's Ethernet/Myrinet/Mach testbeds -- see NetworkModel.h).
+/// Message transports beneath the generated stubs, in two modes:
+///
+///  - LocalLink: a deterministic in-process request/reply pair.  The
+///    client endpoint's recv "pumps" the registered server when its queue
+///    is empty, so examples, goldens, and the fig3-7 benches run on one
+///    thread with reproducible interleaving.  A link may carry a
+///    NetworkModel + SimClock to account simulated wire time per message
+///    (the substitute for the paper's Ethernet/Myrinet/Mach testbeds --
+///    see NetworkModel.h).
+///
+///  - ThreadedLink: the concurrent transport for the parallel runtime.
+///    Any number of client connections feed one bounded, mutex/condvar
+///    MPSC request queue drained by N worker channels (see
+///    flick_server_pool); replies route back over per-connection queues.
+///    An attached NetworkModel is realized as *real* blocking time -- the
+///    sender sleeps the modeled transit -- so a worker pool overlaps wire
+///    latency across connections the way a production stack overlaps
+///    NIC/syscall waits.
+///
+/// Both modes share the pooled zero-copy wire-buffer path (WireBufPool):
+/// each endpoint owns its pool and, in threaded mode, is confined to one
+/// thread, so buffer reuse never takes a lock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +35,13 @@
 #define FLICK_RUNTIME_CHANNEL_H
 
 #include "runtime/NetworkModel.h"
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 struct flick_buf;
@@ -64,11 +84,40 @@ public:
   virtual void release(flick_buf *Buf);
 };
 
+/// Fixed-size free list of malloc'd wire-message allocations (DESIGN.md
+/// §11): a receiver adopts a pooled buffer whole instead of copying it
+/// out, and releases its previous one for the next sender to refill.  Not
+/// internally synchronized -- every pool belongs to one channel endpoint,
+/// and in threaded mode each endpoint is confined to one thread, so the
+/// zero-copy path stays hot without a global lock.  Buffers migrate
+/// freely between pools (all storage is plain malloc/free).
+class WireBufPool {
+public:
+  ~WireBufPool();
+
+  /// Returns a buffer with capacity >= \p Need: a pooled one when the
+  /// free list has a fit (pool_hits), else a fresh malloc (pool_misses).
+  uint8_t *acquire(size_t Need, size_t *Cap);
+
+  /// Parks \p Data for reuse, or frees it when the pool is full.
+  void release(uint8_t *Data, size_t Cap);
+
+private:
+  struct Ent {
+    uint8_t *Data;
+    size_t Cap;
+  };
+  enum { MaxBufs = 8 };
+  Ent Bufs[MaxBufs];
+  size_t Count = 0;
+};
+
 /// An in-process bidirectional link with two endpoints.  Endpoint A is the
 /// client side, endpoint B the server side.  When A receives with an empty
 /// queue, the link invokes the pump callback (typically
 /// `flick_server_handle_one`) until a reply appears, keeping everything on
-/// one thread and deterministic.
+/// one thread and deterministic.  This is the single-threaded mode; for
+/// concurrent clients and a worker pool, use ThreadedLink.
 class LocalLink {
 public:
   LocalLink();
@@ -115,30 +164,148 @@ private:
     uint64_t ParentSpan = 0;
   };
 
-  /// One parked wire-buffer allocation, waiting to back the next send.
-  struct PoolEnt {
-    uint8_t *Data;
-    size_t Cap;
-  };
-
-  enum { PoolMaxBufs = 8 };
-
   void account(size_t Len);
-  /// Returns a buffer with capacity >= \p Need: a pooled one when the
-  /// free list has a fit (pool_hits), else a fresh malloc (pool_misses).
-  uint8_t *poolAcquire(size_t Need, size_t *Cap);
-  /// Parks \p Data for reuse, or frees it when the pool is full.
-  void poolRelease(uint8_t *Data, size_t Cap);
 
   std::deque<Msg> ToA; // server -> client
   std::deque<Msg> ToB; // client -> server
-  PoolEnt Pool[PoolMaxBufs];
-  size_t PoolCount = 0;
+  WireBufPool Pool;
   NetworkModel Model = NetworkModel::ideal();
   SimClock *Clock = nullptr;
   std::function<bool()> Pump;
   End AEnd;
   End BEnd;
+};
+
+/// The concurrent transport: many client connections, one bounded MPSC
+/// request queue, N worker channels, per-connection reply queues.
+///
+/// Thread contract: each channel returned by connect() belongs to one
+/// client thread and each channel returned by workerEnd() to one worker
+/// thread; only the request queue and the per-connection reply queues are
+/// shared (mutex/condvar), so every wire-buffer pool stays lock-free.
+/// Telemetry written on a channel's hot path lands in its thread's own
+/// thread-local flick_metrics / flick_tracer blocks.
+///
+/// Backpressure: the request queue is bounded (QueueCap).  A send that
+/// finds it full counts one `queue_full` metric event and blocks until a
+/// worker drains an entry or the link shuts down.
+///
+/// Shutdown: shutdown() wakes every waiter.  Workers drain the requests
+/// already queued, then their recv fails with FLICK_ERR_TRANSPORT; sends
+/// and replies-in-wait fail immediately, so in-flight calls abort -- stop
+/// client traffic first for a loss-free drain (flick_server_pool_stop
+/// does the link shutdown for you).
+///
+/// Wire model: setModel() attaches a NetworkModel whose per-message time
+/// is slept by the *sender* (outside any lock) instead of advancing a
+/// SimClock, so concurrency genuinely overlaps it.  Modeled time is still
+/// accounted to the sending thread's wire_time_us and trace ring.
+class ThreadedLink {
+public:
+  explicit ThreadedLink(size_t QueueCap = 256);
+  ~ThreadedLink();
+
+  /// Attaches a wire-time model; every send sleeps the modeled transit.
+  void setModel(NetworkModel Model);
+
+  /// Creates a new client connection.  The returned channel (and the
+  /// flick_client on top of it) must be used by one thread at a time.
+  Channel &connect();
+
+  /// Creates a new worker-side channel: recv pops the next request from
+  /// any connection, send routes the reply back to that request's
+  /// connection.  One per worker thread.
+  Channel &workerEnd();
+
+  /// Wakes every blocked sender/receiver; see the class comment.
+  /// Idempotent.  Call before destroying the link while threads may still
+  /// be using it, and join them before the destructor runs.
+  void shutdown();
+
+  /// Requests queued and not yet picked up by a worker (for tests).
+  size_t pendingRequests() const;
+
+private:
+  /// One queued message; bytes live in a pool-managed malloc allocation
+  /// and the sender's trace context rides out of band, as in LocalLink.
+  struct Msg {
+    uint8_t *Data = nullptr;
+    size_t Cap = 0;
+    size_t Len = 0;
+    uint64_t TraceId = 0;
+    uint64_t ParentSpan = 0;
+  };
+
+  class Conn final : public Channel {
+  public:
+    explicit Conn(ThreadedLink &Link) : Link(Link) {}
+    ~Conn() override;
+    int send(const uint8_t *Data, size_t Len) override;
+    int recv(std::vector<uint8_t> &Out) override;
+    int sendv(const flick_iov *Segs, size_t Count) override;
+    int recvInto(flick_buf *Into) override;
+    void release(flick_buf *Buf) override;
+
+  private:
+    friend class ThreadedLink;
+    /// Blocks for the next reply (or shutdown).
+    int awaitReply(Msg *M);
+
+    ThreadedLink &Link;
+    std::mutex RMu;
+    std::condition_variable RCv;
+    std::deque<Msg> RepQ;
+    WireBufPool Pool;
+  };
+
+  class WorkerChan final : public Channel {
+  public:
+    explicit WorkerChan(ThreadedLink &Link) : Link(Link) {}
+    int send(const uint8_t *Data, size_t Len) override;
+    int recv(std::vector<uint8_t> &Out) override;
+    int sendv(const flick_iov *Segs, size_t Count) override;
+    int recvInto(flick_buf *Into) override;
+    void release(flick_buf *Buf) override;
+
+  private:
+    friend class ThreadedLink;
+    /// Finishes an outgoing reply: stamp, sleep, route to CurConn.
+    int sendReply(Msg M);
+
+    ThreadedLink &Link;
+    Conn *CurConn = nullptr; ///< connection of the last received request
+    WireBufPool Pool;
+  };
+
+  /// Sleeps the modeled transit time for a \p Len-byte message and
+  /// accounts it to the calling thread's telemetry.
+  void wireDelay(size_t Len);
+  /// Blocking bounded push of a request; FLICK_ERR_TRANSPORT after
+  /// shutdown (ownership of M.Data returns to \p From's pool).
+  int pushRequest(Conn *From, Msg M);
+  /// Blocking pop of the next request; drains the queue even after
+  /// shutdown, then fails.
+  int popRequest(Conn **From, Msg *M);
+
+  mutable std::mutex QMu;
+  std::condition_variable QNotEmpty;
+  std::condition_variable QNotFull;
+  struct Req {
+    Conn *From;
+    Msg M;
+  };
+  std::deque<Req> ReqQ;
+  const size_t QueueCap;
+  std::atomic<bool> Down{false};
+
+  bool Modeled = false;
+  NetworkModel Model = NetworkModel::ideal();
+
+  /// Endpoint storage; guarded by EndsMu during creation only (channels
+  /// themselves are owned by their threads afterwards).
+  mutable std::mutex EndsMu;
+  std::vector<std::unique_ptr<Conn>> Conns;
+  std::vector<std::unique_ptr<WorkerChan>> Workers;
 };
 
 } // namespace flick

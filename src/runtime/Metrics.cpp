@@ -8,7 +8,7 @@
 #include "runtime/flick_runtime.h"
 #include <cstdio>
 
-flick_metrics *flick_metrics_active = nullptr;
+thread_local flick_metrics *flick_metrics_active = nullptr;
 
 void flick_metrics_enable(flick_metrics *m) {
   *m = flick_metrics{};
@@ -16,6 +16,38 @@ void flick_metrics_enable(flick_metrics *m) {
 }
 
 void flick_metrics_disable() { flick_metrics_active = nullptr; }
+
+void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src) {
+  dst->rpcs_sent += src->rpcs_sent;
+  dst->oneways_sent += src->oneways_sent;
+  dst->replies_received += src->replies_received;
+  dst->request_bytes += src->request_bytes;
+  dst->reply_bytes += src->reply_bytes;
+  dst->rpcs_handled += src->rpcs_handled;
+  dst->replies_sent += src->replies_sent;
+  dst->server_request_bytes += src->server_request_bytes;
+  dst->server_reply_bytes += src->server_reply_bytes;
+  dst->buf_grows += src->buf_grows;
+  dst->buf_reuses += src->buf_reuses;
+  dst->arena_grows += src->arena_grows;
+  if (src->arena_high_water > dst->arena_high_water)
+    dst->arena_high_water = src->arena_high_water;
+  dst->decode_errors += src->decode_errors;
+  dst->transport_errors += src->transport_errors;
+  dst->demux_errors += src->demux_errors;
+  dst->alloc_errors += src->alloc_errors;
+  dst->interp_encodes += src->interp_encodes;
+  dst->interp_decodes += src->interp_decodes;
+  dst->bytes_copied += src->bytes_copied;
+  dst->copy_ops += src->copy_ops;
+  dst->gather_refs += src->gather_refs;
+  dst->gather_bytes += src->gather_bytes;
+  dst->pool_hits += src->pool_hits;
+  dst->pool_misses += src->pool_misses;
+  dst->queue_full += src->queue_full;
+  dst->wire_time_us += src->wire_time_us;
+  flick_hist_merge(&dst->rpc_latency, &src->rpc_latency);
+}
 
 std::string flick_metrics_to_json(const flick_metrics *m,
                                   const char *indent) {
@@ -49,6 +81,7 @@ std::string flick_metrics_to_json(const flick_metrics *m,
       {"gather_bytes", m->gather_bytes},
       {"pool_hits", m->pool_hits},
       {"pool_misses", m->pool_misses},
+      {"queue_full", m->queue_full},
   };
   std::string Out = "{\n";
   for (const Field &F : Fields) {

@@ -1,0 +1,115 @@
+//===- runtime/ServerPool.cpp - Worker-pool server dispatch ---------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// flick_server_pool: N dispatch threads draining one ThreadedLink.  Each
+/// worker owns a full flick_server (reused request/reply buffers, scratch
+/// arena) on its own worker channel, plus private telemetry blocks that
+/// the stopping thread merges after join() -- the join provides the
+/// happens-before edge, so no merge lock exists anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Channel.h"
+#include "runtime/flick_runtime.h"
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/// One worker slot: server state, the thread, and its telemetry.
+struct PoolWorker {
+  flick_server Srv;
+  flick_metrics Metrics;
+  flick_tracer Tracer;
+  std::vector<flick_span> Spans;
+  std::thread Thread;
+};
+
+struct PoolImpl {
+  flick::ThreadedLink *Link = nullptr;
+  /// Telemetry blocks that were active on the starting thread; per-worker
+  /// blocks merge into these on stop.  Null means "collection off" and the
+  /// workers run with telemetry disabled too.
+  flick_metrics *MergeInto = nullptr;
+  flick_tracer *AbsorbInto = nullptr;
+  std::vector<std::unique_ptr<PoolWorker>> Workers;
+};
+
+void workerMain(PoolImpl *P, PoolWorker *W) {
+  if (P->MergeInto)
+    flick_metrics_enable(&W->Metrics);
+  if (P->AbsorbInto)
+    flick_trace_enable_thread(&W->Tracer, W->Spans.data(),
+                              static_cast<uint32_t>(W->Spans.size()));
+  for (;;) {
+    int Err = flick_server_handle_one(&W->Srv);
+    // Transport failure means the link is shut down and drained; anything
+    // else (decode/demux errors) is per-request and already counted.
+    if (Err == FLICK_ERR_TRANSPORT)
+      break;
+  }
+  // The loop always ends with exactly one failed receive -- the link going
+  // down is clean shutdown, not a transport fault -- so take that count
+  // back out to keep merged error totals exact.
+  if (P->MergeInto && W->Metrics.transport_errors)
+    --W->Metrics.transport_errors;
+  flick_trace_disable();
+  flick_metrics_disable();
+}
+
+} // namespace
+
+int flick_server_pool_start(flick_server_pool *p, flick::ThreadedLink *link,
+                            flick_dispatch_fn dispatch, unsigned workers,
+                            void *impl_hook) {
+  if (p->impl || !link || !dispatch || workers == 0)
+    return FLICK_ERR_ALLOC;
+  auto *P = new PoolImpl;
+  P->Link = link;
+  P->MergeInto = flick_metrics_active;
+  P->AbsorbInto = flick_trace_active;
+  for (unsigned I = 0; I != workers; ++I) {
+    auto W = std::unique_ptr<PoolWorker>(new PoolWorker);
+    flick_server_init(&W->Srv, &link->workerEnd(), dispatch);
+    W->Srv.impl = impl_hook;
+    // Mirror the starting thread's ring capacity so a pool's worth of
+    // spans survives absorption at the same retention the caller chose.
+    if (P->AbsorbInto)
+      W->Spans.resize(P->AbsorbInto->cap ? P->AbsorbInto->cap : 1);
+    P->Workers.push_back(std::move(W));
+  }
+  for (auto &W : P->Workers)
+    W->Thread = std::thread(workerMain, P, W.get());
+  p->impl = P;
+  return FLICK_OK;
+}
+
+void flick_server_pool_stop(flick_server_pool *p) {
+  auto *P = static_cast<PoolImpl *>(p->impl);
+  if (!P)
+    return;
+  P->Link->shutdown();
+  for (auto &W : P->Workers)
+    W->Thread.join();
+  // Joined workers are quiescent: their blocks can be read without locks.
+  for (auto &W : P->Workers) {
+    if (P->MergeInto)
+      flick_metrics_merge(P->MergeInto, &W->Metrics);
+    if (P->AbsorbInto)
+      flick_trace_absorb(P->AbsorbInto, &W->Tracer);
+    flick_server_destroy(&W->Srv);
+  }
+  delete P;
+  p->impl = nullptr;
+}
+
+unsigned flick_server_pool_workers(const flick_server_pool *p) {
+  auto *P = static_cast<const PoolImpl *>(p->impl);
+  return P ? static_cast<unsigned>(P->Workers.size()) : 0;
+}

@@ -7,12 +7,13 @@
 
 #include "runtime/Trace.h"
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <unordered_map>
 #include <vector>
 
-flick_tracer *flick_trace_active = nullptr;
+thread_local flick_tracer *flick_trace_active = nullptr;
 
 //===----------------------------------------------------------------------===//
 // Latency histogram
@@ -31,6 +32,15 @@ void flick_hist_record(flick_latency_hist *h, double us) {
          us >= static_cast<double>(uint64_t(1) << I))
     ++I;
   ++h->buckets[I];
+}
+
+void flick_hist_merge(flick_latency_hist *dst, const flick_latency_hist *src) {
+  dst->count += src->count;
+  for (int I = 0; I != FLICK_HIST_BUCKETS; ++I)
+    dst->buckets[I] += src->buckets[I];
+  dst->sum_us += src->sum_us;
+  if (src->max_us > dst->max_us)
+    dst->max_us = src->max_us;
 }
 
 double flick_hist_percentile(const flick_latency_hist *h, double p) {
@@ -155,6 +165,31 @@ void flick_trace_enable(flick_tracer *t, flick_span *storage, uint32_t cap) {
 }
 
 void flick_trace_disable() { flick_trace_active = nullptr; }
+
+void flick_trace_enable_thread(flick_tracer *t, flick_span *storage,
+                               uint32_t cap) {
+  // Salting the high bits leaves each tracer 2^40 locally minted ids --
+  // far beyond any ring -- while keeping concurrent tracers disjoint.
+  static std::atomic<uint64_t> NextSalt{0};
+  flick_trace_enable(t, storage, cap);
+  uint64_t Salt = NextSalt.fetch_add(1, std::memory_order_relaxed) + 1;
+  t->next_trace_id = Salt << 40;
+  t->next_span_id = Salt << 40;
+}
+
+void flick_trace_absorb(flick_tracer *dst, const flick_tracer *src) {
+  double Off = std::chrono::duration<double, std::micro>(src->epoch -
+                                                         dst->epoch)
+                   .count();
+  size_t N = flick_trace_span_count(src);
+  for (size_t I = 0; I != N; ++I) {
+    flick_span S = *flick_trace_span(src, I);
+    S.begin_us += Off;
+    record(dst, S);
+  }
+  dst->dropped += src->dropped;
+  dst->truncated += src->truncated;
+}
 
 void flick_trace_begin_impl(int kind, const char *name) {
   flick_tracer *T = flick_trace_active;

@@ -14,11 +14,18 @@
 /// hook below costs one predictable pointer test -- so stubs compiled
 /// against this header lose nothing when tracing is disabled.
 ///
-/// Trace context crosses the "wire" out of band: LocalLink carries the
-/// sender's (trace id, span id) beside the message bytes, never inside
-/// them, so enabling tracing cannot perturb the wire format.  The
-/// recording path never allocates; the exporters (Chrome trace-event JSON
-/// and collapsed flamegraph stacks) may.
+/// Trace context crosses the "wire" out of band: LocalLink and
+/// ThreadedLink carry the sender's (trace id, span id) beside the message
+/// bytes, never inside them, so enabling tracing cannot perturb the wire
+/// format.  The recording path never allocates; the exporters (Chrome
+/// trace-event JSON and collapsed flamegraph stacks) may.
+///
+/// The installed tracer pointer is thread-local, so the hot path stays
+/// store-only with no shared atomics: a single-threaded run installs one
+/// tracer and behaves exactly as before, while the threaded runtime gives
+/// every worker its own ring (flick_trace_enable_thread salts the id
+/// spaces so ids never collide) and merges them into one exportable ring
+/// after the workers quiesce (flick_trace_absorb).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +54,12 @@ struct flick_latency_hist {
 
 /// Records one duration (negative values clamp to 0).
 void flick_hist_record(flick_latency_hist *h, double us);
+
+/// Merges \p src into \p dst: counts and buckets add, max takes the max.
+/// Percentiles over the merged histogram are exact with respect to the
+/// merged buckets, so per-thread histograms lose nothing by being kept
+/// separate until dump time.
+void flick_hist_merge(flick_latency_hist *dst, const flick_latency_hist *src);
 
 /// Percentile estimate from the bucket upper bounds: the smallest bucket
 /// boundary at or above the \p p quantile (0 < p <= 1), clamped to the
@@ -99,8 +112,11 @@ enum { FLICK_TRACE_MAX_DEPTH = 32 };
 /// Span recorder: completed spans go into the caller-supplied ring
 /// `spans[cap]` (oldest overwritten first), open spans live on a fixed
 /// stack.  All counters are plain fields so tests and exporters can read
-/// them directly.  Not thread-safe -- one traced conversation per process,
-/// matching the deterministic single-threaded LocalLink.
+/// them directly.  One tracer records one thread's conversation: the
+/// installed pointer is thread-local, so the deterministic LocalLink path
+/// keeps its single tracer while threaded runs give each worker its own
+/// ring (flick_trace_enable_thread) and absorb the rings into one after
+/// joining (flick_trace_absorb).
 struct flick_tracer {
   flick_span *spans = nullptr; ///< caller-owned ring storage
   uint32_t cap = 0;
@@ -120,15 +136,31 @@ struct flick_tracer {
   std::chrono::steady_clock::time_point epoch;
 };
 
-/// The installed tracer, or null when tracing is disabled.
-extern flick_tracer *flick_trace_active;
+/// The calling thread's installed tracer, or null when tracing is
+/// disabled on this thread.
+extern thread_local flick_tracer *flick_trace_active;
 
 /// Resets \p t, points it at \p storage (capacity \p cap spans), and
-/// installs it.  Storage stays caller-owned; recording never allocates.
+/// installs it on the calling thread.  Storage stays caller-owned;
+/// recording never allocates.
 void flick_trace_enable(flick_tracer *t, flick_span *storage, uint32_t cap);
 
-/// Stops collection; the tracer keeps its recorded spans for export.
+/// Stops collection on the calling thread (the tracer keeps its recorded
+/// spans for export).
 void flick_trace_disable();
+
+/// Like flick_trace_enable, but offsets the tracer's trace/span id spaces
+/// by a process-unique salt, so ids minted by concurrently recording
+/// per-thread tracers stay distinct when the rings are later absorbed
+/// into one (flick_trace_absorb).
+void flick_trace_enable_thread(flick_tracer *t, flick_span *storage,
+                               uint32_t cap);
+
+/// Copies \p src's completed spans into \p dst's ring (oldest first),
+/// rebasing timestamps onto \p dst's epoch, and accumulates the
+/// dropped/truncated counters.  Call only after the thread that recorded
+/// into \p src has quiesced (e.g. after joining a worker).
+void flick_trace_absorb(flick_tracer *dst, const flick_tracer *src);
 
 // Out-of-line slow paths (only reached when a tracer is installed).
 void flick_trace_begin_impl(int kind, const char *name);

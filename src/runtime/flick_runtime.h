@@ -28,6 +28,7 @@
 
 namespace flick {
 class Channel;
+class ThreadedLink;
 } // namespace flick
 
 /// Transport handle used by generated stubs; concrete channels live in
@@ -66,6 +67,14 @@ enum {
 /// and buffer ensure/grab/take) stay untouched.  Enable with
 /// flick_metrics_enable() around a region of interest; bench binaries use
 /// this to emit machine-readable results (see bench/BenchUtil.h).
+///
+/// The installed pointer is thread-local, so the hot path stays a plain
+/// load + store with no shared atomics even under the threaded runtime:
+/// each thread (client driver, pool worker) collects into its own block
+/// and the blocks are combined at dump time with flick_metrics_merge,
+/// which sums counters, max-merges arena_high_water, and merges the
+/// latency histogram bucket-wise.  flick_server_pool does this for its
+/// workers automatically.
 struct flick_metrics {
   // Client endpoint.
   uint64_t rpcs_sent = 0;        ///< two-way invokes issued
@@ -101,9 +110,12 @@ struct flick_metrics {
   // Scatter-gather marshaling (--gather-min-bytes).
   uint64_t gather_refs = 0;  ///< segments appended by reference (no copy)
   uint64_t gather_bytes = 0; ///< bytes covered by those segments
-  // Wire-buffer pool (LocalLink free list).
+  // Wire-buffer pool (LocalLink / ThreadedLink free lists).
   uint64_t pool_hits = 0;   ///< pooled wire buffers reused
   uint64_t pool_misses = 0; ///< pool empty or too small: fresh allocation
+  // Threaded request queue backpressure (ThreadedLink): sends that found
+  // the bounded queue full and had to wait for a worker to drain it.
+  uint64_t queue_full = 0;
   // Simulated wire time accumulated by modeled links (SimClock).
   double wire_time_us = 0;
   // Per-call round-trip latency distribution: flick_client_invoke records
@@ -112,14 +124,23 @@ struct flick_metrics {
   flick_latency_hist rpc_latency;
 };
 
-/// The installed metrics block, or null when collection is disabled.
-extern flick_metrics *flick_metrics_active;
+/// The calling thread's installed metrics block, or null when collection
+/// is disabled on this thread.
+extern thread_local flick_metrics *flick_metrics_active;
 
-/// Zeroes \p m and installs it as the active metrics block.
+/// Zeroes \p m and installs it as the calling thread's metrics block.
 void flick_metrics_enable(flick_metrics *m);
 
-/// Stops collection (the block keeps its final values).
+/// Stops collection on the calling thread (the block keeps its final
+/// values).
 void flick_metrics_disable();
+
+/// Adds \p src's counters into \p dst: plain counters and wire time sum,
+/// arena_high_water takes the max, and the rpc_latency histogram merges
+/// bucket-wise, so derived numbers (copies_per_rpc, percentiles) computed
+/// from the merged block equal those of a single-block run that saw all
+/// the traffic.
+void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src);
 
 /// Renders \p m as a JSON object, e.g. {"rpcs_sent": 3, ...}.  \p indent
 /// is prepended to each line of the body.
@@ -532,6 +553,41 @@ void flick_server_destroy(flick_server *s);
 /// Receives one request, dispatches it, sends the reply (if any).
 /// Returns FLICK_OK, or FLICK_ERR_TRANSPORT when the channel is drained.
 int flick_server_handle_one(flick_server *s);
+
+//===----------------------------------------------------------------------===//
+// Worker-pool server dispatch (threaded runtime)
+//===----------------------------------------------------------------------===//
+
+/// A pool of N server worker threads draining one ThreadedLink: each
+/// worker loops flick_server_handle_one over its own worker channel with
+/// its own flick_server (request/reply buffers, scratch arena) and its
+/// own wire-buffer pool, so the only shared state on the hot path is the
+/// link's bounded request queue.  When the thread calling
+/// flick_server_pool_start has metrics (or tracing) enabled, every worker
+/// collects into a private per-thread block (or span ring) and stop()
+/// merges them back into the starting thread's block, so dumps show the
+/// whole pool's traffic with exact counts.
+struct flick_server_pool {
+  void *impl = nullptr; ///< opaque pool state; null when not running
+};
+
+/// Starts \p workers dispatch threads on \p link.  \p impl_hook is stored
+/// as each worker server's `impl`; servant state reached through it is
+/// shared across workers and must be thread-safe.  Returns FLICK_OK, or
+/// FLICK_ERR_ALLOC when the pool is already running or \p workers is 0.
+int flick_server_pool_start(flick_server_pool *p, flick::ThreadedLink *link,
+                            flick_dispatch_fn dispatch, unsigned workers,
+                            void *impl_hook = nullptr);
+
+/// Shuts the link down (workers finish every already-queued request
+/// first), joins the worker threads, and merges per-worker telemetry into
+/// the blocks that were active when start was called.  Call from the
+/// starting thread, after client traffic has stopped; calling on a
+/// stopped pool is a no-op.
+void flick_server_pool_stop(flick_server_pool *p);
+
+/// Worker-thread count of a running pool; 0 before start / after stop.
+unsigned flick_server_pool_workers(const flick_server_pool *p);
 
 //===----------------------------------------------------------------------===//
 // Object references and the CORBA C-mapping environment

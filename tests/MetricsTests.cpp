@@ -18,6 +18,7 @@
 #include "runtime/flick_runtime.h"
 #include <cstring>
 #include <gtest/gtest.h>
+#include <thread>
 
 using namespace flick;
 
@@ -242,6 +243,80 @@ TEST(Metrics, JsonCarriesCopyAccounting) {
   EXPECT_NE(J.find("\"pool_misses\": 1"), std::string::npos) << J;
   // Derived: 6 copy ops over 3 issued calls.
   EXPECT_NE(J.find("\"copies_per_rpc\": 2.000"), std::string::npos) << J;
+}
+
+TEST(MetricsMerge, SumsCountersMaxesHighWaterMergesHistogram) {
+  flick_metrics A, B;
+  A.rpcs_sent = 3;
+  A.request_bytes = 300;
+  A.arena_high_water = 1000;
+  A.queue_full = 2;
+  A.wire_time_us = 1.5;
+  flick_hist_record(&A.rpc_latency, 10.0);
+  flick_hist_record(&A.rpc_latency, 100.0);
+  B.rpcs_sent = 4;
+  B.request_bytes = 400;
+  B.arena_high_water = 250;
+  B.queue_full = 1;
+  B.wire_time_us = 2.5;
+  flick_hist_record(&B.rpc_latency, 500.0);
+
+  flick_metrics_merge(&A, &B);
+  EXPECT_EQ(A.rpcs_sent, 7u);
+  EXPECT_EQ(A.request_bytes, 700u);
+  EXPECT_EQ(A.arena_high_water, 1000u) << "high water takes the max";
+  EXPECT_EQ(A.queue_full, 3u);
+  EXPECT_DOUBLE_EQ(A.wire_time_us, 4.0);
+  EXPECT_EQ(A.rpc_latency.count, 3u);
+  EXPECT_DOUBLE_EQ(A.rpc_latency.max_us, 500.0);
+  EXPECT_DOUBLE_EQ(A.rpc_latency.sum_us, 610.0);
+}
+
+TEST(MetricsMerge, TwoThreadsCollectIndependentlyAndSumExactly) {
+  // Each thread installs its own block (the active pointer is
+  // thread-local), hammers the hooks concurrently, and the post-join merge
+  // must equal a single-threaded run that saw all the traffic.
+  const uint64_t PerThread = 20000;
+  flick_metrics T1M, T2M;
+  auto Body = [PerThread](flick_metrics *M) {
+    flick_metrics_enable(M);
+    for (uint64_t I = 0; I != PerThread; ++I) {
+      flick_metric_add(&flick_metrics::rpcs_sent, 1);
+      flick_metric_add(&flick_metrics::request_bytes, 8);
+      flick_metric_max(&flick_metrics::arena_high_water, I % 512);
+      flick_hist_record(&flick_metrics_active->rpc_latency,
+                        static_cast<double>(I % 64));
+    }
+    flick_metrics_disable();
+  };
+  std::thread T1(Body, &T1M);
+  std::thread T2(Body, &T2M);
+  T1.join();
+  T2.join();
+
+  flick_metrics Total;
+  flick_metrics_merge(&Total, &T1M);
+  flick_metrics_merge(&Total, &T2M);
+  EXPECT_EQ(Total.rpcs_sent, 2 * PerThread);
+  EXPECT_EQ(Total.request_bytes, 16 * PerThread);
+  EXPECT_EQ(Total.arena_high_water, 511u);
+  EXPECT_EQ(Total.rpc_latency.count, 2 * PerThread);
+}
+
+TEST(MetricsMerge, CopiesPerRpcDerivesFromMergedTotals) {
+  flick_metrics A, B;
+  A.rpcs_sent = 2;
+  A.copy_ops = 5;
+  A.bytes_copied = 512;
+  B.oneways_sent = 2;
+  B.copy_ops = 3;
+  B.bytes_copied = 256;
+  flick_metrics_merge(&A, &B);
+  std::string J = flick_metrics_to_json(&A);
+  // 8 copy ops over 4 issued calls -- same derivation as a single block.
+  EXPECT_NE(J.find("\"copies_per_rpc\": 2.000"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"bytes_copied\": 768"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"queue_full\": 0"), std::string::npos) << J;
 }
 
 TEST(Metrics, JsonContainsEveryCounter) {

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 using namespace flick;
@@ -313,6 +314,81 @@ TEST(Trace, JsonEscapeHandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(flick_json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(flick_json_escape("a\nb\tc"), "a\\nb\\tc");
   EXPECT_EQ(flick_json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceMerge, HistMergeAddsCountsAndKeepsMax) {
+  flick_latency_hist A{}, B{};
+  flick_hist_record(&A, 3.0);
+  flick_hist_record(&A, 100.0);
+  flick_hist_record(&B, 5000.0);
+  flick_hist_merge(&A, &B);
+  EXPECT_EQ(A.count, 3u);
+  EXPECT_DOUBLE_EQ(A.sum_us, 5103.0);
+  EXPECT_DOUBLE_EQ(A.max_us, 5000.0);
+  // Percentiles over the merged buckets see all three samples.
+  EXPECT_GE(flick_hist_percentile(&A, 0.99), 100.0);
+  EXPECT_LE(flick_hist_percentile(&A, 0.99), 5000.0);
+}
+
+TEST(TraceMerge, AbsorbCopiesSpansRebasedWithCounters) {
+  flick_tracer Dst;
+  std::vector<flick_span> DstStorage(16);
+  flick_trace_enable(&Dst, DstStorage.data(), 16);
+  flick_span_begin(FLICK_SPAN_RPC, "local");
+  flick_span_end();
+  flick_trace_disable();
+
+  flick_tracer Src;
+  std::vector<flick_span> SrcStorage(16);
+  flick_trace_enable_thread(&Src, SrcStorage.data(), 16);
+  flick_span_begin(FLICK_SPAN_DEMUX, "remote");
+  flick_span_end();
+  flick_trace_disable();
+  Src.dropped = 5;
+  Src.truncated = 2;
+
+  flick_trace_absorb(&Dst, &Src);
+  ASSERT_EQ(flick_trace_span_count(&Dst), 2u);
+  EXPECT_STREQ(flick_trace_span(&Dst, 0)->name, "local");
+  EXPECT_STREQ(flick_trace_span(&Dst, 1)->name, "remote");
+  EXPECT_EQ(Dst.dropped, 5u);
+  EXPECT_EQ(Dst.truncated, 2u);
+  // Timestamps were rebased onto Dst's epoch: the absorbed span began
+  // after (or at) the local one on the shared clock.
+  EXPECT_GE(flick_trace_span(&Dst, 1)->begin_us,
+            flick_trace_span(&Dst, 0)->begin_us);
+}
+
+TEST(TraceMerge, ThreadSaltKeepsIdSpacesDistinct) {
+  // Two salted tracers recording concurrently must never mint colliding
+  // trace or span ids, or absorbed rings would stitch unrelated spans
+  // into one tree.
+  flick_tracer A, B;
+  std::vector<flick_span> SA(64), SB(64);
+  auto Body = [](flick_tracer *T, flick_span *Storage) {
+    flick_trace_enable_thread(T, Storage, 64);
+    for (int I = 0; I != 20; ++I) {
+      flick_span_begin(FLICK_SPAN_RPC, "r");
+      flick_span_begin(FLICK_SPAN_SEND, "s");
+      flick_span_end();
+      flick_span_end();
+    }
+    flick_trace_disable();
+  };
+  std::thread T1(Body, &A, SA.data());
+  std::thread T2(Body, &B, SB.data());
+  T1.join();
+  T2.join();
+
+  std::set<uint64_t> Ids, Traces;
+  for (const flick_tracer *T : {&A, &B})
+    for (size_t I = 0; I != flick_trace_span_count(T); ++I) {
+      const flick_span *Sp = flick_trace_span(T, I);
+      EXPECT_TRUE(Ids.insert(Sp->span_id).second) << "span id collision";
+      Traces.insert(Sp->trace_id);
+    }
+  EXPECT_EQ(Ids.size(), 80u);
+  EXPECT_EQ(Traces.size(), 40u) << "trace ids distinct across threads";
 }
 
 TEST(Trace, EnableResetsAndDisableKeepsRecordedSpans) {
