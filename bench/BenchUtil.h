@@ -15,7 +15,9 @@
 #ifndef FLICK_BENCH_BENCHUTIL_H
 #define FLICK_BENCH_BENCHUTIL_H
 
+#include "runtime/Sampler.h"
 #include "runtime/flick_runtime.h"
+#include "support/BuildInfo.h"
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -181,13 +183,47 @@ inline flick_tracer *benchTracerIfRequested() {
   return &T;
 }
 
+/// Starts the runtime flight recorder when FLICK_BENCH_SAMPLE names a
+/// JSONL output path (written by JsonReport::write, which also stops the
+/// sampler).  Optional knobs: FLICK_BENCH_SAMPLE_INTERVAL_US (default
+/// 1000) and FLICK_BENCH_STALL_US (watchdog deadline; the post-mortem
+/// dump goes to "<path>.postmortem.json").
+inline bool benchSamplerIfRequested() {
+  const char *Path = std::getenv("FLICK_BENCH_SAMPLE");
+  if (!Path || !*Path)
+    return false;
+  if (flick_sampler_running())
+    return true;
+  flick_sampler_opts O;
+  if (const char *S = std::getenv("FLICK_BENCH_SAMPLE_INTERVAL_US")) {
+    double V = std::atof(S);
+    if (V > 0)
+      O.interval_us = V;
+  }
+  if (const char *S = std::getenv("FLICK_BENCH_STALL_US"))
+    O.stall_deadline_us = std::atof(S);
+  static std::string Postmortem;
+  Postmortem = std::string(Path) + ".postmortem.json";
+  O.postmortem_path = Postmortem.c_str();
+  return flick_sampler_start(&O) == FLICK_OK;
+}
+
+/// Metrics collection turns on when any machine-readable export wants the
+/// counters: FLICK_BENCH_JSON (the results document) or FLICK_METRICS_PROM
+/// (Prometheus text exposition, written by JsonReport::write).  The block
+/// is also registered with the flight recorder, which excerpts a few of
+/// its fields into each sample via relaxed atomic reads.
 inline flick_metrics *benchMetricsIfJson() {
   static flick_metrics M;
   benchTracerIfRequested();
+  bool Sampling = benchSamplerIfRequested();
   const char *Path = std::getenv("FLICK_BENCH_JSON");
-  if (!Path || !*Path)
+  const char *Prom = std::getenv("FLICK_METRICS_PROM");
+  if ((!Path || !*Path) && (!Prom || !*Prom))
     return nullptr;
   flick_metrics_enable(&M);
+  if (Sampling)
+    flick_sampler_watch(&M);
   return &M;
 }
 
@@ -257,14 +293,29 @@ public:
     add(R);
   }
 
-  /// Writes {"bench", "rows", optional "metrics"} to $FLICK_BENCH_JSON,
-  /// and -- when FLICK_BENCH_TRACE is also set -- the recorded span ring
-  /// as Chrome trace-event JSON to that second path.  Refuses to clobber
-  /// an existing results file ("x" exclusive mode): two benches pointed at
-  /// one path is a harness bug, and silently keeping only the last
-  /// writer's data corrupted comparisons before.  Returns false on any
-  /// write failure; quietly does nothing when FLICK_BENCH_JSON is unset.
+  /// Writes every requested machine-readable export: the results document
+  /// {"bench", "build", "rows", optional "metrics", optional "flight"} to
+  /// $FLICK_BENCH_JSON, the span ring (with flight-recorder counter events
+  /// spliced in) as Chrome trace-event JSON to $FLICK_BENCH_TRACE, the
+  /// flight-recorder JSONL time series to $FLICK_BENCH_SAMPLE, and the
+  /// Prometheus text exposition to $FLICK_METRICS_PROM.  A running sampler
+  /// is stopped first so the ring ends with a final sample.  The results
+  /// file refuses to clobber an existing one ("x" exclusive mode): two
+  /// benches pointed at one path is a harness bug, and silently keeping
+  /// only the last writer's data corrupted comparisons before.  Returns
+  /// false on any write failure; each export quietly does nothing when its
+  /// variable is unset.
   bool write(const char *BenchName, const flick_metrics *M = nullptr) {
+    if (flick_sampler_running())
+      flick_sampler_stop();
+    bool Ok = writeResults(BenchName, M);
+    Ok &= writeSample();
+    Ok &= writeProm(M);
+    Ok &= writeTrace();
+    return Ok;
+  }
+
+  bool writeResults(const char *BenchName, const flick_metrics *M) {
     const char *Path = std::getenv("FLICK_BENCH_JSON");
     if (!Path || !*Path)
       return true;
@@ -276,8 +327,9 @@ public:
                    Path);
       return false;
     }
-    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
-                 flick_json_escape(BenchName).c_str());
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"build\": %s,\n  \"rows\": [",
+                 flick_json_escape(BenchName).c_str(),
+                 flick_build_info_json().c_str());
     for (size_t I = 0; I != Rows.size(); ++I)
       std::fprintf(F, "%s\n    %s", I ? "," : "", Rows[I].c_str());
     std::fprintf(F, "%s]", Rows.empty() ? "" : "\n  ");
@@ -285,12 +337,52 @@ public:
       std::string Json = flick_metrics_to_json(M, "    ");
       std::fprintf(F, ",\n  \"metrics\": %s", Json.c_str());
     }
+    // When the flight recorder ran, the time series rides along in the
+    // results document so one artifact carries rates and their evolution.
+    if (flick_sampler_count()) {
+      std::string Flight = flick_sampler_to_json("    ");
+      std::fprintf(F, ",\n  \"flight\": %s", Flight.c_str());
+    }
     std::fprintf(F, "\n}\n");
     std::fclose(F);
-    return writeTrace();
+    return true;
   }
 
-  /// Writes the Chrome trace for the active tracer to $FLICK_BENCH_TRACE.
+  /// Writes the flight-recorder JSONL time series to $FLICK_BENCH_SAMPLE.
+  bool writeSample() {
+    const char *Path = std::getenv("FLICK_BENCH_SAMPLE");
+    if (!Path || !*Path)
+      return true;
+    std::FILE *F = std::fopen(Path, "wb");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      return false;
+    }
+    std::string Jsonl = flick_sampler_to_jsonl();
+    std::fwrite(Jsonl.data(), 1, Jsonl.size(), F);
+    std::fclose(F);
+    return true;
+  }
+
+  /// Writes the Prometheus text exposition to $FLICK_METRICS_PROM.
+  bool writeProm(const flick_metrics *M) {
+    const char *Path = std::getenv("FLICK_METRICS_PROM");
+    if (!Path || !*Path)
+      return true;
+    std::FILE *F = std::fopen(Path, "wb");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      return false;
+    }
+    std::string Text = flick_metrics_to_prometheus(M);
+    std::fwrite(Text.data(), 1, Text.size(), F);
+    std::fclose(F);
+    return true;
+  }
+
+  /// Writes the Chrome trace for the active tracer to $FLICK_BENCH_TRACE,
+  /// splicing in the flight recorder's counter events ("ph":"C") when it
+  /// recorded any, rebased onto the tracer's timeline.
   bool writeTrace() {
     const char *Path = std::getenv("FLICK_BENCH_TRACE");
     if (!Path || !*Path || !flick_trace_active)
@@ -300,7 +392,11 @@ public:
       std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
       return false;
     }
-    std::string Json = flick_trace_to_chrome_json(flick_trace_active);
+    std::string Counters;
+    if (flick_sampler_count())
+      Counters = flick_sampler_chrome_counters(
+          flick_sampler_epoch_offset_us(flick_trace_active));
+    std::string Json = flick_trace_to_chrome_json(flick_trace_active, Counters);
     std::fwrite(Json.data(), 1, Json.size(), F);
     std::fclose(F);
     return true;

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (ctest: prometheus_format).
+
+Checks the whole grammar a scraper depends on, not just "it looks like
+text": every sample line must parse (metric name, optional label set,
+float value), every sample's family must have been declared by a # TYPE
+line (and HELP/TYPE must come in pairs, HELP first), and histogram
+families must be internally consistent -- cumulative bucket counts
+monotone over increasing le, a +Inf bucket present and equal to _count,
+and _sum/_count present.  --require names metrics that must exist (CI
+passes flick_build_info so every export is traceable to a commit).
+
+Stdlib only.  Exit 0 valid, 1 invalid, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?[0-9]+))?\s*$")
+LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+# Suffixes that attach samples to a histogram/summary family name.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family name."""
+    if name in types:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(text, errors, lineno):
+    """Splits a label body on top-level commas, honoring quoted strings."""
+    labels = {}
+    depth_quote = False
+    part, parts = "", []
+    prev = ""
+    for ch in text:
+        if ch == '"' and prev != "\\":
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(part)
+            part = ""
+        else:
+            part += ch
+        prev = ch
+    if part.strip():
+        parts.append(part)
+    for p in parts:
+        m = LABEL_RE.match(p.strip())
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax: {p.strip()!r}")
+            continue
+        labels[m.group("key")] = m.group("val")
+    return labels
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on junk; NaN parses
+
+
+def check(lines):
+    """Validates exposition-format lines; returns (errors, families).
+
+    families maps family name -> {"type": str, "samples": [(name, labels,
+    value, lineno)]}.  All violations are collected, none raised, so one
+    run reports everything wrong with a document.
+    """
+    errors = []
+    helps = {}
+    types = {}
+    families = {}
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not NAME_RE.fullmatch(parts[2]):
+                    errors.append(f"line {lineno}: malformed # {parts[1]}")
+                    continue
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helps:
+                        errors.append(
+                            f"line {lineno}: duplicate HELP for {name}")
+                    helps[name] = lineno
+                else:
+                    if name in types:
+                        errors.append(
+                            f"line {lineno}: duplicate TYPE for {name}")
+                    if name not in helps:
+                        errors.append(
+                            f"line {lineno}: TYPE {name} without "
+                            f"preceding HELP")
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in VALID_TYPES:
+                        errors.append(
+                            f"line {lineno}: TYPE {name} has invalid "
+                            f"type {kind!r}")
+                    types[name] = kind
+                    families[name] = {"type": kind, "samples": []}
+            continue  # other comments are legal and ignored
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = (parse_labels(m.group("labels"), errors, lineno)
+                  if m.group("labels") is not None else {})
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad value {m.group('value')!r} for {name}")
+            continue
+        fam = family_of(name, types)
+        if fam not in families:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE")
+            families.setdefault(fam, {"type": "untyped", "samples": []})
+        families[fam]["samples"].append((name, labels, value, lineno))
+    for name in helps:
+        if name not in types:
+            errors.append(f"# HELP {name} has no matching # TYPE")
+    return errors, families
+
+
+def check_counters(families, errors):
+    for fam, info in families.items():
+        if info["type"] != "counter":
+            continue
+        if not fam.endswith("_total"):
+            errors.append(f"counter {fam} does not end in _total")
+        for name, _, value, lineno in info["samples"]:
+            if value < 0:
+                errors.append(
+                    f"line {lineno}: counter {name} is negative ({value})")
+
+
+def check_histograms(families, errors):
+    for fam, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        buckets = []
+        total = None
+        have_sum = False
+        for name, labels, value, lineno in info["samples"]:
+            if name == fam + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: {name} sample has no le label")
+                    continue
+                try:
+                    buckets.append((parse_value(le), value, lineno))
+                except ValueError:
+                    errors.append(f"line {lineno}: bad le value {le!r}")
+            elif name == fam + "_count":
+                total = value
+            elif name == fam + "_sum":
+                have_sum = True
+        if not buckets:
+            errors.append(f"histogram {fam} has no _bucket samples")
+            continue
+        if total is None:
+            errors.append(f"histogram {fam} has no _count sample")
+        if not have_sum:
+            errors.append(f"histogram {fam} has no _sum sample")
+        # Exposition order is part of the format: le ascending.
+        les = [le for le, _, _ in buckets]
+        if les != sorted(les):
+            errors.append(f"histogram {fam}: le values not ascending")
+        counts = [count for _, count, _ in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            errors.append(
+                f"histogram {fam}: cumulative bucket counts decrease")
+        if les and les[-1] != float("inf"):
+            errors.append(f"histogram {fam}: missing le=\"+Inf\" bucket")
+        elif total is not None and counts and counts[-1] != total:
+            errors.append(
+                f"histogram {fam}: +Inf bucket {counts[-1]:g} != "
+                f"_count {total:g}")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="Prometheus text-exposition file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="METRIC",
+                    help="fail unless this metric family has samples "
+                         "(repeatable)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+        return 2
+
+    errors, families = check(lines)
+    check_counters(families, errors)
+    check_histograms(families, errors)
+
+    for metric in args.require:
+        if not families.get(metric, {}).get("samples"):
+            errors.append(f"required metric {metric} missing or empty")
+
+    nsamples = sum(len(info["samples"]) for info in families.values())
+    if nsamples == 0:
+        errors.append("no samples at all")
+
+    for e in errors:
+        print(f"check_prometheus: {args.file}: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_prometheus: {args.file} OK "
+          f"({len(families)} families, {nsamples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

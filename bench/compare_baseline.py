@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
 """Compare a bench JSON export against a committed baseline.
 
-Rows are matched by (workload, series, payload_bytes) and compared on
-rate_mb_per_s.  The check fails only when a matched row regressed by more
-than --max-regression (default 2x): perf smoke across heterogeneous CI
-hardware can only catch order-of-magnitude breakage, not percent-level
-drift.  Rows missing from either side are reported but never fatal, so
-adding or dropping a series does not break the job.
+Rows are matched by (workload, series, payload_bytes) and compared on one
+metric (--metric, default rate_mb_per_s; fig5 rows carry rate_mbit_per_s).
+The check fails only when a matched row regressed by more than
+--max-regression (default 2x): perf smoke across heterogeneous CI hardware
+can only catch order-of-magnitude breakage, not percent-level drift.
+Every failure names the exact row and metric that regressed.  Rows missing
+from either side -- baseline rows absent from the candidate included --
+are reported but never fatal, so adding or dropping a series does not
+break the job.
 
 Rows whose baseline rate exceeds --noise-floor-mb (default 1e6 MB/s) are
 skipped: at those rates the stub only records a buffer reference, the
 timer measures noise, and run-to-run swings beyond 2x are expected.
 
 Stdlib only; exit 0 on pass, 1 on regression, 2 on usage/format errors.
+The comparison core (compare()) is imported by test_compare_baseline.py,
+which ctest runs.
 """
 
 import argparse
@@ -24,6 +29,11 @@ def key(row):
     return (row.get("workload"), row.get("series"), row.get("payload_bytes"))
 
 
+def fmt_key(k):
+    workload, series, payload = k
+    return f"workload={workload} series={series} payload_bytes={payload}"
+
+
 def load_rows(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -33,15 +43,61 @@ def load_rows(path):
     return {key(r): r for r in rows if None not in key(r)}
 
 
-def main():
+def compare(base, cur, metric="rate_mb_per_s", max_regression=2.0,
+            noise_floor=1e6):
+    """Compares two {key: row} dicts on one metric.
+
+    Returns (checked, skipped, failures, notes).  failures is a list of
+    dicts naming the offending row and metric; notes lists every tolerated
+    irregularity (rows missing from either side, rows without the metric).
+    Nothing in here raises on malformed rows -- a row that cannot be
+    compared becomes a note, never a crash.
+    """
+    checked = skipped = 0
+    failures = []
+    notes = []
+    for k, brow in sorted(base.items(), key=str):
+        brate = brow.get(metric)
+        if not isinstance(brate, (int, float)):
+            notes.append(f"baseline row has no '{metric}' (ignored): "
+                         f"{fmt_key(k)}")
+            continue
+        crow = cur.get(k)
+        if crow is None:
+            notes.append(f"missing in current (ignored): {fmt_key(k)}")
+            continue
+        crate = crow.get(metric)
+        if not isinstance(crate, (int, float)):
+            notes.append(f"current row has no '{metric}' (ignored): "
+                         f"{fmt_key(k)}")
+            continue
+        if brate > noise_floor:
+            skipped += 1
+            continue
+        checked += 1
+        if crate <= 0 or brate / crate > max_regression:
+            failures.append({
+                "key": k,
+                "metric": metric,
+                "baseline": brate,
+                "current": crate,
+            })
+    for k in sorted(set(cur) - set(base), key=str):
+        notes.append(f"new in current (ignored): {fmt_key(k)}")
+    return checked, skipped, failures, notes
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
+    ap.add_argument("--metric", default="rate_mb_per_s",
+                    help="row field to compare (fig5 uses rate_mbit_per_s)")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="fail when baseline_rate / current_rate exceeds this")
     ap.add_argument("--noise-floor-mb", type=float, default=1e6,
                     help="skip rows whose baseline rate exceeds this (MB/s)")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     try:
         base = load_rows(args.baseline)
@@ -50,33 +106,19 @@ def main():
         print(f"compare_baseline: {e}", file=sys.stderr)
         return 2
 
-    checked = skipped = 0
-    failures = []
-    for k, brow in sorted(base.items(), key=str):
-        brate = brow.get("rate_mb_per_s")
-        crow = cur.get(k)
-        if brate is None:
-            continue
-        if crow is None or crow.get("rate_mb_per_s") is None:
-            print(f"  missing in current (ignored): {k}")
-            continue
-        crate = crow["rate_mb_per_s"]
-        if brate > args.noise_floor_mb:
-            skipped += 1
-            continue
-        checked += 1
-        if crate <= 0 or brate / crate > args.max_regression:
-            failures.append((k, brate, crate))
-    for k in sorted(set(cur) - set(base), key=str):
-        print(f"  new in current (ignored): {k}")
+    checked, skipped, failures, notes = compare(
+        base, cur, metric=args.metric, max_regression=args.max_regression,
+        noise_floor=args.noise_floor_mb)
 
-    for k, brate, crate in failures:
-        print(f"REGRESSION {k}: baseline {brate:.1f} MB/s -> "
-              f"current {crate:.1f} MB/s "
+    for note in notes:
+        print(f"  {note}")
+    for f in failures:
+        print(f"REGRESSION {fmt_key(f['key'])}: {f['metric']} "
+              f"baseline {f['baseline']:.1f} -> current {f['current']:.1f} "
               f"(>{args.max_regression:g}x slower)", file=sys.stderr)
-    print(f"compare_baseline: {checked} rows checked, {skipped} above the "
-          f"noise floor skipped, {len(failures)} regressed "
-          f"(limit {args.max_regression:g}x)")
+    print(f"compare_baseline: {checked} rows checked on {args.metric}, "
+          f"{skipped} above the noise floor skipped, {len(failures)} "
+          f"regressed (limit {args.max_regression:g}x)")
     if checked == 0:
         print("compare_baseline: nothing comparable -- treating as failure",
               file=sys.stderr)

@@ -22,7 +22,9 @@
 /// bends it.
 ///
 /// FLICK_FIG8_QUICK=1 shrinks the measurement window for smoke runs
-/// (sanitizer CI); JSON rows keep the same shape either way.
+/// (sanitizer CI); FLICK_FIG8_UNMODELED=1 drops the wire model so the
+/// request-queue lock, not modeled transit, binds (the flight recorder's
+/// saturation study).  JSON rows keep the same shape either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +64,12 @@ struct Driver {
 double runCombo(unsigned Workers, size_t PayloadBytes, double WindowSecs,
                 bool Collect, flick_metrics *MergeInto) {
   flick::ThreadedLink Link;
-  Link.setModel(flick::NetworkModel::ethernet100());
+  // FLICK_FIG8_UNMODELED drops the wire model: calls are no longer
+  // dominated by modeled transit sleeps, so the MPSC queue lock becomes
+  // the binding constraint -- the configuration the flight recorder's
+  // saturation study (EXPERIMENTS.md) measures.
+  if (!std::getenv("FLICK_FIG8_UNMODELED"))
+    Link.setModel(flick::NetworkModel::ethernet100());
   flick_server_pool Pool;
   if (flick_server_pool_start(&Pool, &Link, C_Transfer_dispatch, Workers) !=
       FLICK_OK)

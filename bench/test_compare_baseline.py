@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_baseline.py, run by ctest (compare_baseline_unit).
+
+Covers the comparison core (row matching, metric selection, failure
+attribution, noise floor, tolerated irregularities) and the CLI entry
+point end to end through temp files, including the exit codes CI depends
+on (0 pass / 1 regression / 2 nothing comparable or bad input).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_baseline as cb
+
+
+def row(workload="ints", series="optimized", payload=1024, **fields):
+    r = {"workload": workload, "series": series, "payload_bytes": payload}
+    r.update(fields)
+    return r
+
+
+def rows_by_key(rows):
+    return {cb.key(r): r for r in rows}
+
+
+class TestCompare(unittest.TestCase):
+    def test_pass_within_limit(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=60.0)])  # 1.67x, under 2x
+        checked, skipped, failures, notes = cb.compare(base, cur)
+        self.assertEqual((checked, skipped, failures, notes),
+                         (1, 0, [], []))
+
+    def test_regression_names_row_and_metric(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0),
+                            row(payload=4096, rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=10.0),
+                           row(payload=4096, rate_mb_per_s=99.0)])
+        checked, _, failures, _ = cb.compare(base, cur)
+        self.assertEqual(checked, 2)
+        self.assertEqual(len(failures), 1)
+        f = failures[0]
+        self.assertEqual(f["key"], ("ints", "optimized", 1024))
+        self.assertEqual(f["metric"], "rate_mb_per_s")
+        self.assertEqual(f["baseline"], 100.0)
+        self.assertEqual(f["current"], 10.0)
+
+    def test_zero_current_rate_is_a_regression(self):
+        base = rows_by_key([row(rate_mb_per_s=1.0)])
+        cur = rows_by_key([row(rate_mb_per_s=0.0)])
+        _, _, failures, _ = cb.compare(base, cur)
+        self.assertEqual(len(failures), 1)
+
+    def test_baseline_row_missing_from_candidate_is_tolerated(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0),
+                            row(series="dropped", rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=90.0)])
+        checked, _, failures, notes = cb.compare(base, cur)
+        self.assertEqual(checked, 1)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("missing in current" in n and "dropped" in n
+                            for n in notes))
+
+    def test_row_without_metric_is_tolerated(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0),
+                            row(payload=4096)])  # no metric at all
+        cur = rows_by_key([row(rate_mb_per_s=90.0),
+                           row(payload=4096, rate_mb_per_s="oops")])
+        checked, _, failures, notes = cb.compare(base, cur)
+        self.assertEqual(checked, 1)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("has no 'rate_mb_per_s'" in n for n in notes))
+
+    def test_alternate_metric_selects_fig5_rate(self):
+        base = rows_by_key([row(rate_mbit_per_s=800.0, rate_mb_per_s=1.0)])
+        cur = rows_by_key([row(rate_mbit_per_s=100.0, rate_mb_per_s=1.0)])
+        _, _, failures, _ = cb.compare(base, cur, metric="rate_mbit_per_s")
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(failures[0]["metric"], "rate_mbit_per_s")
+        _, _, failures, _ = cb.compare(base, cur)  # default metric: fine
+        self.assertEqual(failures, [])
+
+    def test_noise_floor_skips_unmeasurable_rows(self):
+        base = rows_by_key([row(rate_mb_per_s=5e6),
+                            row(payload=4096, rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=1.0),
+                           row(payload=4096, rate_mb_per_s=90.0)])
+        checked, skipped, failures, _ = cb.compare(base, cur)
+        self.assertEqual((checked, skipped), (1, 1))
+        self.assertEqual(failures, [])
+
+    def test_new_row_in_candidate_is_noted(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=90.0),
+                           row(series="new-series", rate_mb_per_s=1.0)])
+        _, _, failures, notes = cb.compare(base, cur)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("new in current" in n for n in notes))
+
+
+class TestCli(unittest.TestCase):
+    def write_doc(self, rows):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        json.dump({"bench": "test", "rows": rows}, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def run_main(self, base_rows, cur_rows, *extra):
+        return cb.main(["--baseline", self.write_doc(base_rows),
+                        "--current", self.write_doc(cur_rows), *extra])
+
+    def test_exit_0_on_pass(self):
+        self.assertEqual(
+            self.run_main([row(rate_mb_per_s=100.0)],
+                          [row(rate_mb_per_s=90.0)]), 0)
+
+    def test_exit_1_on_regression(self):
+        self.assertEqual(
+            self.run_main([row(rate_mb_per_s=100.0)],
+                          [row(rate_mb_per_s=10.0)]), 1)
+
+    def test_exit_2_when_nothing_comparable(self):
+        self.assertEqual(
+            self.run_main([row(rate_mb_per_s=100.0)],
+                          [row(series="other", rate_mb_per_s=100.0)]), 2)
+
+    def test_exit_2_on_malformed_document(self):
+        bad = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        bad.write("{\"bench\": \"test\"}")  # no rows array
+        bad.close()
+        self.addCleanup(os.unlink, bad.name)
+        good = self.write_doc([row(rate_mb_per_s=1.0)])
+        self.assertEqual(
+            cb.main(["--baseline", bad.name, "--current", good]), 2)
+
+    def test_metric_option_reaches_compare(self):
+        self.assertEqual(
+            self.run_main([row(rate_mbit_per_s=800.0)],
+                          [row(rate_mbit_per_s=100.0)],
+                          "--metric", "rate_mbit_per_s"), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,6 +1,7 @@
 # Validates a Chrome trace-event JSON document: it must parse as JSON,
 # carry a traceEvents array, and hold matched B/E pairs (complete "X"
-# events count as self-matched).  Two modes:
+# events count as self-matched; counter events "C" -- the flight
+# recorder's gauge series -- are standalone).  Two modes:
 #
 #   cmake -DFLICKC=<flickc> -DIDL=<file.idl> -DOUT=<trace.json>
 #         -DGENDIR=<scratch-dir> -P CheckTraceJson.cmake
@@ -47,17 +48,18 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(NEVENTS EQUAL 0)
     message(FATAL_ERROR "trace JSON: traceEvents is empty in ${TRACE}")
   endif()
-  foreach(PH B E X)
+  foreach(PH B E X C)
     string(REGEX MATCHALL "\"ph\": \"${PH}\"" HITS "${DOC}")
     list(LENGTH HITS N_${PH})
   endforeach()
   set(BEGINS ${N_B})
   set(ENDS ${N_E})
   set(COMPLETES ${N_X})
-  math(EXPR ACCOUNTED "${BEGINS} + ${ENDS} + ${COMPLETES}")
+  set(COUNTERS ${N_C})
+  math(EXPR ACCOUNTED "${BEGINS} + ${ENDS} + ${COMPLETES} + ${COUNTERS}")
   if(NOT ACCOUNTED EQUAL NEVENTS)
     message(FATAL_ERROR "trace JSON: ${NEVENTS} events but only "
-                        "${ACCOUNTED} have phase B, E, or X in ${TRACE}")
+                        "${ACCOUNTED} have phase B, E, X, or C in ${TRACE}")
   endif()
   if(NOT BEGINS EQUAL ENDS)
     message(FATAL_ERROR "trace JSON: ${BEGINS} begin events vs ${ENDS} "
@@ -81,7 +83,8 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
     endforeach()
   endif()
   message(STATUS "trace JSON OK: ${TRACE} (${BEGINS} B/E pairs, "
-                 "${COMPLETES} complete events)")
+                 "${COMPLETES} complete events, ${COUNTERS} counter "
+                 "samples)")
 else()
   # Pre-3.19 fallback: structural smoke only.
   if(NOT DOC MATCHES "\"traceEvents\"")

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Channel.h"
+#include "runtime/Sampler.h"
 #include "runtime/flick_runtime.h"
 #include <chrono>
 #include <thread>
@@ -82,6 +83,7 @@ void Channel::release(flick_buf *) {}
 //===----------------------------------------------------------------------===//
 
 WireBufPool::~WireBufPool() {
+  flick_gauge_sub(&flick_gauges::pool_buffers, Count);
   for (size_t I = 0; I != Count; ++I)
     std::free(Bufs[I].Data);
 }
@@ -93,10 +95,13 @@ uint8_t *WireBufPool::acquire(size_t Need, size_t *Cap) {
       *Cap = Bufs[I].Cap;
       Bufs[I] = Bufs[--Count];
       flick_metric_add(&flick_metrics::pool_hits, 1);
+      flick_gauge_add(&flick_gauges::pool_gauge_hits, 1);
+      flick_gauge_sub(&flick_gauges::pool_buffers, 1);
       return Data;
     }
   }
   flick_metric_add(&flick_metrics::pool_misses, 1);
+  flick_gauge_add(&flick_gauges::pool_gauge_misses, 1);
   size_t C = Need ? Need : 1;
   *Cap = C;
   return static_cast<uint8_t *>(std::malloc(C));
@@ -109,6 +114,7 @@ void WireBufPool::release(uint8_t *Data, size_t Cap) {
     Bufs[Count].Data = Data;
     Bufs[Count].Cap = Cap;
     ++Count;
+    flick_gauge_add(&flick_gauges::pool_buffers, 1);
     return;
   }
   std::free(Data);
@@ -316,12 +322,18 @@ void ThreadedLink::wireDelay(size_t Len) {
 }
 
 int ThreadedLink::pushRequest(Conn *From, Msg M) {
+  // The QMu acquisition is the known ~400K RPC/s ceiling: time it under
+  // the flight recorder so the saturation is a measured curve, not an
+  // inference from throughput flattening.
+  uint64_t LockT0 = flick_gauge_lock_begin();
   std::unique_lock<std::mutex> L(QMu);
+  flick_gauge_lock_end(LockT0);
   if (ReqQ.size() >= QueueCap) {
     // Count the backpressure event once (the send did meet a full queue,
     // whatever happens next), then wait for a worker to drain or for
     // shutdown.
     flick_metric_add(&flick_metrics::queue_full, 1);
+    flick_gauge_add(&flick_gauges::queue_full_waits, 1);
     QNotFull.wait(L, [&] {
       return ReqQ.size() < QueueCap || Down.load(std::memory_order_relaxed);
     });
@@ -331,6 +343,11 @@ int ThreadedLink::pushRequest(Conn *From, Msg M) {
     From->Pool.release(M.Data, M.Cap);
     return FLICK_ERR_TRANSPORT;
   }
+  if (flick_gauges_on()) {
+    M.EnqNs = flick_gauge_now_ns();
+    flick_gauges_global.queue_enqueues.fetch_add(1, std::memory_order_relaxed);
+    flick_gauges_global.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  }
   ReqQ.push_back(Req{From, M});
   L.unlock();
   QNotEmpty.notify_one();
@@ -338,7 +355,9 @@ int ThreadedLink::pushRequest(Conn *From, Msg M) {
 }
 
 int ThreadedLink::popRequest(Conn **From, Msg *M) {
+  uint64_t LockT0 = flick_gauge_lock_begin();
   std::unique_lock<std::mutex> L(QMu);
+  flick_gauge_lock_end(LockT0);
   QNotEmpty.wait(
       L, [&] { return !ReqQ.empty() || Down.load(std::memory_order_relaxed); });
   // Drain-then-stop: requests accepted before shutdown are still handed
@@ -349,6 +368,15 @@ int ThreadedLink::popRequest(Conn **From, Msg *M) {
   ReqQ.pop_front();
   L.unlock();
   QNotFull.notify_one();
+  if (flick_gauges_on()) {
+    flick_gauge_sub(&flick_gauges::queue_depth, 1);
+    flick_gauges_global.queue_dequeues.fetch_add(1, std::memory_order_relaxed);
+    if (R.M.EnqNs) {
+      uint64_t Now = flick_gauge_now_ns();
+      flick_gauges_global.queue_wait_ns.fetch_add(
+          Now > R.M.EnqNs ? Now - R.M.EnqNs : 0, std::memory_order_relaxed);
+    }
+  }
   *From = R.From;
   *M = R.M;
   return FLICK_OK;

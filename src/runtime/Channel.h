@@ -228,12 +228,16 @@ public:
 private:
   /// One queued message; bytes live in a pool-managed malloc allocation
   /// and the sender's trace context rides out of band, as in LocalLink.
+  /// EnqNs stamps when the request entered the MPSC queue (gauge clock, 0
+  /// when the flight recorder is off) so the dequeue side can account the
+  /// enqueue-to-dequeue wait.
   struct Msg {
     uint8_t *Data = nullptr;
     size_t Cap = 0;
     size_t Len = 0;
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
+    uint64_t EnqNs = 0;
   };
 
   class Conn final : public Channel {

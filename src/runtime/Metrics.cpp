@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/flick_runtime.h"
+#include "support/BuildInfo.h"
 #include <cstdio>
 
 thread_local flick_metrics *flick_metrics_active = nullptr;
@@ -84,6 +85,8 @@ std::string flick_metrics_to_json(const flick_metrics *m,
       {"queue_full", m->queue_full},
   };
   std::string Out = "{\n";
+  Out += indent;
+  Out += "\"build\": " + flick_build_info_json() + ",\n";
   for (const Field &F : Fields) {
     Out += indent;
     Out += "\"";

@@ -7,6 +7,7 @@
 
 #include "runtime/flick_runtime.h"
 #include "runtime/Channel.h"
+#include "runtime/Sampler.h"
 
 int flick_buf_grow(flick_buf *b, size_t need) {
   size_t want = b->len + need;
@@ -51,6 +52,52 @@ int sendBuf(flick_channel *ch, const flick_buf *b) {
   }
   return flick_channel_send(ch, b->data, b->len);
 }
+
+/// Flight-recorder bracket around one client invoke: in-flight count and
+/// the watchdog's start stamp on entry; completion count, stamp clear, and
+/// in-flight decrement on every exit path.  Costs one relaxed flag load
+/// when the recorder is off.
+struct InvokeGauge {
+  int Slot = -1;
+  bool On = false;
+  InvokeGauge() {
+    if (!flick_gauges_on())
+      return;
+    On = true;
+    flick_gauges_global.inflight_rpcs.fetch_add(1, std::memory_order_relaxed);
+    Slot = flick_stall_mark_begin();
+  }
+  ~InvokeGauge() {
+    if (!On)
+      return;
+    flick_stall_mark_end(Slot);
+    flick_gauge_sub(&flick_gauges::inflight_rpcs, 1);
+    flick_gauge_add(&flick_gauges::rpcs_completed, 1);
+  }
+};
+
+/// Busy bracket around one server dispatch (receive-to-reply): workers_busy
+/// while inside, worker_busy_ns accumulated on exit, so the sampler can
+/// derive per-interval busy fractions for the pool.
+struct BusyGauge {
+  uint64_t T0 = 0;
+  bool On = false;
+  BusyGauge() {
+    if (!flick_gauges_on())
+      return;
+    On = true;
+    T0 = flick_gauge_now_ns();
+    flick_gauge_add(&flick_gauges::workers_busy, 1);
+  }
+  ~BusyGauge() {
+    if (!On)
+      return;
+    flick_gauge_sub(&flick_gauges::workers_busy, 1);
+    uint64_t Now = flick_gauge_now_ns();
+    flick_gauges_global.worker_busy_ns.fetch_add(
+        Now > T0 ? Now - T0 : 0, std::memory_order_relaxed);
+  }
+};
 
 /// Header linking retired arena blocks; block data follows the header.
 /// 16-byte alignment keeps the data area aligned for any presented type.
@@ -122,6 +169,7 @@ void flick_client_destroy(flick_client *c) {
 
 int flick_client_invoke(flick_client *c) {
   ++c->next_xid;
+  InvokeGauge Gauge;
   flick_metric_add(&flick_metrics::rpcs_sent, 1);
   flick_metric_add(&flick_metrics::request_bytes, flick_buf_total(&c->req));
   // Latency sampling and tracing cost one pointer test each when off.
@@ -208,6 +256,7 @@ int flick_server_handle_one(flick_server *s) {
   }
   // The receive deposited the request's trace context; the server root
   // adopts it as an explicit remote parent (out-of-band propagation).
+  BusyGauge Busy;
   uint32_t Base = 0;
   if (flick_trace_active) {
     Base = flick_trace_active->depth;

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Channel.h"
+#include "runtime/Sampler.h"
 #include "runtime/flick_runtime.h"
 #include <memory>
 #include <thread>
@@ -47,6 +48,7 @@ void workerMain(PoolImpl *P, PoolWorker *W) {
   if (P->AbsorbInto)
     flick_trace_enable_thread(&W->Tracer, W->Spans.data(),
                               static_cast<uint32_t>(W->Spans.size()));
+  flick_gauge_add(&flick_gauges::workers_running, 1);
   for (;;) {
     int Err = flick_server_handle_one(&W->Srv);
     // Transport failure means the link is shut down and drained; anything
@@ -59,6 +61,7 @@ void workerMain(PoolImpl *P, PoolWorker *W) {
   // back out to keep merged error totals exact.
   if (P->MergeInto && W->Metrics.transport_errors)
     --W->Metrics.transport_errors;
+  flick_gauge_sub(&flick_gauges::workers_running, 1);
   flick_trace_disable();
   flick_metrics_disable();
 }

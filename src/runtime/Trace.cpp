@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Trace.h"
+#include "support/BuildInfo.h"
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -385,7 +386,8 @@ std::unordered_map<uint64_t, size_t> indexById(const flick_tracer *T) {
 
 } // namespace
 
-std::string flick_trace_to_chrome_json(const flick_tracer *t) {
+std::string flick_trace_to_chrome_json(const flick_tracer *t,
+                                       const std::string &extra_events) {
   struct Event {
     double Ts;
     bool IsBegin;
@@ -430,14 +432,21 @@ std::string flick_trace_to_chrome_json(const flick_tracer *t) {
                   static_cast<unsigned long long>(E.S->trace_id));
     Out += Buf;
   }
-  Out += Events.empty() ? "]" : "\n  ]";
+  if (!extra_events.empty()) {
+    if (!Events.empty())
+      Out += ",";
+    Out += extra_events;
+  }
+  Out += Events.empty() && extra_events.empty() ? "]" : "\n  ]";
   std::snprintf(Buf, sizeof(Buf),
                 ",\n  \"displayTimeUnit\": \"ms\",\n"
                 "  \"flick\": {\"spans\": %zu, \"dropped\": %llu, "
-                "\"truncated\": %llu, \"open_at_export\": %u}\n}\n",
+                "\"truncated\": %llu, \"open_at_export\": %u, \"build\": ",
                 N, static_cast<unsigned long long>(t->dropped),
                 static_cast<unsigned long long>(t->truncated), t->depth);
   Out += Buf;
+  Out += flick_build_info_json();
+  Out += "}\n}\n";
   return Out;
 }
 

@@ -217,8 +217,13 @@ const flick_span *flick_trace_span(const flick_tracer *t, size_t i);
 
 /// Chrome trace-event JSON (chrome://tracing, Perfetto): one B/E event
 /// pair per span, tid = trace id so each RPC gets its own track.  Extra
-/// top-level keys record drop counters; Chrome ignores them.
-std::string flick_trace_to_chrome_json(const flick_tracer *t);
+/// top-level keys record drop counters and the build info; Chrome ignores
+/// them.  \p extra_events, when non-empty, is a pre-rendered fragment of
+/// additional events (e.g. the flight recorder's "ph":"C" counters from
+/// flick_sampler_chrome_counters) spliced into the traceEvents array.
+std::string
+flick_trace_to_chrome_json(const flick_tracer *t,
+                           const std::string &extra_events = std::string());
 
 /// Flamegraph-friendly collapsed stacks: "root;child;leaf <self_us>" per
 /// line, aggregated over all spans, durations in integer microseconds.

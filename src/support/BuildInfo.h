@@ -1,0 +1,79 @@
+//===- support/BuildInfo.h - Build attribution for JSON exports -*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One build-info block stamped into every machine-readable export
+/// (`flickc --stats`, metrics JSON, bench JSON, Chrome traces, Prometheus
+/// exposition, flight-recorder dumps), so results from different runs can
+/// be attributed to the exact build that produced them: git hash,
+/// compiler, build type, and the compiler flag set.
+///
+/// Header-only on purpose: both the compiler libraries and the (otherwise
+/// compiler-independent) stub runtime emit JSON, and neither should grow a
+/// link dependency for four strings.  The values arrive as compile
+/// definitions from the top-level CMakeLists; missing definitions degrade
+/// to "unknown" so out-of-tree builds of the runtime still compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_SUPPORT_BUILDINFO_H
+#define FLICK_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+#ifndef FLICK_BUILD_GIT_HASH
+#define FLICK_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef FLICK_BUILD_TYPE
+#define FLICK_BUILD_TYPE "unknown"
+#endif
+#ifndef FLICK_BUILD_FLAGS
+#define FLICK_BUILD_FLAGS ""
+#endif
+
+/// The host compiler's own identification string (e.g. "13.2.0" under
+/// GCC, "Clang 17.0.1 ..." under Clang).
+#ifndef FLICK_BUILD_COMPILER
+#ifdef __VERSION__
+#define FLICK_BUILD_COMPILER __VERSION__
+#else
+#define FLICK_BUILD_COMPILER "unknown"
+#endif
+#endif
+
+inline const char *flick_build_git_hash() { return FLICK_BUILD_GIT_HASH; }
+inline const char *flick_build_compiler() { return FLICK_BUILD_COMPILER; }
+inline const char *flick_build_type() { return FLICK_BUILD_TYPE; }
+inline const char *flick_build_flags() { return FLICK_BUILD_FLAGS; }
+
+/// Renders the build block as a JSON object on one line:
+/// {"git": "...", "compiler": "...", "build_type": "...", "flags": "..."}.
+/// Self-contained escaping (quotes/backslashes/control chars) so this
+/// header depends on nothing but <string>.
+inline std::string flick_build_info_json() {
+  auto Esc = [](const char *S) {
+    std::string Out;
+    for (; *S; ++S) {
+      char C = *S;
+      if (C == '"' || C == '\\') {
+        Out += '\\';
+        Out += C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        Out += ' ';
+      } else {
+        Out += C;
+      }
+    }
+    return Out;
+  };
+  return "{\"git\": \"" + Esc(flick_build_git_hash()) +
+         "\", \"compiler\": \"" + Esc(flick_build_compiler()) +
+         "\", \"build_type\": \"" + Esc(flick_build_type()) +
+         "\", \"flags\": \"" + Esc(flick_build_flags()) + "\"}";
+}
+
+#endif // FLICK_SUPPORT_BUILDINFO_H

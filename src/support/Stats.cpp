@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Stats.h"
+#include "support/BuildInfo.h"
 #include <cstdio>
 
 using namespace flick;
@@ -184,6 +185,8 @@ std::string Stats::toJson() const {
   std::string Out = "{\n";
   indentTo(Out, 1);
   Out += "\"tool\": \"flickc\",\n";
+  indentTo(Out, 1);
+  Out += "\"build\": " + flick_build_info_json() + ",\n";
   for (const auto &N : Notes) {
     indentTo(Out, 1);
     Out += "\"" + jsonEscape(N.first) + "\": \"" + jsonEscape(N.second) +

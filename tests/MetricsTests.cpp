@@ -319,6 +319,49 @@ TEST(MetricsMerge, CopiesPerRpcDerivesFromMergedTotals) {
   EXPECT_NE(J.find("\"queue_full\": 0"), std::string::npos) << J;
 }
 
+TEST(MetricsMerge, FromNeverEnabledBlockAddsNothing) {
+  // A worker that never saw traffic merges as all zeros: counters and the
+  // histogram stay put, and the zero high-water mark cannot shrink the max.
+  flick_metrics A, Src;
+  A.rpcs_sent = 5;
+  A.request_bytes = 640;
+  A.arena_high_water = 1234;
+  A.wire_time_us = 2.0;
+  flick_hist_record(&A.rpc_latency, 50.0);
+  flick_metrics_merge(&A, &Src);
+  EXPECT_EQ(A.rpcs_sent, 5u);
+  EXPECT_EQ(A.request_bytes, 640u);
+  EXPECT_EQ(A.arena_high_water, 1234u);
+  EXPECT_DOUBLE_EQ(A.wire_time_us, 2.0);
+  EXPECT_EQ(A.rpc_latency.count, 1u);
+  EXPECT_DOUBLE_EQ(A.rpc_latency.max_us, 50.0);
+}
+
+TEST(MetricsMerge, ArenaHighWaterIsMaxNotSumAcrossManyBlocks) {
+  // Three workers each peak near the same level; the merged figure must be
+  // the largest single peak, not 3x it -- the sum would claim an arena
+  // footprint no thread ever had.
+  flick_metrics Total, W1, W2, W3;
+  W1.arena_high_water = 900;
+  W2.arena_high_water = 1100;
+  W3.arena_high_water = 1000;
+  flick_metrics_merge(&Total, &W1);
+  flick_metrics_merge(&Total, &W2);
+  flick_metrics_merge(&Total, &W3);
+  EXPECT_EQ(Total.arena_high_water, 1100u);
+}
+
+TEST(Metrics, JsonLeadsWithBuildInfo) {
+  flick_metrics M;
+  std::string J = flick_metrics_to_json(&M);
+  size_t Build = J.find("\"build\": {\"git\": ");
+  ASSERT_NE(Build, std::string::npos) << J;
+  EXPECT_LT(Build, J.find("\"rpcs_sent\""))
+      << "attribution comes before the counters";
+  EXPECT_NE(J.find("\"compiler\": "), std::string::npos) << J;
+  EXPECT_NE(J.find("\"build_type\": "), std::string::npos) << J;
+}
+
 TEST(Metrics, JsonContainsEveryCounter) {
   flick_metrics M;
   M.rpcs_sent = 2;

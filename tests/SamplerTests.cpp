@@ -1,0 +1,382 @@
+//===- tests/SamplerTests.cpp - flight recorder tests ---------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the runtime flight recorder: the gauge block and its guarded
+/// update helpers, the sampler thread's lifecycle and ring, the stall
+/// watchdog (detection, one-count-per-stall, post-mortem dump), and every
+/// exporter (JSONL, post-mortem JSON, Chrome counter events, Prometheus
+/// text exposition).
+///
+/// Fixture naming is load-bearing for CI: `Sampler.*` runs under TSan, so
+/// every test here reads the ring only after flick_sampler_stop().  The
+/// `SamplerWatch.*` tests exercise the documented benign race -- the
+/// sampler's relaxed atomic reads of a plainly-written watched metrics
+/// block -- and are excluded from the TSan regex on purpose.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Sampler.h"
+#include "runtime/flick_runtime.h"
+#include <chrono>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+
+namespace {
+
+void sleepMs(int Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// Stops the sampler and disables gauges on scope exit, so a failing
+/// ASSERT cannot leak a running sampler thread into the next test.
+struct ScopedSampler {
+  ~ScopedSampler() {
+    flick_sampler_stop();
+    flick_gauges_disable();
+  }
+};
+
+uint64_t gauge(std::atomic<uint64_t> flick_gauges::*F) {
+  return (flick_gauges_global.*F).load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Gauges
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, GaugeHooksAreNoopsWhenDisabled) {
+  flick_gauges_disable();
+  flick_gauges_global.queue_depth.store(0, std::memory_order_relaxed);
+  flick_gauge_add(&flick_gauges::queue_depth, 5);
+  EXPECT_EQ(gauge(&flick_gauges::queue_depth), 0u);
+  EXPECT_EQ(flick_gauge_lock_begin(), 0u);
+  flick_gauge_lock_end(0); // must not count an acquisition
+  EXPECT_EQ(gauge(&flick_gauges::lock_acquires), 0u);
+  EXPECT_EQ(flick_stall_mark_begin(), -1);
+  flick_stall_mark_end(-1); // ignored
+}
+
+TEST(Sampler, EnableZeroesTheBlock) {
+  ScopedSampler Guard;
+  flick_gauges_global.rpcs_completed.store(99, std::memory_order_relaxed);
+  flick_gauges_global.queue_depth.store(7, std::memory_order_relaxed);
+  flick_gauges_enable();
+  EXPECT_TRUE(flick_gauges_on());
+  EXPECT_EQ(gauge(&flick_gauges::rpcs_completed), 0u);
+  EXPECT_EQ(gauge(&flick_gauges::queue_depth), 0u);
+  flick_gauge_add(&flick_gauges::rpcs_completed, 2);
+  EXPECT_EQ(gauge(&flick_gauges::rpcs_completed), 2u);
+}
+
+TEST(Sampler, SubSaturatesAtZero) {
+  // A gauge enabled mid-conversation sees decrements whose increments
+  // predate the enable; it must undercount briefly, never wrap.
+  ScopedSampler Guard;
+  flick_gauges_enable();
+  flick_gauge_sub(&flick_gauges::inflight_rpcs, 1);
+  EXPECT_EQ(gauge(&flick_gauges::inflight_rpcs), 0u);
+  flick_gauge_add(&flick_gauges::inflight_rpcs, 5);
+  flick_gauge_sub(&flick_gauges::inflight_rpcs, 10);
+  EXPECT_EQ(gauge(&flick_gauges::inflight_rpcs), 0u);
+  flick_gauge_add(&flick_gauges::inflight_rpcs, 10);
+  flick_gauge_sub(&flick_gauges::inflight_rpcs, 3);
+  EXPECT_EQ(gauge(&flick_gauges::inflight_rpcs), 7u);
+}
+
+TEST(Sampler, LockBracketCountsAcquisitions) {
+  ScopedSampler Guard;
+  flick_gauges_enable();
+  uint64_t T0 = flick_gauge_lock_begin();
+  EXPECT_NE(T0, 0u);
+  flick_gauge_lock_end(T0);
+  EXPECT_EQ(gauge(&flick_gauges::lock_acquires), 1u);
+  // Wait accumulation is monotone (possibly zero at ns resolution).
+  uint64_t Wait1 = gauge(&flick_gauges::lock_wait_ns);
+  uint64_t T1 = flick_gauge_lock_begin();
+  sleepMs(2);
+  flick_gauge_lock_end(T1);
+  EXPECT_EQ(gauge(&flick_gauges::lock_acquires), 2u);
+  EXPECT_GT(gauge(&flick_gauges::lock_wait_ns), Wait1);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampler lifecycle and ring
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, StartStopLifecycle) {
+  ScopedSampler Guard;
+  EXPECT_FALSE(flick_sampler_running());
+  flick_sampler_opts O;
+  O.interval_us = 200;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  EXPECT_TRUE(flick_sampler_running());
+  EXPECT_TRUE(flick_gauges_on()) << "start must enable gauges";
+  EXPECT_EQ(flick_sampler_start(&O), FLICK_ERR_ALLOC) << "one per process";
+  sleepMs(3);
+  flick_sampler_stop();
+  EXPECT_FALSE(flick_sampler_running());
+  EXPECT_FALSE(flick_gauges_on()) << "stop must disable gauges";
+  // The final on-stop sample guarantees at least one even for a session
+  // shorter than the interval.
+  EXPECT_GE(flick_sampler_count(), 1u);
+  // Restart works and resets the ring.
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  flick_sampler_stop();
+}
+
+TEST(Sampler, RejectsUnusableOpts) {
+  flick_sampler_opts O;
+  O.interval_us = 0;
+  EXPECT_EQ(flick_sampler_start(&O), FLICK_ERR_ALLOC);
+  O = flick_sampler_opts{};
+  O.ring_cap = 0;
+  EXPECT_EQ(flick_sampler_start(&O), FLICK_ERR_ALLOC);
+  EXPECT_FALSE(flick_sampler_running());
+}
+
+TEST(Sampler, RingKeepsTheMostRecentSamples) {
+  ScopedSampler Guard;
+  flick_sampler_opts O;
+  O.interval_us = 100;
+  O.ring_cap = 4;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  sleepMs(20); // far more ticks than the ring holds
+  flick_sampler_stop();
+  EXPECT_EQ(flick_sampler_count(), 4u) << "retained count caps at ring_cap";
+  double PrevT = -1;
+  for (size_t I = 0; I != flick_sampler_count(); ++I) {
+    flick_sample Smp;
+    ASSERT_TRUE(flick_sampler_get(I, &Smp));
+    EXPECT_GT(Smp.t_us, PrevT) << "samples are oldest-first";
+    PrevT = Smp.t_us;
+  }
+  flick_sample Smp;
+  EXPECT_FALSE(flick_sampler_get(4, &Smp)) << "out of range";
+}
+
+TEST(Sampler, SamplesSeeGaugeUpdates) {
+  ScopedSampler Guard;
+  flick_sampler_opts O;
+  O.interval_us = 200;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  flick_gauge_add(&flick_gauges::queue_depth, 3);
+  flick_gauge_add(&flick_gauges::rpcs_completed, 40);
+  sleepMs(5);
+  flick_sampler_stop();
+  ASSERT_GE(flick_sampler_count(), 1u);
+  flick_sample Last;
+  ASSERT_TRUE(flick_sampler_get(flick_sampler_count() - 1, &Last));
+  EXPECT_EQ(Last.queue_depth, 3u);
+  EXPECT_EQ(Last.rpcs_completed, 40u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stall watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, WatchdogFlagsStallOnceAndDumpsPostmortem) {
+  ScopedSampler Guard;
+  std::string Path =
+      testing::TempDir() + "flick_sampler_postmortem_test.json";
+  std::remove(Path.c_str());
+  flick_sampler_opts O;
+  O.interval_us = 200;
+  O.stall_deadline_us = 500;
+  O.postmortem_path = Path.c_str();
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+
+  int Slot = flick_stall_mark_begin();
+  ASSERT_GE(Slot, 0);
+  sleepMs(10); // several ticks past the 0.5 ms deadline
+  EXPECT_EQ(flick_sampler_stalls(), 1u)
+      << "one stuck RPC is one detection, not one per tick";
+  flick_stall_mark_end(Slot);
+  sleepMs(3);
+  flick_sampler_stop();
+
+  flick_sample Last;
+  ASSERT_TRUE(flick_sampler_get(flick_sampler_count() - 1, &Last));
+  EXPECT_EQ(Last.stalled_rpcs, 0u) << "completion clears the slot";
+  EXPECT_EQ(Last.stalls_detected, 1u);
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr) << "watchdog must leave a post-mortem behind";
+  std::string Doc;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Doc.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_NE(Doc.find("\"stalls_detected\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"samples\": ["), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"build\": {"), std::string::npos) << Doc;
+}
+
+TEST(Sampler, CompletedRpcIsNeverAStall) {
+  ScopedSampler Guard;
+  flick_sampler_opts O;
+  O.interval_us = 200;
+  O.stall_deadline_us = 500;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  int Slot = flick_stall_mark_begin();
+  flick_stall_mark_end(Slot); // completes well inside the deadline
+  sleepMs(5);
+  flick_sampler_stop();
+  EXPECT_EQ(flick_sampler_stalls(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, JsonlHeaderThenOneLinePerSample) {
+  ScopedSampler Guard;
+  flick_sampler_opts O;
+  O.interval_us = 300;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  flick_gauge_add(&flick_gauges::rpcs_completed, 10);
+  sleepMs(5);
+  flick_sampler_stop();
+
+  std::string Jsonl = flick_sampler_to_jsonl();
+  size_t Lines = 0;
+  for (char C : Jsonl)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, flick_sampler_count() + 1) << Jsonl;
+  EXPECT_EQ(Jsonl.find("{\"type\": \"header\""), 0u) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"build\": {"), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"interval_us\": 300.0"), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"rpcs_per_s\": "), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"lock_wait_frac\": "), std::string::npos) << Jsonl;
+}
+
+TEST(Sampler, ChromeCountersSpliceIntoATrace) {
+  ScopedSampler Guard;
+  flick_sampler_opts O;
+  O.interval_us = 300;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  sleepMs(3);
+  flick_sampler_stop();
+  ASSERT_GE(flick_sampler_count(), 1u);
+
+  std::string Frag = flick_sampler_chrome_counters(0);
+  EXPECT_NE(Frag.find("\"ph\": \"C\""), std::string::npos) << Frag;
+  EXPECT_NE(Frag.find("\"name\": \"queue_depth\""), std::string::npos);
+  EXPECT_NE(Frag.find("\"name\": \"rpcs_per_s\""), std::string::npos);
+  EXPECT_EQ(Frag[0], '\n') << "no leading comma on the first event";
+  EXPECT_NE(Frag.find(",\n    {"), std::string::npos)
+      << "later events are comma-separated";
+
+  // Spliced into a tracer's export, the document stays a Chrome trace:
+  // span B/E events and counter C events in one traceEvents array.
+  flick_tracer T;
+  flick_span Storage[8];
+  flick_trace_enable(&T, Storage, 8);
+  flick_span_begin(FLICK_SPAN_RPC, "rpc");
+  flick_span_end();
+  flick_trace_disable();
+  std::string Json = flick_trace_to_chrome_json(&T, Frag);
+  EXPECT_NE(Json.find("\"ph\": \"B\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"ph\": \"C\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Sampler, EpochOffsetIsZeroWithoutATracer) {
+  EXPECT_EQ(flick_sampler_epoch_offset_us(nullptr), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, PrometheusGaugesOnlyWhenNoMetricsBlock) {
+  std::string Text = flick_metrics_to_prometheus(nullptr);
+  EXPECT_EQ(Text.find("# HELP flick_build_info"), 0u) << Text;
+  EXPECT_NE(Text.find("flick_build_info{git=\""), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE flick_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE flick_rpcs_completed_total counter"),
+            std::string::npos);
+  EXPECT_EQ(Text.find("flick_rpcs_sent_total"), std::string::npos)
+      << "metrics families must not appear without a block";
+}
+
+TEST(Sampler, PrometheusHistogramIsCumulativeInSeconds) {
+  flick_metrics M;
+  M.rpcs_sent = 3;
+  M.request_bytes = 4096;
+  // 0.5 us -> bucket 0 (le 1e-06), 3 us -> bucket 2 (le 4e-06),
+  // 1000 us -> bucket 10 (le 0.001024).
+  flick_hist_record(&M.rpc_latency, 0.5);
+  flick_hist_record(&M.rpc_latency, 3.0);
+  flick_hist_record(&M.rpc_latency, 1000.0);
+  std::string Text = flick_metrics_to_prometheus(&M);
+
+  EXPECT_NE(Text.find("flick_rpcs_sent_total 3"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("flick_request_bytes_total 4096"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE flick_rpc_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_bucket{le=\"1e-06\"} 1"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_bucket{le=\"4e-06\"} 2"),
+            std::string::npos)
+      << "buckets are cumulative: " << Text;
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_count 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_sum 0.0010035"),
+            std::string::npos)
+      << "sum is in seconds: " << Text;
+}
+
+TEST(Sampler, PrometheusEmptyHistogramStillWellFormed) {
+  flick_metrics M;
+  std::string Text = flick_metrics_to_prometheus(&M);
+  // No observations: no finite buckets, but +Inf/sum/count must exist so
+  // the family stays scrapable.
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_bucket{le=\"+Inf\"} 0"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("flick_rpc_latency_seconds_count 0"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Watched metrics excerpt (excluded from the TSan regex: the sampler's
+// relaxed atomic reads race the owner's plain writes by design)
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerWatch, WatchedMetricsAppearInSamples) {
+  ScopedSampler Guard;
+  static flick_metrics M; // outlives the session, as documented
+  M = flick_metrics{};
+  flick_sampler_opts O;
+  O.interval_us = 200;
+  ASSERT_EQ(flick_sampler_start(&O), FLICK_OK);
+  flick_sampler_watch(&M);
+  M.rpcs_sent = 17;
+  M.request_bytes = 2048;
+  sleepMs(5);
+  flick_sampler_stop();
+  flick_sampler_watch(nullptr);
+
+  flick_sample Last;
+  ASSERT_TRUE(flick_sampler_get(flick_sampler_count() - 1, &Last));
+  EXPECT_EQ(Last.m_rpcs_sent, 17u);
+  EXPECT_EQ(Last.m_request_bytes, 2048u);
+
+  std::string Jsonl = flick_sampler_to_jsonl();
+  EXPECT_NE(Jsonl.find("\"m_rpcs_sent\": 17"), std::string::npos) << Jsonl;
+}
+
+} // namespace

@@ -98,6 +98,8 @@ TEST_F(StatsTest, JsonEscapesAndContainsNotes) {
   std::string J = Stats::get().toJson();
   EXPECT_NE(J.find("\"input\": \"a\\\"b\\\\c\""), std::string::npos) << J;
   EXPECT_NE(J.find("\"k\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"build\": {\"git\": "), std::string::npos)
+      << "stats exports carry build attribution: " << J;
 }
 
 TEST(StatsJsonEscape, ControlCharacters) {

@@ -330,6 +330,75 @@ TEST(TraceMerge, HistMergeAddsCountsAndKeepsMax) {
   EXPECT_LE(flick_hist_percentile(&A, 0.99), 5000.0);
 }
 
+TEST(TraceMerge, HistMergeWithEmptySidesIsIdentity) {
+  // Empty-into-populated and populated-into-empty both preserve the data
+  // exactly: merging a worker that recorded nothing must not disturb
+  // counts, sum, max, or any bucket.
+  flick_latency_hist Full{}, Empty{};
+  flick_hist_record(&Full, 3.0);
+  flick_hist_record(&Full, 700.0);
+  flick_latency_hist Snapshot = Full;
+  flick_hist_merge(&Full, &Empty);
+  EXPECT_EQ(Full.count, Snapshot.count);
+  EXPECT_DOUBLE_EQ(Full.sum_us, Snapshot.sum_us);
+  EXPECT_DOUBLE_EQ(Full.max_us, Snapshot.max_us);
+  for (int I = 0; I != FLICK_HIST_BUCKETS; ++I)
+    EXPECT_EQ(Full.buckets[I], Snapshot.buckets[I]) << "bucket " << I;
+  flick_latency_hist Dst{};
+  flick_hist_merge(&Dst, &Full);
+  EXPECT_EQ(Dst.count, 2u);
+  EXPECT_DOUBLE_EQ(Dst.sum_us, 703.0);
+  EXPECT_DOUBLE_EQ(Dst.max_us, 700.0);
+}
+
+TEST(Trace, OverflowBucketCatchesAstronomicalLatencies) {
+  // Durations beyond the last finite boundary land in the overflow bucket
+  // (index FLICK_HIST_BUCKETS - 1) instead of indexing out of range, and
+  // percentiles clamp to the observed max rather than the bucket bound.
+  flick_latency_hist H{};
+  flick_hist_record(&H, 1e30);
+  flick_hist_record(&H, 5.0);
+  EXPECT_EQ(H.count, 2u);
+  EXPECT_EQ(H.buckets[FLICK_HIST_BUCKETS - 1], 1u);
+  EXPECT_DOUBLE_EQ(H.max_us, 1e30);
+  // p100 resolves to the overflow bucket's upper bound (2^63 us): the
+  // histogram cannot locate a duration beyond its last boundary more
+  // precisely than "at least this", and it never exceeds the true max.
+  double P100 = flick_hist_percentile(&H, 1.0);
+  EXPECT_DOUBLE_EQ(
+      P100, static_cast<double>(uint64_t(1) << (FLICK_HIST_BUCKETS - 1)));
+  EXPECT_LE(P100, H.max_us);
+}
+
+TEST(TraceMerge, AbsorbEmptySourceRingIsANoop) {
+  flick_tracer Dst;
+  std::vector<flick_span> DstStorage(8);
+  flick_trace_enable(&Dst, DstStorage.data(), 8);
+  flick_span_begin(FLICK_SPAN_RPC, "only");
+  flick_span_end();
+  flick_trace_disable();
+
+  flick_tracer Src; // enabled, but its ring never saw a completed span
+  std::vector<flick_span> SrcStorage(8);
+  flick_trace_enable_thread(&Src, SrcStorage.data(), 8);
+  flick_trace_disable();
+
+  flick_trace_absorb(&Dst, &Src);
+  ASSERT_EQ(flick_trace_span_count(&Dst), 1u);
+  EXPECT_STREQ(flick_trace_span(&Dst, 0)->name, "only");
+  EXPECT_EQ(Dst.dropped, 0u);
+  EXPECT_EQ(Dst.truncated, 0u);
+}
+
+TEST(Trace, ChromeExportCarriesBuildInfo) {
+  ScopedTracer S;
+  Rig R;
+  invokeOnce(R);
+  std::string Json = flick_trace_to_chrome_json(&S.T);
+  EXPECT_NE(Json.find("\"build\": {\"git\": "), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"compiler\": "), std::string::npos) << Json;
+}
+
 TEST(TraceMerge, AbsorbCopiesSpansRebasedWithCounters) {
   flick_tracer Dst;
   std::vector<flick_span> DstStorage(16);
