@@ -15,6 +15,13 @@
 ///   Figure 5 (100 Mbit, 70 eff): flick 2-3x naive on medium/large sizes.
 ///   Figure 6 (Myrinet, 84.5 eff): flick up to ~3.7x naive.
 ///
+/// FLICK_BENCH_TRANSPORT=threaded|sharded|socket reroutes the rig over a
+/// real concurrent transport (one pool worker, one client) instead of
+/// the deterministic LocalLink pump: the modeled wire time then blocks
+/// the sender for real and lands in the measured call time rather than
+/// the SimClock.  CI's socket smoke runs fig5 this way to prove the
+/// generated stubs round-trip over the epoll transport end to end.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLICK_BENCH_ENDTOEND_H
@@ -24,7 +31,8 @@
 #include "b_flick.h"
 #include "b_naive.h"
 #include "runtime/Calibrate.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
+#include "runtime/transport/Transport.h"
 
 // Work functions for both dispatchers (payload is discarded; the paper's
 // methods are one-way data pushes with a void reply).
@@ -37,14 +45,36 @@ int N_send_dirents_1_svc(const N_direntseq *) { return 0; }
 
 namespace flickbench {
 
-/// One client/server pair over a modeled link.
+/// One client/server pair over a modeled link.  By default the link is
+/// the deterministic LocalLink pump (wire time accrues on the SimClock);
+/// with FLICK_BENCH_TRANSPORT set it is a real Transport with one pool
+/// worker, and modeled wire time blocks the sender for real.
 struct E2ERig {
   flick::LocalLink Link;
   flick::SimClock Clock;
+  std::unique_ptr<flick::Transport> Tp;
+  flick_server_pool Pool;
   flick_server Srv;
   flick_client Cli;
 
   E2ERig(flick_dispatch_fn Dispatch, const flick::NetworkModel &Model) {
+    const char *T = std::getenv("FLICK_BENCH_TRANSPORT");
+    if (T && *T) {
+      Tp = flick::makeTransport(T);
+      if (!Tp) {
+        std::fprintf(stderr, "bench: unknown FLICK_BENCH_TRANSPORT '%s'\n",
+                     T);
+        std::exit(2);
+      }
+      Tp->setModel(Model);
+      if (flick_server_pool_start(&Pool, Tp.get(), Dispatch, 1) !=
+          FLICK_OK) {
+        std::fprintf(stderr, "bench: transport pool failed to start\n");
+        std::exit(2);
+      }
+      flick_client_init(&Cli, &Tp->connect());
+      return;
+    }
     Link.setModel(Model, &Clock);
     flick_server_init(&Srv, &Link.serverEnd(), Dispatch);
     Link.setPump(
@@ -53,7 +83,10 @@ struct E2ERig {
   }
   ~E2ERig() {
     flick_client_destroy(&Cli);
-    flick_server_destroy(&Srv);
+    if (Tp)
+      flick_server_pool_stop(&Pool);
+    else
+      flick_server_destroy(&Srv);
   }
 };
 

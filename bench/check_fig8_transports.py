@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Gate the fig8 transport columns (the PR-7 acceptance criteria).
+
+Two checks over a fig8_scalability JSON export:
+
+1. Copy discipline (always on): every socket-transport row with a payload
+   of at least --copy-floor-bytes (default 4096) must report
+   copies_per_rpc <= --max-socket-copies (default 1.05).  The socket path
+   marshals once into the request buffer and hands that straight to
+   sendmsg; receive adopts pooled wire buffers.  Anything above ~1.0
+   payload-normalized means a hidden memcpy crept back into the hot path.
+   Small payloads are exempt: fixed header/trace bytes dominate there.
+
+2. Contention scaling (--require-speedup, for unmodeled runs): at the
+   highest common worker count, the best sharded-vs-threaded rpcs_per_s
+   ratio across payloads must reach --min-speedup (default 5, overridable
+   with FLICK_FIG8_MIN_SPEEDUP).  The threaded transport serializes every
+   worker on one queue mutex, so its in-process ceiling collapses as
+   workers contend; the sharded rings are the fix and this ratio is the
+   proof.  The gate needs real parallelism to mean anything, so it is
+   skipped (with a notice) when the machine has fewer than 4 CPUs --
+   on one core a lock-free ring buys nothing over an uncontended mutex.
+
+Stdlib only; exit 0 on pass/skip, 1 on a failed gate, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: no 'rows' array")
+    return [r for r in rows if isinstance(r, dict)]
+
+
+def check_socket_copies(rows, floor_bytes, max_copies):
+    failures = []
+    checked = 0
+    for r in rows:
+        if r.get("transport") != "socket":
+            continue
+        payload = r.get("payload_bytes")
+        copies = r.get("copies_per_rpc")
+        if not isinstance(payload, (int, float)) or payload < floor_bytes:
+            continue
+        if not isinstance(copies, (int, float)):
+            failures.append(f"socket row {r.get('series')} payload={payload}"
+                            " has no copies_per_rpc")
+            continue
+        checked += 1
+        if copies > max_copies:
+            failures.append(
+                f"socket series={r.get('series')} payload={payload}: "
+                f"copies_per_rpc {copies:.3f} > {max_copies} -- an extra "
+                "user-space copy is back on the socket path")
+    if not checked:
+        failures.append(f"no socket rows with payload >= {floor_bytes} "
+                        "bytes found; cannot gate copy discipline")
+    return checked, failures
+
+
+def check_sharded_speedup(rows, min_speedup):
+    """Best sharded/threaded rpcs_per_s ratio at the top worker count."""
+    by = {}
+    for r in rows:
+        t, w, p = r.get("transport"), r.get("workers"), r.get("payload_bytes")
+        rate = r.get("rpcs_per_s")
+        if t in ("threaded", "sharded") and isinstance(rate, (int, float)):
+            by[(t, w, p)] = rate
+    workers = sorted({w for (t, w, _p) in by if t == "sharded"} &
+                     {w for (t, w, _p) in by if t == "threaded"})
+    if not workers:
+        return None, ["no overlapping threaded/sharded worker counts found"]
+    top = workers[-1]
+    ratios = []
+    for (t, w, p), rate in by.items():
+        if t != "sharded" or w != top:
+            continue
+        threaded = by.get(("threaded", top, p))
+        if threaded and threaded > 0:
+            ratios.append((rate / threaded, p))
+    if not ratios:
+        return None, [f"no comparable payloads at workers={top}"]
+    best, payload = max(ratios)
+    if best < min_speedup:
+        return best, [
+            f"sharded/threaded at workers={top} peaked at {best:.2f}x "
+            f"(payload={payload}); gate requires >= {min_speedup}x. "
+            "The lock-free rings are not clearing the mutex-queue ceiling."]
+    print(f"check_fig8_transports: sharded/threaded at workers={top} is "
+          f"{best:.2f}x (payload={payload}), gate {min_speedup}x: OK")
+    return best, []
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results", help="fig8_scalability JSON export")
+    ap.add_argument("--max-socket-copies", type=float, default=1.05)
+    ap.add_argument("--copy-floor-bytes", type=float, default=4096)
+    ap.add_argument("--require-speedup", action="store_true",
+                    help="also gate sharded-vs-threaded scaling "
+                         "(pass the JSON from an unmodeled run)")
+    ap.add_argument("--min-speedup", type=float,
+                    default=float(os.environ.get("FLICK_FIG8_MIN_SPEEDUP",
+                                                 "5")))
+    args = ap.parse_args(argv)
+
+    try:
+        rows = load_rows(args.results)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_fig8_transports: {e}", file=sys.stderr)
+        return 2
+
+    checked, failures = check_socket_copies(rows, args.copy_floor_bytes,
+                                            args.max_socket_copies)
+    if not failures:
+        print(f"check_fig8_transports: {checked} socket rows within "
+              f"{args.max_socket_copies} copies/rpc: OK")
+
+    if args.require_speedup:
+        cpus = os.cpu_count() or 1
+        if cpus < 4:
+            print(f"check_fig8_transports: speedup gate SKIPPED "
+                  f"({cpus} CPU(s); needs >= 4 for the contention "
+                  "ceiling to exist)")
+        else:
+            _best, errs = check_sharded_speedup(rows, args.min_speedup)
+            failures.extend(errs)
+
+    for f in failures:
+        print(f"check_fig8_transports: FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,7 +20,7 @@
 #include "BenchUtil.h"
 #include "b_mach.h"
 #include "runtime/Calibrate.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include <cstring>
 #include <vector>
 

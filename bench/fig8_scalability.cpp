@@ -6,32 +6,35 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Worker-pool scaling of the threaded runtime: N concurrent client
-/// threads drive int-array RPCs through one ThreadedLink into a
-/// flick_server_pool of N workers, under the 100 Mbps Ethernet wire model
-/// realized as real blocking time on the senders.  Reported per (worker
-/// count, payload): RPC/s, payload throughput, and speedup over the
-/// one-worker run of the same payload.
+/// Worker-pool scaling of the concurrent runtime, now with a transport
+/// axis: N client threads drive int-array RPCs through one Transport
+/// ("threaded" mutex queue, "sharded" lock-free rings, or "socket" Unix
+/// sockets + epoll) into a flick_server_pool of N workers, under the
+/// 100 Mbps Ethernet wire model realized as real blocking time on the
+/// senders.  Reported per (transport, worker count, payload): RPC/s,
+/// payload throughput, speedup over that transport's one-worker run, and
+/// the payload-normalized user-space copy bill
+/// (bytes_copied / (calls * payload) -- ~2.0 for the queue transports'
+/// marshal-fill + send-copy, ~1.0 for the socket's marshal fill alone).
 ///
 /// Because the wire model dominates each call (~117 us for 1 KB at the
-/// paper's measured 70 Mbps effective ceiling), the sweep measures how
-/// well the pool overlaps wire waits -- the way a production RPC stack
-/// overlaps NIC/syscall time -- rather than raw CPU parallelism, so the
-/// curve is nearly machine-independent and holds on a single-core host.
-/// Contention on the link's one bounded request queue is what eventually
-/// bends it.
-///
-/// FLICK_FIG8_QUICK=1 shrinks the measurement window for smoke runs
-/// (sanitizer CI); FLICK_FIG8_UNMODELED=1 drops the wire model so the
-/// request-queue lock, not modeled transit, binds (the flight recorder's
-/// saturation study).  JSON rows keep the same shape either way.
+/// paper's measured 70 Mbps effective ceiling), the modeled sweep
+/// measures how well the pool overlaps wire waits; all transports tie
+/// there.  FLICK_FIG8_UNMODELED=1 drops the wire model so the transport
+/// itself binds -- the configuration where the sharded rings separate
+/// from the mutex queue (EXPERIMENTS.md's contention study, gated in
+/// perf-smoke CI).  FLICK_FIG8_QUICK=1 shrinks the measurement window
+/// for smoke runs (sanitizer CI).  --transport=NAME or
+/// FLICK_BENCH_TRANSPORT restricts the sweep to one transport; the
+/// default runs all three.  JSON rows keep the same shape either way.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "b_cdr.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/Transport.h"
 #include <atomic>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -47,8 +50,8 @@ void C_Transfer_send_dirents_server(const C_DirentSeq *,
 namespace {
 
 /// One client thread's state: its own connection, stub client, and
-/// metrics block (merged into the main thread's after join, mirroring
-/// what flick_server_pool does for its workers).
+/// metrics block (merged into the combo's after join, mirroring what
+/// flick_server_pool does for its workers).
 struct Driver {
   flick_client Cli;
   flick_obj Obj;
@@ -58,22 +61,40 @@ struct Driver {
   std::thread Thread;
 };
 
-/// Runs \p Workers client threads against \p Workers pool workers for
-/// \p WindowSecs and returns total RPCs per second.  Returns a negative
-/// value when any call failed.
-double runCombo(unsigned Workers, size_t PayloadBytes, double WindowSecs,
-                bool Collect, flick_metrics *MergeInto) {
-  flick::ThreadedLink Link;
+struct ComboResult {
+  double RpcsPerSec = -1; ///< negative when any call failed
+  double CopiesPerRpc = 0;
+};
+
+/// Runs \p Workers client threads against \p Workers pool workers over
+/// transport \p TransportName for \p WindowSecs.
+ComboResult runCombo(const char *TransportName, unsigned Workers,
+                     size_t PayloadBytes, double WindowSecs,
+                     flick_metrics *MergeInto) {
+  ComboResult Res;
+  auto Link = flick::makeTransport(TransportName);
+  if (!Link)
+    return Res;
   // FLICK_FIG8_UNMODELED drops the wire model: calls are no longer
-  // dominated by modeled transit sleeps, so the MPSC queue lock becomes
-  // the binding constraint -- the configuration the flight recorder's
-  // saturation study (EXPERIMENTS.md) measures.
+  // dominated by modeled transit sleeps, so the transport itself (queue
+  // mutex, ring CAS, or socket syscalls) becomes the binding constraint
+  // -- the configuration the flight recorder's saturation study
+  // (EXPERIMENTS.md) measures.
   if (!std::getenv("FLICK_FIG8_UNMODELED"))
-    Link.setModel(flick::NetworkModel::ethernet100());
+    Link->setModel(flick::NetworkModel::ethernet100());
+  // Per-combo metrics: the pool captures the active block at start and
+  // merges its workers into it at stop; the drivers merge after join.
+  // Swapping the raw active pointer (not flick_metrics_enable, which
+  // zeroes) preserves whatever block the caller had installed.
+  flick_metrics Combo;
+  flick_metrics *Prev = flick_metrics_active;
+  flick_metrics_active = &Combo;
   flick_server_pool Pool;
-  if (flick_server_pool_start(&Pool, &Link, C_Transfer_dispatch, Workers) !=
-      FLICK_OK)
-    return -1;
+  if (flick_server_pool_start(&Pool, Link.get(), C_Transfer_dispatch,
+                              Workers) != FLICK_OK) {
+    flick_metrics_active = Prev;
+    return Res;
+  }
 
   uint32_t N = static_cast<uint32_t>(PayloadBytes / 4);
   std::vector<int32_t> Data(N);
@@ -83,7 +104,7 @@ double runCombo(unsigned Workers, size_t PayloadBytes, double WindowSecs,
   std::vector<std::unique_ptr<Driver>> Drivers;
   for (unsigned I = 0; I != Workers; ++I) {
     auto D = std::unique_ptr<Driver>(new Driver);
-    flick_client_init(&D->Cli, &Link.connect());
+    flick_client_init(&D->Cli, &Link->connect());
     D->Obj.client = &D->Cli;
     Drivers.push_back(std::move(D));
   }
@@ -93,9 +114,8 @@ double runCombo(unsigned Workers, size_t PayloadBytes, double WindowSecs,
   auto T0 = Clock::now();
   for (auto &D : Drivers) {
     Driver *DP = D.get();
-    DP->Thread = std::thread([DP, &Data, N, Deadline, Collect] {
-      if (Collect)
-        flick_metrics_enable(&DP->Metrics);
+    DP->Thread = std::thread([DP, &Data, N, Deadline] {
+      flick_metrics_enable(&DP->Metrics);
       C_IntSeq Seq{0, N, const_cast<int32_t *>(Data.data())};
       CORBA_Environment Ev{};
       while (Clock::now() < Deadline) {
@@ -118,25 +138,46 @@ double runCombo(unsigned Workers, size_t PayloadBytes, double WindowSecs,
     Failed |= D->Failed;
   }
   double Secs = std::chrono::duration<double>(Clock::now() - T0).count();
-  // Stop after the clients quiesce: the pool drains, joins, and merges its
-  // workers' telemetry into this (the starting) thread's blocks.
+  // Stop after the clients quiesce: the pool drains, joins, and merges
+  // its workers' telemetry into Combo.
   flick_server_pool_stop(&Pool);
-  if (MergeInto)
-    for (auto &D : Drivers)
-      flick_metrics_merge(MergeInto, &D->Metrics);
+  for (auto &D : Drivers)
+    flick_metrics_merge(&Combo, &D->Metrics);
   for (auto &D : Drivers)
     flick_client_destroy(&D->Cli);
+  flick_metrics_active = Prev;
+  if (MergeInto)
+    flick_metrics_merge(MergeInto, &Combo);
   if (Failed || Total == 0)
-    return -1;
-  return static_cast<double>(Total) / Secs;
+    return Res;
+  Res.RpcsPerSec = static_cast<double>(Total) / Secs;
+  Res.CopiesPerRpc = static_cast<double>(Combo.bytes_copied) /
+                     (static_cast<double>(Total) *
+                      static_cast<double>(PayloadBytes));
+  return Res;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   flick_metrics *M = benchMetricsIfJson();
   bool Quick = std::getenv("FLICK_FIG8_QUICK") != nullptr;
   double WindowSecs = Quick ? 0.1 : 0.5;
+
+  // Transport selection: --transport=NAME wins, then FLICK_BENCH_TRANSPORT,
+  // else the full three-way comparison.
+  std::vector<const char *> Transports = {"threaded", "sharded", "socket"};
+  const char *Only = std::getenv("FLICK_BENCH_TRANSPORT");
+  for (int I = 1; I != argc; ++I)
+    if (std::strncmp(argv[I], "--transport=", 12) == 0)
+      Only = argv[I] + 12;
+  if (Only && *Only) {
+    if (!flick::makeTransport(Only)) {
+      std::fprintf(stderr, "fig8: unknown transport '%s'\n", Only);
+      return 2;
+    }
+    Transports = {Only};
+  }
 
   unsigned MaxW = std::thread::hardware_concurrency();
   if (MaxW < 4)
@@ -145,42 +186,51 @@ int main() {
   for (unsigned W = 1; W <= MaxW; W *= 2)
     WorkerCounts.push_back(W);
 
+  bool Modeled = !std::getenv("FLICK_FIG8_UNMODELED");
   std::printf(
-      "=== Worker-pool scaling: threaded runtime on modeled 100 Mbps "
-      "Ethernet ===\nN client threads drive one flick_server_pool of N "
-      "workers; the wire\nmodel is realized as real blocking time, so "
-      "speedup measures overlap\nof wire waits across connections.\n\n");
-  std::printf("%8s %8s %11s %13s %9s\n", "size", "workers", "rpc/s",
-              "payload", "speedup");
+      "=== Worker-pool scaling: %s ===\nN client threads drive one "
+      "flick_server_pool of N workers per transport;\n%s\n\n",
+      Modeled ? "modeled 100 Mbps Ethernet" : "unmodeled (transport-bound)",
+      Modeled ? "the wire model is realized as real blocking time, so "
+                "speedup measures\noverlap of wire waits across connections."
+              : "with no wire model the transport itself binds: queue "
+                "mutex vs\nlock-free rings vs socket syscalls.");
+  std::printf("%10s %8s %8s %11s %13s %9s %8s\n", "transport", "size",
+              "workers", "rpc/s", "payload", "speedup", "cp/rpc");
 
-  for (size_t Payload : {1024u, 16384u, 65536u}) {
-    double Base = 0;
-    for (unsigned W : WorkerCounts) {
-      double RpcsPerSec = runCombo(W, Payload, WindowSecs, M != nullptr, M);
-      if (RpcsPerSec < 0) {
-        std::fprintf(stderr, "fig8: combo w=%u payload=%zu failed\n", W,
-                     Payload);
-        return 1;
+  for (const char *T : Transports) {
+    for (size_t Payload : {1024u, 16384u, 65536u}) {
+      double Base = 0;
+      for (unsigned W : WorkerCounts) {
+        ComboResult R = runCombo(T, W, Payload, WindowSecs, M);
+        if (R.RpcsPerSec < 0) {
+          std::fprintf(stderr, "fig8: combo %s w=%u payload=%zu failed\n",
+                       T, W, Payload);
+          return 1;
+        }
+        if (W == 1)
+          Base = R.RpcsPerSec;
+        double Speedup = Base > 0 ? R.RpcsPerSec / Base : 0;
+        double BytesPerSec = R.RpcsPerSec * static_cast<double>(Payload);
+        std::printf("%10s %8s %8u %11.0f %9sMB/s %8.2fx %8.2f\n", T,
+                    fmtBytes(Payload).c_str(), W, R.RpcsPerSec,
+                    fmtRate(BytesPerSec).c_str(), Speedup, R.CopiesPerRpc);
+        char Series[32];
+        std::snprintf(Series, sizeof(Series), "%s-w%u", T, W);
+        JsonReport::Row Row;
+        Row.str("workload", "ints")
+            .str("series", Series)
+            .str("transport", T)
+            .num("payload_bytes", Payload)
+            .num("workers", static_cast<size_t>(W))
+            .num("rpcs_per_s", R.RpcsPerSec)
+            .num("rate_mb_per_s", BytesPerSec / 1e6)
+            .num("speedup_vs_1", Speedup)
+            .num("copies_per_rpc", R.CopiesPerRpc);
+        JsonReport::get().add(Row);
       }
-      if (W == 1)
-        Base = RpcsPerSec;
-      double Speedup = Base > 0 ? RpcsPerSec / Base : 0;
-      double BytesPerSec = RpcsPerSec * static_cast<double>(Payload);
-      std::printf("%8s %8u %11.0f %9sMB/s %8.2fx\n",
-                  fmtBytes(Payload).c_str(), W, RpcsPerSec,
-                  fmtRate(BytesPerSec).c_str(), Speedup);
-      char Series[32];
-      std::snprintf(Series, sizeof(Series), "threaded-w%u", W);
-      JsonReport::Row R;
-      R.str("workload", "ints")
-          .str("series", Series)
-          .num("payload_bytes", Payload)
-          .num("workers", static_cast<size_t>(W))
-          .num("rpcs_per_s", RpcsPerSec)
-          .num("rate_mb_per_s", BytesPerSec / 1e6)
-          .num("speedup_vs_1", Speedup);
-      JsonReport::get().add(R);
     }
+    std::printf("\n");
   }
 
   return JsonReport::get().write("fig8_scalability", M) ? 0 : 1;

@@ -23,7 +23,7 @@
 #include "BenchUtil.h"
 #include "b_cdr.h"
 #include "b_gather.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include <vector>
 
 using namespace flickbench;

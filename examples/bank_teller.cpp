@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ex_bank.h" // generated from idl/bank.idl
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include <cstdio>
 #include <cstring>
 #include <string>

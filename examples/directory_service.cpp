@@ -17,7 +17,7 @@
 
 #include "ex_dir.h" // generated from idl/bench.x
 #include "runtime/Calibrate.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include <chrono>
 #include <cstdio>
 #include <cstring>

@@ -18,7 +18,7 @@
 #include "ex_mail_iiop.h"
 #include "ex_mail_mach.h"
 #include "ex_mail_fluke.h"
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include <cstdio>
 
 static const char *LastTransport = "?";

@@ -1,4 +1,4 @@
-//===- runtime/Channel.h - Transport channels -------------------*- C++ -*-===//
+//===- runtime/Channel.h - Message channel + wire-buffer pool ---*- C++ -*-===//
 //
 // Part of the Flick reproduction project.
 // SPDX-License-Identifier: MIT
@@ -6,42 +6,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Message transports beneath the generated stubs, in two modes:
+/// The Channel abstraction beneath the generated stubs (send/recv one
+/// framed message, scatter-gather variants, receive-by-adoption) and the
+/// WireBufPool both sides of every link share.
 ///
-///  - LocalLink: a deterministic in-process request/reply pair.  The
-///    client endpoint's recv "pumps" the registered server when its queue
-///    is empty, so examples, goldens, and the fig3-7 benches run on one
-///    thread with reproducible interleaving.  A link may carry a
-///    NetworkModel + SimClock to account simulated wire time per message
-///    (the substitute for the paper's Ethernet/Myrinet/Mach testbeds --
-///    see NetworkModel.h).
+/// The concrete transports moved to `runtime/transport/`:
 ///
-///  - ThreadedLink: the concurrent transport for the parallel runtime.
-///    Any number of client connections feed one bounded, mutex/condvar
-///    MPSC request queue drained by N worker channels (see
-///    flick_server_pool); replies route back over per-connection queues.
-///    An attached NetworkModel is realized as *real* blocking time -- the
-///    sender sleeps the modeled transit -- so a worker pool overlaps wire
-///    latency across connections the way a production stack overlaps
-///    NIC/syscall waits.
+///  - transport/LocalLink.h    deterministic single-threaded pump link
+///                             (examples, goldens, fig3-7 benches)
+///  - transport/Transport.h    the pluggable seam for the concurrent
+///                             runtime, with ThreadedLink (mutex queue
+///                             baseline), ShardedLink (lock-free rings +
+///                             work stealing), and SocketLink (Unix
+///                             sockets + epoll) behind it
 ///
-/// Both modes share the pooled zero-copy wire-buffer path (WireBufPool):
-/// each endpoint owns its pool and, in threaded mode, is confined to one
-/// thread, so buffer reuse never takes a lock.
+/// This header intentionally keeps no transport: code that only moves
+/// bytes over "some channel" includes this; code that builds links picks
+/// one from transport/.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLICK_RUNTIME_CHANNEL_H
 #define FLICK_RUNTIME_CHANNEL_H
 
-#include "runtime/NetworkModel.h"
-#include <atomic>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 struct flick_buf;
@@ -53,7 +42,7 @@ namespace flick {
 /// The scatter-gather entry points have distinct names (not overloads) so
 /// a subclass overriding only the flat pair keeps working unchanged: the
 /// base-class defaults bridge to send()/recv(), paying one staging copy,
-/// while transports that can do better (LocalLink) override them.
+/// while transports that can do better override them.
 class Channel {
 public:
   virtual ~Channel();
@@ -110,206 +99,6 @@ private:
   enum { MaxBufs = 8 };
   Ent Bufs[MaxBufs];
   size_t Count = 0;
-};
-
-/// An in-process bidirectional link with two endpoints.  Endpoint A is the
-/// client side, endpoint B the server side.  When A receives with an empty
-/// queue, the link invokes the pump callback (typically
-/// `flick_server_handle_one`) until a reply appears, keeping everything on
-/// one thread and deterministic.  This is the single-threaded mode; for
-/// concurrent clients and a worker pool, use ThreadedLink.
-class LocalLink {
-public:
-  LocalLink();
-  ~LocalLink();
-
-  /// Attaches a wire-time model; every send advances \p Clock.
-  void setModel(NetworkModel Model, SimClock *Clock);
-
-  /// Registers the server pump invoked when the client blocks on recv.
-  /// Returning false means "cannot make progress" (transport error).
-  void setPump(std::function<bool()> Pump) { this->Pump = std::move(Pump); }
-
-  Channel &clientEnd() { return AEnd; }
-  Channel &serverEnd() { return BEnd; }
-
-  /// Messages queued toward the server that it has not received yet.
-  size_t pendingToServer() const { return ToB.size(); }
-
-private:
-  class End final : public Channel {
-  public:
-    End(LocalLink &Link, bool IsClient) : Link(Link), IsClient(IsClient) {}
-    int send(const uint8_t *Data, size_t Len) override;
-    int recv(std::vector<uint8_t> &Out) override;
-    int sendv(const flick_iov *Segs, size_t Count) override;
-    int recvInto(flick_buf *Into) override;
-    void release(flick_buf *Buf) override;
-
-  private:
-    LocalLink &Link;
-    bool IsClient;
-  };
-
-  /// One queued message plus its out-of-band trace context: the sender's
-  /// (trace id, span id) ride beside the bytes, never inside them, so
-  /// tracing cannot perturb the wire format.  The wire bytes live in a
-  /// pool-managed malloc allocation so a receiver can adopt it whole
-  /// (recvInto) instead of copying it out.
-  struct Msg {
-    uint8_t *Data = nullptr;
-    size_t Cap = 0;
-    size_t Len = 0;
-    uint64_t TraceId = 0;
-    uint64_t ParentSpan = 0;
-  };
-
-  void account(size_t Len);
-
-  std::deque<Msg> ToA; // server -> client
-  std::deque<Msg> ToB; // client -> server
-  WireBufPool Pool;
-  NetworkModel Model = NetworkModel::ideal();
-  SimClock *Clock = nullptr;
-  std::function<bool()> Pump;
-  End AEnd;
-  End BEnd;
-};
-
-/// The concurrent transport: many client connections, one bounded MPSC
-/// request queue, N worker channels, per-connection reply queues.
-///
-/// Thread contract: each channel returned by connect() belongs to one
-/// client thread and each channel returned by workerEnd() to one worker
-/// thread; only the request queue and the per-connection reply queues are
-/// shared (mutex/condvar), so every wire-buffer pool stays lock-free.
-/// Telemetry written on a channel's hot path lands in its thread's own
-/// thread-local flick_metrics / flick_tracer blocks.
-///
-/// Backpressure: the request queue is bounded (QueueCap).  A send that
-/// finds it full counts one `queue_full` metric event and blocks until a
-/// worker drains an entry or the link shuts down.
-///
-/// Shutdown: shutdown() wakes every waiter.  Workers drain the requests
-/// already queued, then their recv fails with FLICK_ERR_TRANSPORT; sends
-/// and replies-in-wait fail immediately, so in-flight calls abort -- stop
-/// client traffic first for a loss-free drain (flick_server_pool_stop
-/// does the link shutdown for you).
-///
-/// Wire model: setModel() attaches a NetworkModel whose per-message time
-/// is slept by the *sender* (outside any lock) instead of advancing a
-/// SimClock, so concurrency genuinely overlaps it.  Modeled time is still
-/// accounted to the sending thread's wire_time_us and trace ring.
-class ThreadedLink {
-public:
-  explicit ThreadedLink(size_t QueueCap = 256);
-  ~ThreadedLink();
-
-  /// Attaches a wire-time model; every send sleeps the modeled transit.
-  void setModel(NetworkModel Model);
-
-  /// Creates a new client connection.  The returned channel (and the
-  /// flick_client on top of it) must be used by one thread at a time.
-  Channel &connect();
-
-  /// Creates a new worker-side channel: recv pops the next request from
-  /// any connection, send routes the reply back to that request's
-  /// connection.  One per worker thread.
-  Channel &workerEnd();
-
-  /// Wakes every blocked sender/receiver; see the class comment.
-  /// Idempotent.  Call before destroying the link while threads may still
-  /// be using it, and join them before the destructor runs.
-  void shutdown();
-
-  /// Requests queued and not yet picked up by a worker (for tests).
-  size_t pendingRequests() const;
-
-private:
-  /// One queued message; bytes live in a pool-managed malloc allocation
-  /// and the sender's trace context rides out of band, as in LocalLink.
-  /// EnqNs stamps when the request entered the MPSC queue (gauge clock, 0
-  /// when the flight recorder is off) so the dequeue side can account the
-  /// enqueue-to-dequeue wait.
-  struct Msg {
-    uint8_t *Data = nullptr;
-    size_t Cap = 0;
-    size_t Len = 0;
-    uint64_t TraceId = 0;
-    uint64_t ParentSpan = 0;
-    uint64_t EnqNs = 0;
-  };
-
-  class Conn final : public Channel {
-  public:
-    explicit Conn(ThreadedLink &Link) : Link(Link) {}
-    ~Conn() override;
-    int send(const uint8_t *Data, size_t Len) override;
-    int recv(std::vector<uint8_t> &Out) override;
-    int sendv(const flick_iov *Segs, size_t Count) override;
-    int recvInto(flick_buf *Into) override;
-    void release(flick_buf *Buf) override;
-
-  private:
-    friend class ThreadedLink;
-    /// Blocks for the next reply (or shutdown).
-    int awaitReply(Msg *M);
-
-    ThreadedLink &Link;
-    std::mutex RMu;
-    std::condition_variable RCv;
-    std::deque<Msg> RepQ;
-    WireBufPool Pool;
-  };
-
-  class WorkerChan final : public Channel {
-  public:
-    explicit WorkerChan(ThreadedLink &Link) : Link(Link) {}
-    int send(const uint8_t *Data, size_t Len) override;
-    int recv(std::vector<uint8_t> &Out) override;
-    int sendv(const flick_iov *Segs, size_t Count) override;
-    int recvInto(flick_buf *Into) override;
-    void release(flick_buf *Buf) override;
-
-  private:
-    friend class ThreadedLink;
-    /// Finishes an outgoing reply: stamp, sleep, route to CurConn.
-    int sendReply(Msg M);
-
-    ThreadedLink &Link;
-    Conn *CurConn = nullptr; ///< connection of the last received request
-    WireBufPool Pool;
-  };
-
-  /// Sleeps the modeled transit time for a \p Len-byte message and
-  /// accounts it to the calling thread's telemetry.
-  void wireDelay(size_t Len);
-  /// Blocking bounded push of a request; FLICK_ERR_TRANSPORT after
-  /// shutdown (ownership of M.Data returns to \p From's pool).
-  int pushRequest(Conn *From, Msg M);
-  /// Blocking pop of the next request; drains the queue even after
-  /// shutdown, then fails.
-  int popRequest(Conn **From, Msg *M);
-
-  mutable std::mutex QMu;
-  std::condition_variable QNotEmpty;
-  std::condition_variable QNotFull;
-  struct Req {
-    Conn *From;
-    Msg M;
-  };
-  std::deque<Req> ReqQ;
-  const size_t QueueCap;
-  std::atomic<bool> Down{false};
-
-  bool Modeled = false;
-  NetworkModel Model = NetworkModel::ideal();
-
-  /// Endpoint storage; guarded by EndsMu during creation only (channels
-  /// themselves are owned by their threads afterwards).
-  mutable std::mutex EndsMu;
-  std::vector<std::unique_ptr<Conn>> Conns;
-  std::vector<std::unique_ptr<WorkerChan>> Workers;
 };
 
 } // namespace flick

@@ -46,8 +46,11 @@ void flick_gauges_enable() {
         &G.workers_running, &G.rpcs_completed, &G.queue_enqueues,
         &G.queue_dequeues, &G.queue_wait_ns, &G.lock_wait_ns, &G.lock_acquires,
         &G.queue_full_waits, &G.pool_gauge_hits, &G.pool_gauge_misses,
-        &G.worker_busy_ns, &G.stalls_detected})
+        &G.worker_busy_ns, &G.stalls_detected, &G.ring_wait_ns, &G.steals,
+        &G.sock_syscalls, &G.sock_eagain})
     F->store(0, std::memory_order_relaxed);
+  for (std::atomic<uint64_t> &F : G.shard_depth)
+    F.store(0, std::memory_order_relaxed);
   flick_gauges_enabled.store(1, std::memory_order_release);
 }
 
@@ -170,6 +173,15 @@ void takeSample(Sampler &S) {
   Smp.pool_hits = Ld(G.pool_gauge_hits);
   Smp.pool_misses = Ld(G.pool_gauge_misses);
   Smp.worker_busy_ns = Ld(G.worker_busy_ns);
+  Smp.ring_wait_ns = Ld(G.ring_wait_ns);
+  Smp.steals = Ld(G.steals);
+  Smp.sock_syscalls = Ld(G.sock_syscalls);
+  Smp.sock_eagain = Ld(G.sock_eagain);
+  for (const std::atomic<uint64_t> &F : G.shard_depth) {
+    uint64_t V = Ld(F);
+    if (V > Smp.shard_depth_max)
+      Smp.shard_depth_max = V;
+  }
 
   // Watchdog scan: count everything currently past the deadline, and bump
   // stalls_detected once per (slot, start stamp) so a stuck RPC is one
@@ -359,20 +371,27 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
   uint64_t DBusyNs = D(Smp.worker_busy_ns, Prev.worker_busy_ns);
   uint64_t DHits = D(Smp.pool_hits, Prev.pool_hits);
   uint64_t DMiss = D(Smp.pool_misses, Prev.pool_misses);
+  uint64_t DRingNs = D(Smp.ring_wait_ns, Prev.ring_wait_ns);
+  uint64_t DSteals = D(Smp.steals, Prev.steals);
+  uint64_t DSys = D(Smp.sock_syscalls, Prev.sock_syscalls);
+  uint64_t DEagain = D(Smp.sock_eagain, Prev.sock_eagain);
   double PerS = DtUs > 0 ? 1e6 / DtUs : 0;
   double IntervalNs = DtUs * 1000.0;
   uint64_t Workers = Smp.workers_running ? Smp.workers_running : 1;
 
-  char Buf[1024];
+  char Buf[1536];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"t_us\": %.1f, \"queue_depth\": %llu, \"inflight_rpcs\": %llu, "
       "\"pool_buffers\": %llu, \"workers_busy\": %llu, "
       "\"workers_running\": %llu, \"stalled_rpcs\": %llu, "
       "\"stalls_detected\": %llu, \"rpcs_completed\": %llu, "
-      "\"queue_full_waits\": %llu, \"rpcs_per_s\": %.1f, "
+      "\"queue_full_waits\": %llu, \"shard_depth_max\": %llu, "
+      "\"rpcs_per_s\": %.1f, "
       "\"enqueues_per_s\": %.1f, \"queue_wait_avg_us\": %.3f, "
-      "\"lock_wait_frac\": %.4f, \"worker_busy_frac\": %.4f, "
+      "\"lock_wait_frac\": %.4f, \"ring_wait_frac\": %.4f, "
+      "\"steals_per_s\": %.1f, \"syscalls_per_rpc\": %.2f, "
+      "\"eagain_retries\": %llu, \"worker_busy_frac\": %.4f, "
       "\"pool_hit_rate\": %.3f, \"m_rpcs_sent\": %llu, "
       "\"m_rpcs_handled\": %llu, \"m_request_bytes\": %llu, "
       "\"m_queue_full\": %llu}",
@@ -385,11 +404,16 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       static_cast<unsigned long long>(Smp.stalls_detected),
       static_cast<unsigned long long>(Smp.rpcs_completed),
       static_cast<unsigned long long>(Smp.queue_full_waits),
+      static_cast<unsigned long long>(Smp.shard_depth_max),
       static_cast<double>(DRpcs) * PerS, static_cast<double>(DEnq) * PerS,
       DDeq ? static_cast<double>(DWaitNs) / 1000.0 /
                  static_cast<double>(DDeq)
            : 0.0,
       IntervalNs > 0 ? static_cast<double>(DLockNs) / IntervalNs : 0.0,
+      IntervalNs > 0 ? static_cast<double>(DRingNs) / IntervalNs : 0.0,
+      static_cast<double>(DSteals) * PerS,
+      DRpcs ? static_cast<double>(DSys) / static_cast<double>(DRpcs) : 0.0,
+      static_cast<unsigned long long>(DEagain),
       IntervalNs > 0 ? static_cast<double>(DBusyNs) /
                            (IntervalNs * static_cast<double>(Workers))
                      : 0.0,
@@ -622,7 +646,7 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m) {
     return static_cast<double>(A.load(std::memory_order_relaxed));
   };
   promMetric(Out, "flick_queue_depth", "gauge",
-             "ThreadedLink requests currently queued.", Ld(G.queue_depth));
+             "Transport requests currently queued.", Ld(G.queue_depth));
   promMetric(Out, "flick_inflight_rpcs", "gauge",
              "Client invokes currently in flight.", Ld(G.inflight_rpcs));
   promMetric(Out, "flick_pool_buffers", "gauge",
@@ -657,5 +681,26 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m) {
              Ld(G.worker_busy_ns) / 1e9);
   promMetric(Out, "flick_stalls_detected_total", "counter",
              "Watchdog deadline violations.", Ld(G.stalls_detected));
+  promMetric(Out, "flick_ring_wait_seconds_total", "counter",
+             "Total time senders blocked on a full sharded ring.",
+             Ld(G.ring_wait_ns) / 1e9);
+  promMetric(Out, "flick_steals_total", "counter",
+             "Cross-shard request pops by pool workers.", Ld(G.steals));
+  promMetric(Out, "flick_sock_syscalls_total", "counter",
+             "Socket-transport syscalls issued.", Ld(G.sock_syscalls));
+  promMetric(Out, "flick_sock_eagain_total", "counter",
+             "Socket-transport send EAGAIN retries.", Ld(G.sock_eagain));
+  {
+    Out += "# HELP flick_shard_depth Requests queued per transport shard.\n";
+    Out += "# TYPE flick_shard_depth gauge\n";
+    char Buf[96];
+    for (int I = 0; I != FLICK_GAUGE_SHARD_SLOTS; ++I) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "flick_shard_depth{shard=\"%d\"} %llu\n", I,
+                    static_cast<unsigned long long>(G.shard_depth[I].load(
+                        std::memory_order_relaxed)));
+      Out += Buf;
+    }
+  }
   return Out;
 }

@@ -60,9 +60,14 @@ struct flick_tracer;
 /// telemetry sampler needs and nothing more.  Instantaneous gauges
 /// (queue_depth, inflight_rpcs, ...) move both ways; cumulative ones only
 /// grow, and the sampler turns them into per-interval rates.
+/// Per-shard occupancy slots exported by ShardedLink (shard i reports in
+/// slot i mod FLICK_GAUGE_SHARD_SLOTS; the default shard counts fit
+/// without aliasing).
+enum { FLICK_GAUGE_SHARD_SLOTS = 8 };
+
 struct flick_gauges {
   // Instantaneous.
-  std::atomic<uint64_t> queue_depth{0};    ///< ThreadedLink requests queued
+  std::atomic<uint64_t> queue_depth{0};    ///< transport requests queued
   std::atomic<uint64_t> inflight_rpcs{0};  ///< client invokes in flight
   std::atomic<uint64_t> pool_buffers{0};   ///< wire buffers parked in pools
   std::atomic<uint64_t> workers_busy{0};   ///< servers inside dispatch now
@@ -79,6 +84,14 @@ struct flick_gauges {
   std::atomic<uint64_t> pool_gauge_misses{0};///< pool empty: fresh malloc
   std::atomic<uint64_t> worker_busy_ns{0}; ///< total time servers spent dispatching
   std::atomic<uint64_t> stalls_detected{0};///< watchdog deadline violations
+  // Sharded transport (the lock-free analogues of lock_wait_ns).
+  std::atomic<uint64_t> ring_wait_ns{0};   ///< senders blocked on a full ring
+  std::atomic<uint64_t> steals{0};         ///< cross-shard request pops
+  // Socket transport.
+  std::atomic<uint64_t> sock_syscalls{0};  ///< sendmsg/recv/epoll_wait issued
+  std::atomic<uint64_t> sock_eagain{0};    ///< EAGAIN retries on the send path
+  // Instantaneous per-shard occupancy (ShardedLink).
+  std::atomic<uint64_t> shard_depth[FLICK_GAUGE_SHARD_SLOTS] = {};
 };
 
 /// The global gauge block (always present; cold when recording is off).
@@ -131,6 +144,25 @@ inline uint64_t flick_gauge_lock_begin() {
 }
 void flick_gauge_lock_end(uint64_t t0_ns);
 
+/// Per-shard occupancy updates (slot = shard index mod the slot count);
+/// the decrement saturates at zero like flick_gauge_sub.
+inline void flick_gauge_shard_add(size_t Shard, uint64_t V) {
+  if (flick_gauges_on())
+    flick_gauges_global.shard_depth[Shard % FLICK_GAUGE_SHARD_SLOTS].fetch_add(
+        V, std::memory_order_relaxed);
+}
+inline void flick_gauge_shard_sub(size_t Shard, uint64_t V) {
+  if (!flick_gauges_on())
+    return;
+  std::atomic<uint64_t> &G =
+      flick_gauges_global.shard_depth[Shard % FLICK_GAUGE_SHARD_SLOTS];
+  uint64_t Cur = G.load(std::memory_order_relaxed);
+  while (Cur != 0 &&
+         !G.compare_exchange_weak(Cur, Cur > V ? Cur - V : 0,
+                                  std::memory_order_relaxed))
+    ;
+}
+
 //===----------------------------------------------------------------------===//
 // Stall watchdog slots
 //===----------------------------------------------------------------------===//
@@ -178,6 +210,11 @@ struct flick_sample {
   uint64_t pool_misses = 0;
   uint64_t worker_busy_ns = 0;
   uint64_t stalls_detected = 0;
+  uint64_t ring_wait_ns = 0;
+  uint64_t steals = 0;
+  uint64_t sock_syscalls = 0;
+  uint64_t sock_eagain = 0;
+  uint64_t shard_depth_max = 0; ///< deepest shard slot at this tick
   // Watched flick_metrics excerpt (zero when nothing is watched).
   uint64_t m_rpcs_sent = 0;
   uint64_t m_rpcs_handled = 0;

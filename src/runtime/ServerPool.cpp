@@ -6,15 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// flick_server_pool: N dispatch threads draining one ThreadedLink.  Each
-/// worker owns a full flick_server (reused request/reply buffers, scratch
-/// arena) on its own worker channel, plus private telemetry blocks that
-/// the stopping thread merges after join() -- the join provides the
-/// happens-before edge, so no merge lock exists anywhere.
+/// flick_server_pool: N dispatch threads draining one Transport (mutex
+/// queue, lock-free rings, or Unix sockets -- the pool is agnostic).
+/// Each worker owns a full flick_server (reused request/reply buffers,
+/// scratch arena) on its own worker channel, plus private telemetry
+/// blocks that the stopping thread merges after join() -- the join
+/// provides the happens-before edge, so no merge lock exists anywhere.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Channel.h"
+#include "runtime/transport/Transport.h"
 #include "runtime/Sampler.h"
 #include "runtime/flick_runtime.h"
 #include <memory>
@@ -33,7 +34,7 @@ struct PoolWorker {
 };
 
 struct PoolImpl {
-  flick::ThreadedLink *Link = nullptr;
+  flick::Transport *Link = nullptr;
   /// Telemetry blocks that were active on the starting thread; per-worker
   /// blocks merge into these on stop.  Null means "collection off" and the
   /// workers run with telemetry disabled too.
@@ -68,7 +69,7 @@ void workerMain(PoolImpl *P, PoolWorker *W) {
 
 } // namespace
 
-int flick_server_pool_start(flick_server_pool *p, flick::ThreadedLink *link,
+int flick_server_pool_start(flick_server_pool *p, flick::Transport *link,
                             flick_dispatch_fn dispatch, unsigned workers,
                             void *impl_hook) {
   if (p->impl || !link || !dispatch || workers == 0)

@@ -28,7 +28,7 @@
 
 namespace flick {
 class Channel;
-class ThreadedLink;
+class Transport;
 } // namespace flick
 
 /// Transport handle used by generated stubs; concrete channels live in
@@ -558,11 +558,12 @@ int flick_server_handle_one(flick_server *s);
 // Worker-pool server dispatch (threaded runtime)
 //===----------------------------------------------------------------------===//
 
-/// A pool of N server worker threads draining one ThreadedLink: each
-/// worker loops flick_server_handle_one over its own worker channel with
-/// its own flick_server (request/reply buffers, scratch arena) and its
-/// own wire-buffer pool, so the only shared state on the hot path is the
-/// link's bounded request queue.  When the thread calling
+/// A pool of N server worker threads draining one Transport (threaded,
+/// sharded, or socket -- see runtime/transport/Transport.h): each worker
+/// loops flick_server_handle_one over its own worker channel with its
+/// own flick_server (request/reply buffers, scratch arena) and its own
+/// wire-buffer pool, so the only shared state on the hot path is the
+/// transport's request path.  When the thread calling
 /// flick_server_pool_start has metrics (or tracing) enabled, every worker
 /// collects into a private per-thread block (or span ring) and stop()
 /// merges them back into the starting thread's block, so dumps show the
@@ -575,7 +576,7 @@ struct flick_server_pool {
 /// as each worker server's `impl`; servant state reached through it is
 /// shared across workers and must be thread-safe.  Returns FLICK_OK, or
 /// FLICK_ERR_ALLOC when the pool is already running or \p workers is 0.
-int flick_server_pool_start(flick_server_pool *p, flick::ThreadedLink *link,
+int flick_server_pool_start(flick_server_pool *p, flick::Transport *link,
                             flick_dispatch_fn dispatch, unsigned workers,
                             void *impl_hook = nullptr);
 

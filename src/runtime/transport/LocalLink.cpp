@@ -1,0 +1,140 @@
+//===- runtime/transport/LocalLink.cpp - In-process pump link -------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/transport/LocalLink.h"
+#include "runtime/flick_runtime.h"
+
+using namespace flick;
+
+LocalLink::LocalLink() : AEnd(*this, true), BEnd(*this, false) {}
+
+LocalLink::~LocalLink() {
+  for (std::deque<Msg> *Q : {&ToA, &ToB})
+    for (Msg &M : *Q)
+      std::free(M.Data);
+}
+
+void LocalLink::setModel(NetworkModel Model, SimClock *Clock) {
+  this->Model = std::move(Model);
+  this->Clock = Clock;
+}
+
+void LocalLink::account(size_t Len) {
+  if (!Clock)
+    return;
+  double Us = Model.wireTimeUs(Len);
+  Clock->advance(Us);
+  if (flick_metrics_active)
+    flick_metrics_active->wire_time_us += Us;
+  // The modeled transit time is already known, so it is recorded as a
+  // completed child span of whatever send is in flight.
+  if (flick_trace_active)
+    flick_trace_record_complete(FLICK_SPAN_WIRE, "wire", Us);
+}
+
+int LocalLink::End::send(const uint8_t *Data, size_t Len) {
+  Msg M;
+  M.Data = Link.Pool.acquire(Len, &M.Cap);
+  if (!M.Data) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
+    return FLICK_ERR_TRANSPORT;
+  }
+  std::memcpy(M.Data, Data, Len);
+  M.Len = Len;
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Len;
+    ++flick_metrics_active->copy_ops;
+  }
+  if (flick_trace_active)
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+  Link.account(Len);
+  (IsClient ? Link.ToB : Link.ToA).push_back(M);
+  return FLICK_OK;
+}
+
+int LocalLink::End::sendv(const flick_iov *Segs, size_t Count) {
+  size_t Total = 0;
+  for (size_t i = 0; i != Count; ++i)
+    Total += Segs[i].len;
+  Msg M;
+  M.Data = Link.Pool.acquire(Total, &M.Cap);
+  if (!M.Data) {
+    flick_metric_add(&flick_metrics::alloc_errors, 1);
+    return FLICK_ERR_TRANSPORT;
+  }
+  size_t Off = 0;
+  for (size_t i = 0; i != Count; ++i) {
+    std::memcpy(M.Data + Off, Segs[i].base, Segs[i].len);
+    Off += Segs[i].len;
+  }
+  M.Len = Total;
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Total;
+    ++flick_metrics_active->copy_ops;
+  }
+  if (flick_trace_active)
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+  Link.account(Total);
+  (IsClient ? Link.ToB : Link.ToA).push_back(M);
+  return FLICK_OK;
+}
+
+int LocalLink::End::recv(std::vector<uint8_t> &Out) {
+  auto &Queue = IsClient ? Link.ToA : Link.ToB;
+  // The client side synchronously pumps the server until a reply shows up;
+  // the server side simply fails when no request is pending.
+  while (Queue.empty()) {
+    if (!IsClient || !Link.Pump || !Link.Pump())
+      return FLICK_ERR_TRANSPORT;
+  }
+  Msg M = Queue.front();
+  Queue.pop_front();
+  if (flick_trace_active)
+    flick_trace_deposit(M.TraceId, M.ParentSpan);
+  Out.assign(M.Data, M.Data + M.Len);
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += M.Len;
+    ++flick_metrics_active->copy_ops;
+  }
+  Link.Pool.release(M.Data, M.Cap);
+  return FLICK_OK;
+}
+
+int LocalLink::End::recvInto(flick_buf *Into) {
+  auto &Queue = IsClient ? Link.ToA : Link.ToB;
+  while (Queue.empty()) {
+    if (!IsClient || !Link.Pump || !Link.Pump())
+      return FLICK_ERR_TRANSPORT;
+  }
+  Msg M = Queue.front();
+  Queue.pop_front();
+  if (flick_trace_active)
+    flick_trace_deposit(M.TraceId, M.ParentSpan);
+  // Hand the pooled wire buffer to the caller whole and park the caller's
+  // old allocation for the next send: the receive itself copies nothing.
+  // Legal because flick_buf manages data with realloc/free and the pool
+  // allocates with malloc.
+  flick_buf_reset(Into);
+  Link.Pool.release(Into->data, Into->cap);
+  Into->data = M.Data;
+  Into->cap = M.Cap;
+  Into->len = M.Len;
+  Into->pos = 0;
+  return FLICK_OK;
+}
+
+void LocalLink::End::release(flick_buf *Buf) {
+  // Reclaim the adopted wire storage the moment its reader is done with
+  // it: the next send then refills this same (cache-hot) allocation.
+  // Without the early release two buffers alternate -- one adopted, one
+  // filling -- doubling the transport's cache footprint per direction.
+  Link.Pool.release(Buf->data, Buf->cap);
+  Buf->data = nullptr;
+  Buf->cap = 0;
+  Buf->len = 0;
+  Buf->pos = 0;
+}

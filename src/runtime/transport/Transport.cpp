@@ -1,0 +1,27 @@
+//===- runtime/transport/Transport.cpp - Transport seam -------------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/transport/Transport.h"
+#include "runtime/transport/ShardedLink.h"
+#include "runtime/transport/SocketLink.h"
+#include "runtime/transport/ThreadedLink.h"
+#include <cstring>
+
+using namespace flick;
+
+Transport::~Transport() = default;
+
+std::unique_ptr<Transport> flick::makeTransport(const char *Name,
+                                                size_t QueueCap) {
+  if (!Name || !std::strcmp(Name, "sharded"))
+    return std::unique_ptr<Transport>(new ShardedLink(QueueCap));
+  if (!std::strcmp(Name, "threaded"))
+    return std::unique_ptr<Transport>(new ThreadedLink(QueueCap));
+  if (!std::strcmp(Name, "socket"))
+    return std::unique_ptr<Transport>(new SocketLink(QueueCap));
+  return nullptr;
+}

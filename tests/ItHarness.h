@@ -14,7 +14,7 @@
 #ifndef FLICK_TESTS_ITHARNESS_H
 #define FLICK_TESTS_ITHARNESS_H
 
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include "runtime/flick_runtime.h"
 
 namespace flick {

@@ -14,7 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include "runtime/flick_runtime.h"
 #include <cstring>
 #include <gtest/gtest.h>

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Channel.h"
+#include "runtime/transport/LocalLink.h"
 #include "runtime/NetworkModel.h"
 #include "runtime/flick_runtime.h"
 #include <gtest/gtest.h>

@@ -15,7 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Channel.h"
+#include "runtime/transport/ThreadedLink.h"
 #include "runtime/flick_runtime.h"
 #include <atomic>
 #include <cstring>
