@@ -163,13 +163,18 @@ inline std::string jsonNum(double V) {
 /// nullptr).  Default interactive runs leave metrics disabled, so the
 /// measured fast paths match a metrics-free build exactly.
 /// Turns span tracing on when FLICK_BENCH_TRACE names an output path for
-/// the Chrome trace-event JSON (written by JsonReport::write).  Ring size
-/// defaults to 65536 spans; FLICK_BENCH_TRACE_SPANS overrides it.
+/// the Chrome trace-event JSON (written by JsonReport::write), or when
+/// FLICK_BENCH_JSON is set at all: the per-endpoint latency anatomy in
+/// the results document is populated at span close, so a JSON run needs
+/// spans even when no trace file was asked for.  The Chrome trace export
+/// itself stays gated on FLICK_BENCH_TRACE.  Ring size defaults to 65536
+/// spans; FLICK_BENCH_TRACE_SPANS overrides it.
 inline flick_tracer *benchTracerIfRequested() {
   static flick_tracer T;
   static std::vector<flick_span> Storage;
   const char *Path = std::getenv("FLICK_BENCH_TRACE");
-  if (!Path || !*Path)
+  const char *Json = std::getenv("FLICK_BENCH_JSON");
+  if ((!Path || !*Path) && (!Json || !*Json))
     return nullptr;
   if (Storage.empty()) {
     size_t N = 1 << 16;
@@ -312,6 +317,7 @@ public:
     Ok &= writeSample();
     Ok &= writeProm(M);
     Ok &= writeTrace();
+    Ok &= writeExemplars();
     return Ok;
   }
 
@@ -336,6 +342,11 @@ public:
     if (M) {
       std::string Json = flick_metrics_to_json(M, "    ");
       std::fprintf(F, ",\n  \"metrics\": %s", Json.c_str());
+      // The per-endpoint critical-path attribution also rides at top
+      // level so checkers and dashboards reach it without digging into
+      // the metrics block.
+      std::string Anatomy = flick_metrics_anatomy_json(M, "    ");
+      std::fprintf(F, ",\n  \"latency_anatomy\": %s", Anatomy.c_str());
     }
     // When the flight recorder ran, the time series rides along in the
     // results document so one artifact carries rates and their evolution.
@@ -374,7 +385,7 @@ public:
       std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
       return false;
     }
-    std::string Text = flick_metrics_to_prometheus(M);
+    std::string Text = flick_metrics_to_prometheus(M, flick_trace_active);
     std::fwrite(Text.data(), 1, Text.size(), F);
     std::fclose(F);
     return true;
@@ -400,6 +411,39 @@ public:
     std::fwrite(Json.data(), 1, Json.size(), F);
     std::fclose(F);
     return true;
+  }
+
+  /// Writes the tail-exemplar post-mortems beside the results document:
+  /// "<FLICK_BENCH_JSON>.exemplars.json" holds the per-endpoint
+  /// slowest-RPC span trees, ".exemplars.trace.json" the same trees as a
+  /// standalone Chrome trace document.  Quietly skipped when no tracer
+  /// ran or the reservoir is empty.
+  bool writeExemplars() {
+    const char *Path = std::getenv("FLICK_BENCH_JSON");
+    const flick_tracer *T = flick_trace_active;
+    if (!Path || !*Path || !T)
+      return true;
+    bool Any = false;
+    for (int E = 0; E != FLICK_MAX_ENDPOINTS && !Any; ++E)
+      for (int S = 0; S != FLICK_EXEMPLAR_SLOTS && !Any; ++S)
+        Any = T->exemplars.slots[E][S].n_spans != 0;
+    if (!Any)
+      return true;
+    auto Dump = [](const std::string &P, const std::string &Doc) {
+      std::FILE *F = std::fopen(P.c_str(), "wb");
+      if (!F) {
+        std::fprintf(stderr, "bench: cannot write '%s'\n", P.c_str());
+        return false;
+      }
+      std::fwrite(Doc.data(), 1, Doc.size(), F);
+      std::fclose(F);
+      return true;
+    };
+    bool Ok = Dump(std::string(Path) + ".exemplars.json",
+                   flick_exemplars_to_json(T));
+    Ok &= Dump(std::string(Path) + ".exemplars.trace.json",
+               flick_exemplars_to_chrome_json(T));
+    return Ok;
   }
 
 private:

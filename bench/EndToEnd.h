@@ -140,6 +140,10 @@ inline int runEndToEndFigure(const char *Title, const char *JsonName,
     for (size_t Bytes : arraySizes()) {
       E2ERig FR(F_BENCHPROG_dispatch, Model);
       E2ERig NR(N_BENCHPROG_dispatch, Model);
+      // Latency anatomy attributes by endpoint: both compilers' rigs
+      // share the workload's endpoint so "ints" vs "rects" is the axis.
+      FR.Cli.endpoint = NR.Cli.endpoint =
+          flick_endpoint_intern(Rects ? "rects" : "ints");
       double FT, NT;
       if (!Rects) {
         uint32_t N = static_cast<uint32_t>(Bytes / 4);

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate the latency_anatomy block of a bench JSON export.
+
+Every bench JSON written with FLICK_BENCH_JSON carries a document-level
+"latency_anatomy" object: one entry per endpoint with the end-to-end rpc
+histogram summary, per-phase breakdowns (count, mean/p50/p99 and their
+shares of the rpc span), optional SLO counters, and a self-consistency
+block.  This checker is CI's proof that the attribution is trustworthy:
+
+  * structure -- each endpoint entry must carry "rpc" (count, mean_us,
+    p50_us, p99_us) and a non-empty "phases" object whose entries carry
+    the same summary plus share_mean/share_p50/share_p99;
+  * self-consistency -- the client-visible top-level phases (send,
+    queue, demux) partition the rpc span, so |drift_frac| (the relative
+    gap between the rpc mean and the top-level phase-mean sum) must stay
+    within --max-drift.  Drift can be negative: on the socket transport
+    a payload larger than the socket buffers is streamed, so the
+    sender's send span genuinely overlaps the worker's claim window
+    (see DESIGN.md, "Latency anatomy");
+  * coverage -- --require-endpoint names endpoints that must be present
+    (repeatable); --require-phase names phases every gated endpoint must
+    have attributed (repeatable).
+
+Endpoints with fewer than --min-count rpcs are reported but not gated on
+drift: a handful of calls cannot anchor a mean-vs-mean comparison.
+
+Stdlib only.  Exit 0 valid, 1 invalid, 2 usage/format errors.
+"""
+
+import argparse
+import json
+import sys
+
+RPC_FIELDS = ("count", "mean_us", "p50_us", "p99_us")
+PHASE_FIELDS = RPC_FIELDS + ("share_mean", "share_p50", "share_p99")
+
+
+def is_num(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def check_summary(entry, fields, where, errors):
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for f in fields:
+        if not is_num(entry.get(f)):
+            errors.append(f"{where}: missing or non-numeric '{f}'")
+
+
+def check_endpoint(name, entry, args, errors, notes):
+    where = f"endpoint {name}"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    rpc = entry.get("rpc")
+    check_summary(rpc, RPC_FIELDS, f"{where}: rpc", errors)
+    phases = entry.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        errors.append(f"{where}: missing or empty 'phases'")
+        phases = {}
+    for pname, phase in phases.items():
+        check_summary(phase, PHASE_FIELDS, f"{where}: phase {pname}",
+                      errors)
+    for pname in args.require_phase:
+        if pname not in phases:
+            errors.append(f"{where}: required phase '{pname}' not "
+                          f"attributed")
+
+    count = rpc.get("count") if isinstance(rpc, dict) else None
+    if not is_num(count) or count < args.min_count:
+        notes.append(f"{where}: only {count} rpcs, below --min-count "
+                     f"{args.min_count}; drift not gated")
+        return
+    cons = entry.get("consistency")
+    if not isinstance(cons, dict):
+        errors.append(f"{where}: missing 'consistency' block")
+        return
+    drift = cons.get("drift_frac")
+    if not is_num(drift):
+        errors.append(f"{where}: missing or non-numeric drift_frac")
+        return
+    if abs(drift) > args.max_drift:
+        errors.append(
+            f"{where}: drift_frac {drift:+.4f} exceeds +/-"
+            f"{args.max_drift:g} (rpc_mean_us "
+            f"{cons.get('rpc_mean_us')}, top_level_mean_us "
+            f"{cons.get('top_level_mean_us')}): per-phase sums do not "
+            f"reconcile with the end-to-end rpc span")
+    else:
+        notes.append(f"{where}: {count} rpcs, drift_frac {drift:+.4f} "
+                     f"(limit +/-{args.max_drift:g})")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="bench JSON export (FLICK_BENCH_JSON)")
+    ap.add_argument("--max-drift", type=float, default=0.10,
+                    help="max |drift_frac| between the rpc mean and the "
+                         "top-level phase-mean sum (default 0.10)")
+    ap.add_argument("--min-count", type=int, default=100,
+                    help="endpoints with fewer rpcs are not drift-gated "
+                         "(default 100)")
+    ap.add_argument("--require-endpoint", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this endpoint appears in the "
+                         "report (repeatable)")
+    ap.add_argument("--require-phase", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless every endpoint attributed this "
+                         "phase (repeatable)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_anatomy: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    notes = []
+    anatomy = doc.get("latency_anatomy")
+    if not isinstance(anatomy, dict):
+        errors.append("no 'latency_anatomy' object in document")
+        anatomy = {}
+    elif not anatomy:
+        errors.append("'latency_anatomy' is empty: no endpoint recorded "
+                      "any rpc span (is tracing enabled?)")
+
+    for name, entry in sorted(anatomy.items()):
+        check_endpoint(name, entry, args, errors, notes)
+    for name in args.require_endpoint:
+        if name not in anatomy:
+            errors.append(f"required endpoint '{name}' missing from "
+                          f"report")
+
+    for n in notes:
+        print(f"  {n}")
+    for e in errors:
+        print(f"check_anatomy: {args.file}: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_anatomy: {args.file} OK ({len(anatomy)} endpoints, "
+          f"max |drift| {args.max_drift:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,15 @@ monotone over increasing le, a +Inf bucket present and equal to _count,
 and _sum/_count present.  --require names metrics that must exist (CI
 passes flick_build_info so every export is traceable to a commit).
 
+Bucket samples may carry an OpenMetrics exemplar suffix
+(`# {trace_id="0x..",endpoint=".."} value [ts]`), which the runtime
+emits for the slowest retained RPC in each latency bucket.  Exemplars
+are validated too: only _bucket samples of histogram families may carry
+one, the label body must parse, and the exemplar value must not exceed
+the bucket's le bound (an exemplar is a member of its bucket).
+--require-exemplar names histogram families that must carry at least
+one exemplar (CI uses it on tracer-enabled perf-smoke exports).
+
 Stdlib only.  Exit 0 valid, 1 invalid, 2 usage error.
 """
 
@@ -22,7 +31,9 @@ SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
     r"\s+(?P<value>\S+)"
-    r"(?:\s+(?P<timestamp>-?[0-9]+))?\s*$")
+    r"(?:\s+(?P<timestamp>-?[0-9]+))?"
+    r"(?:\s+#\s+\{(?P<ex_labels>[^}]*)\}"
+    r"\s+(?P<ex_value>\S+)(?:\s+(?P<ex_ts>\S+))?)?\s*$")
 LABEL_RE = re.compile(
     r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
 VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
@@ -79,8 +90,9 @@ def check(lines):
     """Validates exposition-format lines; returns (errors, families).
 
     families maps family name -> {"type": str, "samples": [(name, labels,
-    value, lineno)]}.  All violations are collected, none raised, so one
-    run reports everything wrong with a document.
+    value, lineno)], "exemplars": [(name, labels, ex_labels, ex_value,
+    lineno)]}.  All violations are collected, none raised, so one run
+    reports everything wrong with a document.
     """
     errors = []
     helps = {}
@@ -116,7 +128,8 @@ def check(lines):
                             f"line {lineno}: TYPE {name} has invalid "
                             f"type {kind!r}")
                     types[name] = kind
-                    families[name] = {"type": kind, "samples": []}
+                    families[name] = {"type": kind, "samples": [],
+                                      "exemplars": []}
             continue  # other comments are legal and ignored
         m = SAMPLE_RE.match(line)
         if not m:
@@ -134,8 +147,37 @@ def check(lines):
         fam = family_of(name, types)
         if fam not in families:
             errors.append(f"line {lineno}: sample {name} has no # TYPE")
-            families.setdefault(fam, {"type": "untyped", "samples": []})
+            families.setdefault(fam, {"type": "untyped", "samples": [],
+                                      "exemplars": []})
         families[fam]["samples"].append((name, labels, value, lineno))
+        if m.group("ex_labels") is None:
+            continue
+        # Exemplar suffix: only histogram bucket samples may carry one,
+        # and the exemplar observation must belong to its bucket.
+        if not name.endswith("_bucket") or types.get(fam) != "histogram":
+            errors.append(
+                f"line {lineno}: exemplar on non-histogram-bucket sample "
+                f"{name}")
+            continue
+        ex_labels = parse_labels(m.group("ex_labels"), errors, lineno)
+        try:
+            ex_value = parse_value(m.group("ex_value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad exemplar value "
+                f"{m.group('ex_value')!r} for {name}")
+            continue
+        le = labels.get("le")
+        if le is not None:
+            try:
+                if ex_value > parse_value(le):
+                    errors.append(
+                        f"line {lineno}: exemplar value {ex_value:g} "
+                        f"exceeds bucket le={le}")
+            except ValueError:
+                pass  # the bad le itself is reported by check_histograms
+        families[fam]["exemplars"].append(
+            (name, labels, ex_labels, ex_value, lineno))
     for name in helps:
         if name not in types:
             errors.append(f"# HELP {name} has no matching # TYPE")
@@ -206,6 +248,10 @@ def main(argv=None):
                     metavar="METRIC",
                     help="fail unless this metric family has samples "
                          "(repeatable)")
+    ap.add_argument("--require-exemplar", action="append", default=[],
+                    metavar="FAMILY",
+                    help="fail unless this histogram family carries at "
+                         "least one exemplar (repeatable)")
     args = ap.parse_args(argv)
 
     try:
@@ -222,6 +268,9 @@ def main(argv=None):
     for metric in args.require:
         if not families.get(metric, {}).get("samples"):
             errors.append(f"required metric {metric} missing or empty")
+    for fam in args.require_exemplar:
+        if not families.get(fam, {}).get("exemplars"):
+            errors.append(f"required exemplar on {fam} missing")
 
     nsamples = sum(len(info["samples"]) for info in families.values())
     if nsamples == 0:
@@ -231,8 +280,10 @@ def main(argv=None):
         print(f"check_prometheus: {args.file}: {e}", file=sys.stderr)
     if errors:
         return 1
+    nexemplars = sum(len(info["exemplars"]) for info in families.values())
     print(f"check_prometheus: {args.file} OK "
-          f"({len(families)} families, {nsamples} samples)")
+          f"({len(families)} families, {nsamples} samples, "
+          f"{nexemplars} exemplars)")
     return 0
 
 

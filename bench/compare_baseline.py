@@ -11,6 +11,15 @@ from either side -- baseline rows absent from the candidate included --
 are reported but never fatal, so adding or dropping a series does not
 break the job.
 
+The metric may be a dotted path into nested objects ("rpc_latency.p99_us")
+and may end in ".*" to compare every numeric leaf under the prefix
+("phases.send.*").  Two document-level blocks are exposed as synthetic
+rows so histogram-derived numbers can be gated alongside the throughput
+rows: the "metrics" block under key (metrics, metrics, 0), and one
+(latency_anatomy, <endpoint>, 0) row per endpoint of the attribution
+report.  Latency-style metrics grow when things get worse; pass
+--direction lower to flip the regression test for them.
+
 Rows whose baseline rate exceeds --noise-floor-mb (default 1e6 MB/s) are
 skipped: at those rates the stub only records a buffer reference, the
 timer measures noise, and run-to-run swings beyond 2x are expected.
@@ -34,18 +43,71 @@ def fmt_key(k):
     return f"workload={workload} series={series} payload_bytes={payload}"
 
 
+def resolve(row, path):
+    """Walks dotted \\p path through nested dicts in \\p row.  Returns the
+    numeric leaf, or None when any step is missing or non-numeric."""
+    cur = row
+    for part in path.split("."):
+        if not isinstance(cur, dict):
+            return None
+        cur = cur.get(part)
+    if isinstance(cur, bool) or not isinstance(cur, (int, float)):
+        return None
+    return cur
+
+
+def expand_metric(row, metric):
+    """A plain metric names itself; a trailing '.*' expands to every
+    numeric dotted path under the prefix (sorted, depth-first)."""
+    if not metric.endswith(".*"):
+        return [metric]
+    prefix = metric[:-2]
+    base = row
+    for part in prefix.split("."):
+        if not isinstance(base, dict):
+            return []
+        base = base.get(part)
+    paths = []
+
+    def walk(node, at):
+        if isinstance(node, dict):
+            for k in sorted(node):
+                walk(node[k], f"{at}.{k}")
+        elif not isinstance(node, bool) and isinstance(node, (int, float)):
+            paths.append(at)
+
+    if isinstance(base, dict):
+        walk(base, prefix)
+    return paths
+
+
 def load_rows(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     rows = doc.get("rows")
     if not isinstance(rows, list):
         raise ValueError(f"{path}: no 'rows' array")
-    return {key(r): r for r in rows if None not in key(r)}
+    out = {key(r): r for r in rows if None not in key(r)}
+    # Synthetic rows for the document-level blocks, so dotted metrics can
+    # gate histogram percentiles and the attribution report.
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        out[("metrics", "metrics", 0)] = metrics
+    anatomy = doc.get("latency_anatomy")
+    if isinstance(anatomy, dict):
+        for endpoint, entry in anatomy.items():
+            if isinstance(entry, dict):
+                out[("latency_anatomy", endpoint, 0)] = entry
+    return out
 
 
 def compare(base, cur, metric="rate_mb_per_s", max_regression=2.0,
-            noise_floor=1e6):
-    """Compares two {key: row} dicts on one metric.
+            noise_floor=1e6, direction="higher"):
+    """Compares two {key: row} dicts on one metric (dotted paths and a
+    trailing '.*' wildcard supported; see module docstring).
+
+    direction "higher" treats larger values as better (rates); "lower"
+    treats larger values as worse (latencies), flipping the ratio test.
 
     Returns (checked, skipped, failures, notes).  failures is a list of
     dicts naming the offending row and metric; notes lists every tolerated
@@ -57,31 +119,52 @@ def compare(base, cur, metric="rate_mb_per_s", max_regression=2.0,
     failures = []
     notes = []
     for k, brow in sorted(base.items(), key=str):
-        brate = brow.get(metric)
-        if not isinstance(brate, (int, float)):
-            notes.append(f"baseline row has no '{metric}' (ignored): "
-                         f"{fmt_key(k)}")
+        paths = expand_metric(brow, metric)
+        if not paths:
+            notes.append(f"baseline row has nothing under '{metric}' "
+                         f"(ignored): {fmt_key(k)}")
             continue
         crow = cur.get(k)
-        if crow is None:
-            notes.append(f"missing in current (ignored): {fmt_key(k)}")
-            continue
-        crate = crow.get(metric)
-        if not isinstance(crate, (int, float)):
-            notes.append(f"current row has no '{metric}' (ignored): "
-                         f"{fmt_key(k)}")
-            continue
-        if brate > noise_floor:
-            skipped += 1
-            continue
-        checked += 1
-        if crate <= 0 or brate / crate > max_regression:
-            failures.append({
-                "key": k,
-                "metric": metric,
-                "baseline": brate,
-                "current": crate,
-            })
+        missing_noted = False
+        for mpath in paths:
+            bval = resolve(brow, mpath)
+            if bval is None:
+                notes.append(f"baseline row has no '{mpath}' (ignored): "
+                             f"{fmt_key(k)}")
+                continue
+            if crow is None:
+                if not missing_noted:
+                    notes.append(f"missing in current (ignored): "
+                                 f"{fmt_key(k)}")
+                    missing_noted = True
+                continue
+            cval = resolve(crow, mpath)
+            if cval is None:
+                notes.append(f"current row has no '{mpath}' (ignored): "
+                             f"{fmt_key(k)}")
+                continue
+            if bval > noise_floor:
+                skipped += 1
+                continue
+            if direction == "lower" and bval <= 0:
+                # A zero baseline latency cannot anchor a ratio; the
+                # value only grows from nothing, which is not regression
+                # evidence at smoke tolerances.
+                notes.append(f"zero baseline '{mpath}' (ignored): "
+                             f"{fmt_key(k)}")
+                continue
+            checked += 1
+            if direction == "lower":
+                bad = cval / bval > max_regression
+            else:
+                bad = cval <= 0 or bval / cval > max_regression
+            if bad:
+                failures.append({
+                    "key": k,
+                    "metric": mpath,
+                    "baseline": bval,
+                    "current": cval,
+                })
     for k in sorted(set(cur) - set(base), key=str):
         notes.append(f"new in current (ignored): {fmt_key(k)}")
     return checked, skipped, failures, notes
@@ -92,11 +175,18 @@ def main(argv=None):
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--metric", default="rate_mb_per_s",
-                    help="row field to compare (fig5 uses rate_mbit_per_s)")
+                    help="row field to compare (fig5 uses rate_mbit_per_s); "
+                         "dotted paths reach nested objects "
+                         "(rpc_latency.p99_us) and a trailing .* compares "
+                         "every numeric leaf under the prefix")
     ap.add_argument("--max-regression", type=float, default=2.0,
-                    help="fail when baseline_rate / current_rate exceeds this")
+                    help="fail when the worse-direction ratio exceeds this")
     ap.add_argument("--noise-floor-mb", type=float, default=1e6,
                     help="skip rows whose baseline rate exceeds this (MB/s)")
+    ap.add_argument("--direction", choices=("higher", "lower"),
+                    default="higher",
+                    help="whether larger metric values are better (rates) "
+                         "or worse (latencies)")
     args = ap.parse_args(argv)
 
     try:
@@ -108,14 +198,14 @@ def main(argv=None):
 
     checked, skipped, failures, notes = compare(
         base, cur, metric=args.metric, max_regression=args.max_regression,
-        noise_floor=args.noise_floor_mb)
+        noise_floor=args.noise_floor_mb, direction=args.direction)
 
     for note in notes:
         print(f"  {note}")
     for f in failures:
         print(f"REGRESSION {fmt_key(f['key'])}: {f['metric']} "
               f"baseline {f['baseline']:.1f} -> current {f['current']:.1f} "
-              f"(>{args.max_regression:g}x slower)", file=sys.stderr)
+              f"(>{args.max_regression:g}x worse)", file=sys.stderr)
     print(f"compare_baseline: {checked} rows checked on {args.metric}, "
           f"{skipped} above the noise floor skipped, {len(failures)} "
           f"regressed (limit {args.max_regression:g}x)")

@@ -49,13 +49,16 @@ void C_Transfer_send_dirents_server(const C_DirentSeq *,
 
 namespace {
 
-/// One client thread's state: its own connection, stub client, and
-/// metrics block (merged into the combo's after join, mirroring what
-/// flick_server_pool does for its workers).
+/// One client thread's state: its own connection, stub client, metrics
+/// block, and (when the bench tracer is on) its own span ring -- all
+/// merged into the combo's after join, mirroring what flick_server_pool
+/// does for its workers.
 struct Driver {
   flick_client Cli;
   flick_obj Obj;
   flick_metrics Metrics;
+  flick_tracer Tracer;
+  std::vector<flick_span> Spans; ///< empty: tracing off for this run
   uint64_t Calls = 0;
   bool Failed = false;
   std::thread Thread;
@@ -101,11 +104,21 @@ ComboResult runCombo(const char *TransportName, unsigned Workers,
   for (uint32_t I = 0; I != N; ++I)
     Data[I] = static_cast<int32_t>(I * 2654435761u);
 
+  // Anatomy endpoint: one per transport, so the report separates the
+  // three request-queue implementations' phase shares.
+  char EpName[32];
+  std::snprintf(EpName, sizeof(EpName), "transfer@%s", TransportName);
+  uint32_t Endpoint = flick_endpoint_intern(EpName);
+  flick_tracer *MainTracer = flick_trace_active;
+
   std::vector<std::unique_ptr<Driver>> Drivers;
   for (unsigned I = 0; I != Workers; ++I) {
     auto D = std::unique_ptr<Driver>(new Driver);
     flick_client_init(&D->Cli, &Link->connect());
+    D->Cli.endpoint = Endpoint;
     D->Obj.client = &D->Cli;
+    if (MainTracer)
+      D->Spans.resize(8192);
     Drivers.push_back(std::move(D));
   }
 
@@ -116,6 +129,9 @@ ComboResult runCombo(const char *TransportName, unsigned Workers,
     Driver *DP = D.get();
     DP->Thread = std::thread([DP, &Data, N, Deadline] {
       flick_metrics_enable(&DP->Metrics);
+      if (!DP->Spans.empty())
+        flick_trace_enable_thread(&DP->Tracer, DP->Spans.data(),
+                                  static_cast<uint32_t>(DP->Spans.size()));
       C_IntSeq Seq{0, N, const_cast<int32_t *>(Data.data())};
       CORBA_Environment Ev{};
       while (Clock::now() < Deadline) {
@@ -127,6 +143,8 @@ ComboResult runCombo(const char *TransportName, unsigned Workers,
         }
         ++DP->Calls;
       }
+      if (!DP->Spans.empty())
+        flick_trace_disable();
       flick_metrics_disable();
     });
   }
@@ -143,6 +161,12 @@ ComboResult runCombo(const char *TransportName, unsigned Workers,
   flick_server_pool_stop(&Pool);
   for (auto &D : Drivers)
     flick_metrics_merge(&Combo, &D->Metrics);
+  // Driver span rings (and their tail-exemplar reservoirs) fold into the
+  // bench tracer the same way the pool's workers just did.
+  if (MainTracer)
+    for (auto &D : Drivers)
+      if (!D->Spans.empty())
+        flick_trace_absorb(MainTracer, &D->Tracer);
   for (auto &D : Drivers)
     flick_client_destroy(&D->Cli);
   flick_metrics_active = Prev;

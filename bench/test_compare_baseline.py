@@ -2,9 +2,12 @@
 """Unit tests for compare_baseline.py, run by ctest (compare_baseline_unit).
 
 Covers the comparison core (row matching, metric selection, failure
-attribution, noise floor, tolerated irregularities) and the CLI entry
-point end to end through temp files, including the exit codes CI depends
-on (0 pass / 1 regression / 2 nothing comparable or bad input).
+attribution, noise floor, tolerated irregularities), dotted-path and
+wildcard metrics over nested rows, the synthetic document-level rows
+(metrics block, latency_anatomy endpoints), the --direction lower mode
+for latency-style metrics, and the CLI entry point end to end through
+temp files, including the exit codes CI depends on (0 pass /
+1 regression / 2 nothing comparable or bad input).
 """
 
 import json
@@ -100,6 +103,101 @@ class TestCompare(unittest.TestCase):
         _, _, failures, notes = cb.compare(base, cur)
         self.assertEqual(failures, [])
         self.assertTrue(any("new in current" in n for n in notes))
+
+
+class TestNestedMetrics(unittest.TestCase):
+    def test_resolve_walks_dotted_paths(self):
+        r = {"rpc_latency": {"p99_us": 12.5, "name": "x"}}
+        self.assertEqual(cb.resolve(r, "rpc_latency.p99_us"), 12.5)
+        self.assertIsNone(cb.resolve(r, "rpc_latency.name"))  # non-numeric
+        self.assertIsNone(cb.resolve(r, "rpc_latency.p50_us"))
+        self.assertIsNone(cb.resolve(r, "rpc_latency.p99_us.deeper"))
+        self.assertIsNone(cb.resolve({"flag": True}, "flag"))  # bool
+
+    def test_wildcard_expands_numeric_leaves_sorted(self):
+        r = {"phases": {"send": {"mean_us": 1.0, "p99_us": 2.0},
+                        "demux": {"mean_us": 3.0, "label": "d"}}}
+        self.assertEqual(cb.expand_metric(r, "phases.*"),
+                         ["phases.demux.mean_us", "phases.send.mean_us",
+                          "phases.send.p99_us"])
+        self.assertEqual(cb.expand_metric(r, "absent.*"), [])
+        self.assertEqual(cb.expand_metric(r, "plain"), ["plain"])
+
+    def test_dotted_metric_gates_nested_value(self):
+        base = rows_by_key([row(rpc_latency={"p99_us": 10.0})])
+        cur = rows_by_key([row(rpc_latency={"p99_us": 50.0})])
+        checked, _, failures, _ = cb.compare(
+            base, cur, metric="rpc_latency.p99_us", direction="lower")
+        self.assertEqual(checked, 1)
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(failures[0]["metric"], "rpc_latency.p99_us")
+
+    def test_direction_lower_passes_on_improvement(self):
+        base = rows_by_key([row(rpc_latency={"p99_us": 50.0})])
+        cur = rows_by_key([row(rpc_latency={"p99_us": 10.0})])
+        checked, _, failures, _ = cb.compare(
+            base, cur, metric="rpc_latency.p99_us", direction="lower")
+        self.assertEqual((checked, failures), (1, []))
+
+    def test_direction_lower_zero_baseline_is_noted_not_divided(self):
+        base = rows_by_key([row(rpc_latency={"p99_us": 0.0})])
+        cur = rows_by_key([row(rpc_latency={"p99_us": 5.0})])
+        checked, _, failures, notes = cb.compare(
+            base, cur, metric="rpc_latency.p99_us", direction="lower")
+        self.assertEqual((checked, failures), (0, []))
+        self.assertTrue(any("zero baseline" in n for n in notes))
+
+
+class TestSyntheticRows(unittest.TestCase):
+    def write_doc(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        json.dump(doc, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_metrics_and_anatomy_become_rows(self):
+        doc = {"bench": "t", "rows": [row(rate_mb_per_s=1.0)],
+               "metrics": {"rpc_latency": {"p99_us": 10.0}},
+               "latency_anatomy": {
+                   "ints": {"rpc": {"p99_us": 10.0}},
+                   "rects": {"rpc": {"p99_us": 20.0}}}}
+        rows = cb.load_rows(self.write_doc(doc))
+        self.assertIn(("metrics", "metrics", 0), rows)
+        self.assertIn(("latency_anatomy", "ints", 0), rows)
+        self.assertIn(("latency_anatomy", "rects", 0), rows)
+        self.assertEqual(
+            cb.resolve(rows[("latency_anatomy", "rects", 0)],
+                       "rpc.p99_us"), 20.0)
+
+    def test_anatomy_p99_regression_detected_end_to_end(self):
+        def doc(p99):
+            return {"bench": "t", "rows": [row(rate_mb_per_s=1.0)],
+                    "latency_anatomy": {
+                        "ints": {"rpc": {"p99_us": p99},
+                                 "phases": {"send": {"p99_us": p99 / 2}}}}}
+        base = self.write_doc(doc(10.0))
+        cur = self.write_doc(doc(50.0))
+        self.assertEqual(cb.main(
+            ["--baseline", base, "--current", cur,
+             "--metric", "rpc.p99_us", "--direction", "lower"]), 1)
+        self.assertEqual(cb.main(
+            ["--baseline", base, "--current", base,
+             "--metric", "rpc.p99_us", "--direction", "lower"]), 0)
+
+    def test_anatomy_wildcard_covers_phase_leaves(self):
+        base = rows_by_key([])
+        base[("latency_anatomy", "ints", 0)] = {
+            "phases": {"send": {"p99_us": 4.0, "share_p99": 0.5}}}
+        cur = {("latency_anatomy", "ints", 0): {
+            "phases": {"send": {"p99_us": 40.0, "share_p99": 0.5}}}}
+        checked, _, failures, _ = cb.compare(
+            base, cur, metric="phases.*", direction="lower",
+            max_regression=2.0)
+        self.assertEqual(checked, 2)
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(failures[0]["metric"], "phases.send.p99_us")
 
 
 class TestCli(unittest.TestCase):

@@ -1,0 +1,57 @@
+# Runs a bench binary with FLICK_BENCH_JSON pointed at OUT, then gates
+# the document's latency_anatomy block with bench/check_anatomy.py: the
+# per-endpoint report must exist for every transport, attribute the
+# transport queue wait, and self-reconcile -- the top-level phase means
+# (send + queue + demux) must sum to the end-to-end rpc span mean within
+# MAX_DRIFT.  This is the CI proof that the attribution numbers can be
+# trusted, run as the latency_anatomy ctest.
+#
+# Usage:
+#   cmake -DBENCH=<bench-binary> -DCHECKER=<check_anatomy.py>
+#         -DPYTHON=<python3> -DOUT=<bench.json> [-DMAX_DRIFT=0.10]
+#         -P CheckAnatomy.cmake
+
+foreach(VAR BENCH CHECKER PYTHON OUT)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckAnatomy.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED MAX_DRIFT)
+  set(MAX_DRIFT 0.10)
+endif()
+
+file(REMOVE "${OUT}" "${OUT}.exemplars.json" "${OUT}.exemplars.trace.json")
+# The quick fig8 sweep drives all three transports (threaded, sharded,
+# socket) through the pool under the wire model; FLICK_BENCH_JSON enables
+# the bench tracer so spans attribute, and FLICK_SLO_DEFAULT arms the
+# error-budget counters the report embeds.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          FLICK_BENCH_JSON=${OUT} FLICK_FIG8_QUICK=1
+          "FLICK_SLO_DEFAULT=p99<50ms"
+          "${BENCH}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "bench run failed (rc=${RC}):\n${STDERR}")
+endif()
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "bench did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}"
+          --max-drift ${MAX_DRIFT}
+          --require-endpoint transfer@threaded
+          --require-endpoint transfer@sharded
+          --require-endpoint transfer@socket
+          --require-phase queue
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "latency anatomy invalid (rc=${RC}):\n"
+                      "${STDOUT}${STDERR}")
+endif()
+message(STATUS "${STDOUT}")

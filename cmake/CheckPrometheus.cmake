@@ -13,13 +13,19 @@ foreach(VAR BENCH CHECKER PYTHON OUT)
   endif()
 endforeach()
 
-file(REMOVE "${OUT}")
+file(REMOVE "${OUT}" "${OUT}.bench.json"
+  "${OUT}.bench.json.exemplars.json"
+  "${OUT}.bench.json.exemplars.trace.json")
 # FLICK_FIG8_QUICK shrinks the measurement windows; a quick fig8 run still
 # exercises the threaded runtime end to end, so the exposition carries
-# nonzero RPC counters and a populated latency histogram.
+# nonzero RPC counters and a populated latency histogram.  FLICK_BENCH_JSON
+# turns the bench tracer on (tail-exemplar reservoir -> bucket exemplar
+# annotations) and FLICK_SLO_DEFAULT arms the error-budget counters, so
+# the validated exposition covers the full latency-anatomy surface.
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env
           FLICK_METRICS_PROM=${OUT} FLICK_FIG8_QUICK=1
+          FLICK_BENCH_JSON=${OUT}.bench.json "FLICK_SLO_DEFAULT=p99<50ms"
           "${BENCH}"
   RESULT_VARIABLE RC
   OUTPUT_VARIABLE STDOUT
@@ -36,6 +42,9 @@ execute_process(
           --require flick_build_info
           --require flick_rpcs_sent_total
           --require flick_rpc_latency_seconds
+          --require flick_slo_met_total
+          --require flick_slo_violated_total
+          --require-exemplar flick_rpc_latency_seconds
   RESULT_VARIABLE RC
   OUTPUT_VARIABLE STDOUT
   ERROR_VARIABLE STDERR)

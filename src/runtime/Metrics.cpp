@@ -48,6 +48,124 @@ void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src) {
   dst->queue_full += src->queue_full;
   dst->wire_time_us += src->wire_time_us;
   flick_hist_merge(&dst->rpc_latency, &src->rpc_latency);
+  for (int E = 0; E != FLICK_MAX_ENDPOINTS; ++E) {
+    const flick_endpoint_stats &S = src->anatomy[E];
+    if (!S.used)
+      continue; // empty entries merge as no-ops (the common case)
+    flick_endpoint_stats &D = dst->anatomy[E];
+    D.used = 1;
+    D.slo_met += S.slo_met;
+    D.slo_violated += S.slo_violated;
+    for (int K = 0; K != FLICK_SPAN_KIND_COUNT; ++K)
+      if (S.phase[K].count)
+        flick_hist_merge(&D.phase[K], &S.phase[K]);
+  }
+}
+
+std::string flick_metrics_anatomy_json(const flick_metrics *m,
+                                       const char *indent) {
+  std::string Ind = indent;
+  char Buf[160];
+  std::string Out = "{";
+  bool FirstEp = true;
+  for (int Ep = 0; Ep != FLICK_MAX_ENDPOINTS; ++Ep) {
+    const flick_endpoint_stats &E = m->anatomy[Ep];
+    if (!E.used)
+      continue;
+    Out += FirstEp ? "\n" : ",\n";
+    FirstEp = false;
+    Out += Ind + "\"" + flick_json_escape(flick_endpoint_name(Ep)) +
+           "\": {\n";
+    const flick_latency_hist &Rpc = E.phase[FLICK_SPAN_RPC];
+    double RpcMean =
+        Rpc.count ? Rpc.sum_us / static_cast<double>(Rpc.count) : 0;
+    double RpcP50 = flick_hist_percentile(&Rpc, 0.50);
+    double RpcP99 = flick_hist_percentile(&Rpc, 0.99);
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s  \"rpc\": {\"count\": %llu, \"mean_us\": %.3f, "
+                  "\"p50_us\": %.3f, \"p99_us\": %.3f, \"max_us\": %.3f},\n",
+                  Ind.c_str(), static_cast<unsigned long long>(Rpc.count),
+                  RpcMean, RpcP50, RpcP99, Rpc.max_us);
+    Out += Buf;
+    Out += Ind + "  \"phases\": {";
+    bool FirstPh = true;
+    for (int K = 0; K != FLICK_SPAN_KIND_COUNT; ++K) {
+      if (K == FLICK_SPAN_RPC)
+        continue;
+      const flick_latency_hist &H = E.phase[K];
+      if (!H.count)
+        continue;
+      double Mean = H.sum_us / static_cast<double>(H.count);
+      double P50 = flick_hist_percentile(&H, 0.50);
+      double P99 = flick_hist_percentile(&H, 0.99);
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s%s    \"%s\": {\"count\": %llu, \"mean_us\": %.3f, "
+          "\"p50_us\": %.3f, \"p99_us\": %.3f",
+          FirstPh ? "\n" : ",\n", Ind.c_str(), flick_span_kind_name(K),
+          static_cast<unsigned long long>(H.count), Mean, P50, P99);
+      Out += Buf;
+      FirstPh = false;
+      if (Rpc.count) {
+        // Phase shares against the end-to-end rpc span at matching
+        // percentiles: "what fraction of a p99 call is this phase".
+        std::snprintf(Buf, sizeof(Buf),
+                      ", \"share_mean\": %.4f, \"share_p50\": %.4f, "
+                      "\"share_p99\": %.4f",
+                      RpcMean > 0 ? Mean / RpcMean : 0,
+                      RpcP50 > 0 ? P50 / RpcP50 : 0,
+                      RpcP99 > 0 ? P99 / RpcP99 : 0);
+        Out += Buf;
+      }
+      Out += "}";
+    }
+    Out += FirstPh ? "}" : "\n" + Ind + "  }";
+    const flick_slo *Slo = flick_slo_for(static_cast<uint32_t>(Ep));
+    if (Slo->set) {
+      uint64_t Total = E.slo_met + E.slo_violated;
+      double Allowed = 1.0 - Slo->target;
+      double Burn =
+          Total && Allowed > 0
+              ? (static_cast<double>(E.slo_violated) /
+                 static_cast<double>(Total)) /
+                    Allowed
+              : 0;
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n%s  \"slo\": {\"objective\": \"%s\", "
+                    "\"met\": %llu, \"violated\": %llu, "
+                    "\"burn_rate\": %.4f}",
+                    Ind.c_str(), Slo->objective,
+                    static_cast<unsigned long long>(E.slo_met),
+                    static_cast<unsigned long long>(E.slo_violated), Burn);
+      Out += Buf;
+    }
+    if (Rpc.count) {
+      // Self-consistency: the client-visible top-level phases (send,
+      // queue, demux) partition the rpc span's wall time, so their means
+      // must sum to the rpc mean.  Percentiles don't add; means do.
+      double TopMean = 0;
+      const int TopKinds[] = {FLICK_SPAN_SEND, FLICK_SPAN_QUEUE,
+                              FLICK_SPAN_DEMUX};
+      for (int K : TopKinds) {
+        const flick_latency_hist &H = E.phase[K];
+        if (H.count)
+          TopMean += H.sum_us / static_cast<double>(Rpc.count);
+      }
+      double Drift = RpcMean > 0 ? (RpcMean - TopMean) / RpcMean : 0;
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n%s  \"consistency\": {\"rpc_mean_us\": %.3f, "
+                    "\"top_level_mean_us\": %.3f, \"drift_frac\": %.4f}",
+                    Ind.c_str(), RpcMean, TopMean, Drift);
+      Out += Buf;
+    }
+    Out += "\n" + Ind + "}";
+  }
+  if (FirstEp)
+    return "{}";
+  std::string Close = Ind;
+  if (Close.size() >= 2)
+    Close.resize(Close.size() - 2);
+  return Out + "\n" + Close + "}";
 }
 
 std::string flick_metrics_to_json(const flick_metrics *m,
@@ -112,6 +230,11 @@ std::string flick_metrics_to_json(const flick_metrics *m,
   Out += "\"rpc_latency\": ";
   Out += flick_hist_to_json(&m->rpc_latency,
                             (std::string(indent) + "  ").c_str());
+  Out += ",\n";
+  Out += indent;
+  Out += "\"latency_anatomy\": ";
+  Out += flick_metrics_anatomy_json(m,
+                                    (std::string(indent) + "  ").c_str());
   Out += "\n}";
   return Out;
 }

@@ -185,6 +185,8 @@ int flick_client_invoke(flick_client *c) {
     Base = flick_trace_active->depth;
     if (Base == 0)
       flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
+    if (c->endpoint)
+      flick_trace_tag_endpoint(c->endpoint); // children inherit the tag
     flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
   }
   int err = sendBuf(c->chan, &c->req);
@@ -225,6 +227,8 @@ int flick_client_send_oneway(flick_client *c) {
     Base = flick_trace_active->depth;
     if (Base == 0)
       flick_trace_begin_impl(FLICK_SPAN_RPC, "rpc");
+    if (c->endpoint)
+      flick_trace_tag_endpoint(c->endpoint);
     flick_trace_begin_impl(FLICK_SPAN_SEND, "send");
   }
   int err = sendBuf(c->chan, &c->req);

@@ -47,7 +47,7 @@ void flick_gauges_enable() {
         &G.queue_dequeues, &G.queue_wait_ns, &G.lock_wait_ns, &G.lock_acquires,
         &G.queue_full_waits, &G.pool_gauge_hits, &G.pool_gauge_misses,
         &G.worker_busy_ns, &G.stalls_detected, &G.ring_wait_ns, &G.steals,
-        &G.sock_syscalls, &G.sock_eagain})
+        &G.sock_syscalls, &G.sock_eagain, &G.shard_slots_live})
     F->store(0, std::memory_order_relaxed);
   for (std::atomic<uint64_t> &F : G.shard_depth)
     F.store(0, std::memory_order_relaxed);
@@ -177,11 +177,27 @@ void takeSample(Sampler &S) {
   Smp.steals = Ld(G.steals);
   Smp.sock_syscalls = Ld(G.sock_syscalls);
   Smp.sock_eagain = Ld(G.sock_eagain);
+  uint64_t DepthSum = 0;
   for (const std::atomic<uint64_t> &F : G.shard_depth) {
     uint64_t V = Ld(F);
+    DepthSum += V;
     if (V > Smp.shard_depth_max)
       Smp.shard_depth_max = V;
   }
+  // Mean occupancy over the slots actually in use, not all
+  // FLICK_GAUGE_SHARD_SLOTS: prefer the live count the sharded link
+  // reported, fall back to the worker count (shards default to one per
+  // worker), then to every slot.
+  Smp.shard_slots_live = Ld(G.shard_slots_live);
+  uint64_t LiveSlots = Smp.shard_slots_live;
+  if (!LiveSlots)
+    LiveSlots = Smp.workers_running < FLICK_GAUGE_SHARD_SLOTS
+                    ? Smp.workers_running
+                    : FLICK_GAUGE_SHARD_SLOTS;
+  if (!LiveSlots)
+    LiveSlots = FLICK_GAUGE_SHARD_SLOTS;
+  Smp.shard_depth_avg =
+      static_cast<double>(DepthSum) / static_cast<double>(LiveSlots);
 
   // Watchdog scan: count everything currently past the deadline, and bump
   // stalls_detected once per (slot, start stamp) so a stuck RPC is one
@@ -211,6 +227,10 @@ void takeSample(Sampler &S) {
     Smp.m_rpcs_handled = watchedLoad(&M->rpcs_handled);
     Smp.m_request_bytes = watchedLoad(&M->request_bytes);
     Smp.m_queue_full = watchedLoad(&M->queue_full);
+    for (int E = 0; E != FLICK_MAX_ENDPOINTS; ++E) {
+      Smp.slo_met += watchedLoad(&M->anatomy[E].slo_met);
+      Smp.slo_violated += watchedLoad(&M->anatomy[E].slo_violated);
+    }
   }
 
   uint64_t H = S.Head.load(std::memory_order_relaxed);
@@ -379,7 +399,20 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
   double IntervalNs = DtUs * 1000.0;
   uint64_t Workers = Smp.workers_running ? Smp.workers_running : 1;
 
-  char Buf[1536];
+  // Error-budget burn rate over this interval: the fraction of RPCs that
+  // violated their SLO, normalized by the tightest allowed-violation
+  // fraction across configured objectives.  1.0 burns the budget exactly
+  // at the sustainable pace; >1 exhausts it early.
+  uint64_t DMet = D(Smp.slo_met, Prev.slo_met);
+  uint64_t DViol = D(Smp.slo_violated, Prev.slo_violated);
+  double Allowed = flick_slo_strictest_allowed();
+  double BurnRate =
+      Allowed > 0 && DMet + DViol
+          ? (static_cast<double>(DViol) / static_cast<double>(DMet + DViol)) /
+                Allowed
+          : 0.0;
+
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"t_us\": %.1f, \"queue_depth\": %llu, \"inflight_rpcs\": %llu, "
@@ -387,6 +420,7 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       "\"workers_running\": %llu, \"stalled_rpcs\": %llu, "
       "\"stalls_detected\": %llu, \"rpcs_completed\": %llu, "
       "\"queue_full_waits\": %llu, \"shard_depth_max\": %llu, "
+      "\"shard_depth_avg\": %.3f, \"shard_slots_live\": %llu, "
       "\"rpcs_per_s\": %.1f, "
       "\"enqueues_per_s\": %.1f, \"queue_wait_avg_us\": %.3f, "
       "\"lock_wait_frac\": %.4f, \"ring_wait_frac\": %.4f, "
@@ -394,7 +428,8 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       "\"eagain_retries\": %llu, \"worker_busy_frac\": %.4f, "
       "\"pool_hit_rate\": %.3f, \"m_rpcs_sent\": %llu, "
       "\"m_rpcs_handled\": %llu, \"m_request_bytes\": %llu, "
-      "\"m_queue_full\": %llu}",
+      "\"m_queue_full\": %llu, \"slo_met\": %llu, "
+      "\"slo_violated\": %llu, \"slo_burn_rate\": %.3f}",
       Smp.t_us, static_cast<unsigned long long>(Smp.queue_depth),
       static_cast<unsigned long long>(Smp.inflight_rpcs),
       static_cast<unsigned long long>(Smp.pool_buffers),
@@ -405,6 +440,8 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       static_cast<unsigned long long>(Smp.rpcs_completed),
       static_cast<unsigned long long>(Smp.queue_full_waits),
       static_cast<unsigned long long>(Smp.shard_depth_max),
+      Smp.shard_depth_avg,
+      static_cast<unsigned long long>(Smp.shard_slots_live),
       static_cast<double>(DRpcs) * PerS, static_cast<double>(DEnq) * PerS,
       DDeq ? static_cast<double>(DWaitNs) / 1000.0 /
                  static_cast<double>(DDeq)
@@ -423,7 +460,9 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       static_cast<unsigned long long>(Smp.m_rpcs_sent),
       static_cast<unsigned long long>(Smp.m_rpcs_handled),
       static_cast<unsigned long long>(Smp.m_request_bytes),
-      static_cast<unsigned long long>(Smp.m_queue_full));
+      static_cast<unsigned long long>(Smp.m_queue_full),
+      static_cast<unsigned long long>(Smp.slo_met),
+      static_cast<unsigned long long>(Smp.slo_violated), BurnRate);
   return Buf;
 }
 
@@ -559,7 +598,8 @@ void promMetric(std::string &Out, const char *Name, const char *Type,
 
 } // namespace
 
-std::string flick_metrics_to_prometheus(const flick_metrics *m) {
+std::string flick_metrics_to_prometheus(const flick_metrics *m,
+                                        const flick_tracer *exemplars) {
   std::string Out;
   Out += "# HELP flick_build_info Build attribution; value is always 1.\n";
   Out += "# TYPE flick_build_info gauge\n";
@@ -614,21 +654,51 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m) {
                m->wire_time_us / 1e6);
 
     // The RPC latency histogram, in base-unit seconds with cumulative
-    // buckets as the exposition format requires.
+    // buckets as the exposition format requires.  When a tracer with a
+    // tail-exemplar reservoir is supplied, each bucket line gets at most
+    // one OpenMetrics exemplar annotation: the slowest retained RPC whose
+    // duration falls in that bucket, so the post-mortem trace for a tail
+    // latency is one trace_id lookup away from the histogram.
+    const flick_exemplar *BucketEx[FLICK_HIST_BUCKETS] = {};
+    if (exemplars) {
+      for (int E = 0; E != FLICK_MAX_ENDPOINTS; ++E)
+        for (int S = 0; S != FLICK_EXEMPLAR_SLOTS; ++S) {
+          const flick_exemplar &X = exemplars->exemplars.slots[E][S];
+          if (!X.n_spans)
+            continue;
+          // Same bucket rule as flick_hist_record: smallest I with
+          // dur < 2^I us.
+          int I = 0;
+          while (I < FLICK_HIST_BUCKETS - 1 &&
+                 X.dur_us >= static_cast<double>(uint64_t(1) << I))
+            ++I;
+          if (!BucketEx[I] || X.dur_us > BucketEx[I]->dur_us)
+            BucketEx[I] = &X;
+        }
+    }
     const flick_latency_hist &H = m->rpc_latency;
     Out += "# HELP flick_rpc_latency_seconds Client round-trip latency.\n";
     Out += "# TYPE flick_rpc_latency_seconds histogram\n";
-    char Buf[160];
+    char Buf[256];
     uint64_t Cum = 0;
     for (int I = 0; I != FLICK_HIST_BUCKETS; ++I) {
       if (!H.buckets[I])
         continue;
       Cum += H.buckets[I];
       std::snprintf(Buf, sizeof(Buf),
-                    "flick_rpc_latency_seconds_bucket{le=\"%.9g\"} %llu\n",
+                    "flick_rpc_latency_seconds_bucket{le=\"%.9g\"} %llu",
                     static_cast<double>(uint64_t(1) << I) / 1e6,
                     static_cast<unsigned long long>(Cum));
       Out += Buf;
+      if (const flick_exemplar *X = BucketEx[I]) {
+        std::snprintf(Buf, sizeof(Buf),
+                      " # {trace_id=\"0x%llx\",endpoint=\"%s\"} %.9g",
+                      static_cast<unsigned long long>(X->trace_id),
+                      promEscape(flick_endpoint_name(X->endpoint)).c_str(),
+                      X->dur_us / 1e6);
+        Out += Buf;
+      }
+      Out += "\n";
     }
     std::snprintf(Buf, sizeof(Buf),
                   "flick_rpc_latency_seconds_bucket{le=\"+Inf\"} %llu\n"
@@ -637,6 +707,48 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m) {
                   static_cast<unsigned long long>(H.count), H.sum_us / 1e6,
                   static_cast<unsigned long long>(H.count));
     Out += Buf;
+
+    // SLO error-budget counters: one series per endpoint with a
+    // configured objective, labeled with the endpoint name and the
+    // objective's source text.
+    bool AnySlo = false;
+    uint32_t NEndpoints = flick_endpoint_count();
+    if (NEndpoints > FLICK_MAX_ENDPOINTS)
+      NEndpoints = FLICK_MAX_ENDPOINTS;
+    for (uint32_t E = 0; E != NEndpoints; ++E)
+      if (flick_slo_for(E)->set)
+        AnySlo = true;
+    if (AnySlo) {
+      struct SloFamily {
+        const char *Name;
+        const char *Help;
+        uint64_t flick_endpoint_stats::*Field;
+      };
+      const SloFamily Families[] = {
+          {"flick_slo_met_total",
+           "RPCs that completed within their endpoint's latency objective.",
+           &flick_endpoint_stats::slo_met},
+          {"flick_slo_violated_total",
+           "RPCs over their endpoint's latency objective (budget spend).",
+           &flick_endpoint_stats::slo_violated},
+      };
+      for (const SloFamily &F : Families) {
+        Out += std::string("# HELP ") + F.Name + " " + F.Help + "\n";
+        Out += std::string("# TYPE ") + F.Name + " counter\n";
+        for (uint32_t E = 0; E != NEndpoints; ++E) {
+          const flick_slo *Slo = flick_slo_for(E);
+          if (!Slo->set)
+            continue;
+          std::snprintf(Buf, sizeof(Buf),
+                        "%s{endpoint=\"%s\",objective=\"%s\"} %llu\n", F.Name,
+                        promEscape(flick_endpoint_name(E)).c_str(),
+                        promEscape(Slo->objective).c_str(),
+                        static_cast<unsigned long long>(m->anatomy[E].*
+                                                        F.Field));
+          Out += Buf;
+        }
+      }
+    }
   }
 
   // The live gauge block: instantaneous values as gauges, cumulative ones

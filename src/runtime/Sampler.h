@@ -92,6 +92,11 @@ struct flick_gauges {
   std::atomic<uint64_t> sock_eagain{0};    ///< EAGAIN retries on the send path
   // Instantaneous per-shard occupancy (ShardedLink).
   std::atomic<uint64_t> shard_depth[FLICK_GAUGE_SHARD_SLOTS] = {};
+  /// Shard slots actually in use by the live ShardedLink (<= the slot
+  /// count).  Exporters average occupancy over this many slots instead of
+  /// all FLICK_GAUGE_SHARD_SLOTS, so a 4-shard run is not diluted by four
+  /// permanently-zero slots.  0 when no sharded link has reported.
+  std::atomic<uint64_t> shard_slots_live{0};
 };
 
 /// The global gauge block (always present; cold when recording is off).
@@ -215,11 +220,17 @@ struct flick_sample {
   uint64_t sock_syscalls = 0;
   uint64_t sock_eagain = 0;
   uint64_t shard_depth_max = 0; ///< deepest shard slot at this tick
+  uint64_t shard_slots_live = 0; ///< shard slots in use (0: none reported)
+  double shard_depth_avg = 0; ///< mean occupancy over the live slots only
   // Watched flick_metrics excerpt (zero when nothing is watched).
   uint64_t m_rpcs_sent = 0;
   uint64_t m_rpcs_handled = 0;
   uint64_t m_request_bytes = 0;
   uint64_t m_queue_full = 0;
+  // SLO counters summed over the watched block's per-endpoint anatomy
+  // table (zero when nothing is watched or no SLO is configured).
+  uint64_t slo_met = 0;
+  uint64_t slo_violated = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -293,7 +304,15 @@ double flick_sampler_epoch_offset_us(const flick_tracer *t);
 /// the Prometheus text exposition format: HELP/TYPE comment pairs,
 /// `flick_*_total` counters, `flick_*` gauges, the rpc_latency histogram
 /// as a cumulative `flick_rpc_latency_seconds` histogram, and one
-/// `flick_build_info{...} 1` info metric.
-std::string flick_metrics_to_prometheus(const flick_metrics *m);
+/// `flick_build_info{...} 1` info metric.  When \p m carries per-endpoint
+/// anatomy, `flick_slo_met_total` / `flick_slo_violated_total` counter
+/// families labeled by endpoint are emitted for every endpoint with a
+/// configured objective.  \p exemplars (optional) attaches OpenMetrics
+/// exemplar annotations -- ` # {trace_id="...",endpoint="..."} <secs>` --
+/// to the latency histogram's bucket lines, one per bucket at most,
+/// drawn from the tracer's tail-exemplar reservoir.
+std::string flick_metrics_to_prometheus(const flick_metrics *m,
+                                        const flick_tracer *exemplars =
+                                            nullptr);
 
 #endif // FLICK_RUNTIME_SAMPLER_H

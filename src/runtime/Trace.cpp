@@ -6,15 +6,162 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Trace.h"
+#include "runtime/flick_runtime.h"
 #include "support/BuildInfo.h"
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 thread_local flick_tracer *flick_trace_active = nullptr;
+
+//===----------------------------------------------------------------------===//
+// Endpoint registry and SLOs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct EndpointReg {
+  std::mutex Mu;
+  char Names[FLICK_MAX_ENDPOINTS][48];
+  flick_slo Slos[FLICK_MAX_ENDPOINTS];
+  /// Ids minted; names/slos below Count are immutable once published
+  /// (release store), so readers only need the acquire load.
+  std::atomic<uint32_t> Count{1};
+};
+
+bool parseSlo(const char *Spec, flick_slo *Out) {
+  *Out = flick_slo{};
+  if (!Spec || Spec[0] != 'p')
+    return false;
+  const char *P = Spec + 1;
+  const char *Digits = P;
+  while (*P >= '0' && *P <= '9')
+    ++P;
+  if (P == Digits || *P != '<')
+    return false;
+  double Target = 0, Scale = 1;
+  for (const char *C = Digits; C != P; ++C) {
+    Scale /= 10;
+    Target += (*C - '0') * Scale;
+  }
+  ++P; // past '<'
+  char *End = nullptr;
+  double Bound = std::strtod(P, &End);
+  if (End == P || Bound <= 0)
+    return false;
+  double Mult;
+  if (!std::strcmp(End, "us"))
+    Mult = 1;
+  else if (!std::strcmp(End, "ms"))
+    Mult = 1e3;
+  else if (!std::strcmp(End, "s"))
+    Mult = 1e6;
+  else
+    return false;
+  Out->set = 1;
+  Out->target = Target;
+  Out->threshold_us = Bound * Mult;
+  std::snprintf(Out->objective, sizeof(Out->objective), "%s", Spec);
+  return true;
+}
+
+/// Reads FLICK_SLO_<NAME> (falling back to FLICK_SLO_DEFAULT) for slot
+/// \p Id.  Caller holds R.Mu or is still single-threaded.
+void loadSloFor(EndpointReg &R, uint32_t Id) {
+  char Env[96] = "FLICK_SLO_";
+  size_t At = std::strlen(Env);
+  for (const char *C = R.Names[Id]; *C && At + 1 < sizeof(Env); ++C)
+    Env[At++] = std::isalnum(static_cast<unsigned char>(*C))
+                    ? static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(*C)))
+                    : '_';
+  Env[At] = 0;
+  const char *Spec = std::getenv(Env);
+  if (!Spec || !*Spec)
+    Spec = std::getenv("FLICK_SLO_DEFAULT");
+  parseSlo(Spec, &R.Slos[Id]);
+}
+
+EndpointReg &endpointReg() {
+  static EndpointReg *R = [] {
+    auto *Reg = new EndpointReg;
+    std::snprintf(Reg->Names[0], sizeof(Reg->Names[0]), "default");
+    loadSloFor(*Reg, 0);
+    return Reg;
+  }();
+  return *R;
+}
+
+} // namespace
+
+uint32_t flick_endpoint_intern(const char *name) {
+  if (!name || !*name)
+    return 0;
+  EndpointReg &R = endpointReg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  uint32_t N = R.Count.load(std::memory_order_relaxed);
+  for (uint32_t I = 0; I != N; ++I)
+    if (!std::strcmp(R.Names[I], name))
+      return I;
+  if (N == FLICK_MAX_ENDPOINTS)
+    return 0; // full: attribute to the default endpoint
+  std::snprintf(R.Names[N], sizeof(R.Names[N]), "%s", name);
+  loadSloFor(R, N);
+  R.Count.store(N + 1, std::memory_order_release);
+  return N;
+}
+
+const char *flick_endpoint_name(uint32_t id) {
+  EndpointReg &R = endpointReg();
+  if (id >= R.Count.load(std::memory_order_acquire))
+    return "default";
+  return R.Names[id];
+}
+
+uint32_t flick_endpoint_count() {
+  return endpointReg().Count.load(std::memory_order_acquire);
+}
+
+void flick_endpoint_reset_for_tests() {
+  EndpointReg &R = endpointReg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  R.Count.store(1, std::memory_order_release);
+  loadSloFor(R, 0);
+}
+
+const flick_slo *flick_slo_for(uint32_t id) {
+  EndpointReg &R = endpointReg();
+  if (id >= R.Count.load(std::memory_order_acquire))
+    id = 0;
+  return &R.Slos[id];
+}
+
+void flick_slo_reload() {
+  EndpointReg &R = endpointReg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  uint32_t N = R.Count.load(std::memory_order_relaxed);
+  for (uint32_t I = 0; I != N; ++I)
+    loadSloFor(R, I);
+}
+
+double flick_slo_strictest_allowed() {
+  EndpointReg &R = endpointReg();
+  uint32_t N = R.Count.load(std::memory_order_acquire);
+  double Allowed = 0;
+  for (uint32_t I = 0; I != N; ++I)
+    if (R.Slos[I].set) {
+      double A = 1.0 - R.Slos[I].target;
+      if (Allowed == 0 || A < Allowed)
+        Allowed = A;
+    }
+  return Allowed;
+}
 
 //===----------------------------------------------------------------------===//
 // Latency histogram
@@ -143,6 +290,8 @@ void pushOpen(flick_tracer *T, flick_span &S) {
                   1];
       S.trace_id = Top.trace_id;
       S.parent_id = Top.span_id;
+      if (!S.endpoint)
+        S.endpoint = Top.endpoint;
     } else {
       S.trace_id = ++T->next_trace_id;
       S.parent_id = 0;
@@ -153,6 +302,80 @@ void pushOpen(flick_tracer *T, flick_span &S) {
   else
     ++T->truncated; // depth still advances so the matching end pairs up
   ++T->depth;
+}
+
+/// Attributes a completed span to the active metrics block's anatomy
+/// table, and -- for a thread-root RPC close -- settles it against the
+/// endpoint's SLO.
+void recordAnatomy(const flick_span &S, bool thread_root) {
+  flick_metrics *M = flick_metrics_active;
+  if (!M)
+    return;
+  uint32_t Ep = S.endpoint < FLICK_MAX_ENDPOINTS ? S.endpoint : 0;
+  flick_endpoint_stats &E = M->anatomy[Ep];
+  if (S.kind < FLICK_SPAN_KIND_COUNT) {
+    E.used = 1;
+    flick_hist_record(&E.phase[S.kind], S.dur_us);
+  }
+  if (thread_root && S.kind == FLICK_SPAN_RPC) {
+    const flick_slo *Slo = flick_slo_for(Ep);
+    if (Slo->set) {
+      if (S.dur_us <= Slo->threshold_us)
+        ++E.slo_met;
+      else
+        ++E.slo_violated;
+    }
+  }
+}
+
+/// The reservoir slot a candidate of \p dur_us would occupy: the first
+/// empty one, else the fastest retained -- or null when the candidate is
+/// no slower than everything already held.
+flick_exemplar *exemplarVictim(flick_exemplar *Slots, double dur_us) {
+  flick_exemplar *Dst = nullptr;
+  for (uint32_t I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I) {
+    if (!Slots[I].n_spans)
+      return &Slots[I];
+    if (!Dst || Slots[I].dur_us < Dst->dur_us)
+      Dst = &Slots[I];
+  }
+  return dur_us > Dst->dur_us ? Dst : nullptr;
+}
+
+/// Retains the closing RPC root's span tree when it ranks among the
+/// endpoint's slowest-N, copying it out of the ring before overwrites
+/// can claim it.
+void captureExemplar(flick_tracer *T, const flick_span &Root) {
+  uint32_t Ep = Root.endpoint < FLICK_MAX_ENDPOINTS ? Root.endpoint : 0;
+  flick_exemplar *Dst = exemplarVictim(T->exemplars.slots[Ep], Root.dur_us);
+  if (!Dst)
+    return;
+  Dst->dur_us = Root.dur_us;
+  Dst->trace_id = Root.trace_id;
+  Dst->endpoint = Ep;
+  Dst->n_spans = 0;
+  // The root closes after its children, so this trace's spans are the
+  // newest run in the ring: walk newest -> oldest while the id matches.
+  uint64_t Held = T->head < T->cap ? T->head : T->cap;
+  for (uint64_t I = 0; I != Held && Dst->n_spans < FLICK_EXEMPLAR_SPANS;
+       ++I) {
+    const flick_span &S = T->spans[(T->head - 1 - I) % T->cap];
+    if (S.trace_id != Root.trace_id)
+      break;
+    Dst->spans[Dst->n_spans++] = S;
+  }
+  if (!Dst->n_spans)
+    Dst->spans[Dst->n_spans++] = Root; // ring too small for even the root
+  std::reverse(Dst->spans, Dst->spans + Dst->n_spans); // chronological
+}
+
+/// Offers an absorbed tracer's exemplar (timestamps already rebased) to
+/// \p T's reservoir under the same slowest-N competition.
+void offerExemplar(flick_tracer *T, const flick_exemplar &Src) {
+  uint32_t Ep = Src.endpoint < FLICK_MAX_ENDPOINTS ? Src.endpoint : 0;
+  flick_exemplar *Dst = exemplarVictim(T->exemplars.slots[Ep], Src.dur_us);
+  if (Dst)
+    *Dst = Src;
 }
 
 } // namespace
@@ -190,6 +413,16 @@ void flick_trace_absorb(flick_tracer *dst, const flick_tracer *src) {
   }
   dst->dropped += src->dropped;
   dst->truncated += src->truncated;
+  for (uint32_t Ep = 0; Ep != FLICK_MAX_ENDPOINTS; ++Ep)
+    for (uint32_t I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I) {
+      const flick_exemplar &Slot = src->exemplars.slots[Ep][I];
+      if (!Slot.n_spans)
+        continue;
+      flick_exemplar E = Slot;
+      for (uint32_t J = 0; J != E.n_spans; ++J)
+        E.spans[J].begin_us += Off;
+      offerExemplar(dst, E);
+    }
 }
 
 void flick_trace_begin_impl(int kind, const char *name) {
@@ -208,9 +441,31 @@ void flick_trace_begin_remote_impl(int kind, const char *name) {
   if (T->pending_valid) {
     S.trace_id = T->pending_trace_id;
     S.parent_id = T->pending_parent_id;
+    S.endpoint = static_cast<uint8_t>(
+        T->pending_endpoint < FLICK_MAX_ENDPOINTS ? T->pending_endpoint : 0);
     T->pending_valid = 0;
   }
+  double Wait = T->pending_wait_us;
+  T->pending_wait_us = 0;
   pushOpen(T, S);
+  if (Wait > 0 && T->depth <= FLICK_TRACE_MAX_DEPTH) {
+    // The queue wait ended where this root begins: record it as a
+    // completed QUEUE child backdated by its duration, so the phase sums
+    // reconcile with wall time without a span ever being open across
+    // threads.
+    const flick_span &Root = T->open[T->depth - 1];
+    flick_span Q;
+    Q.kind = FLICK_SPAN_QUEUE;
+    Q.name = "queue";
+    Q.span_id = ++T->next_span_id;
+    Q.trace_id = Root.trace_id;
+    Q.parent_id = Root.span_id;
+    Q.endpoint = Root.endpoint;
+    Q.begin_us = Root.begin_us - Wait;
+    Q.dur_us = Wait;
+    record(T, Q);
+    recordAnatomy(Q, false);
+  }
 }
 
 void flick_trace_end_impl() {
@@ -222,6 +477,9 @@ void flick_trace_end_impl() {
     flick_span S = T->open[T->depth];
     S.dur_us = nowUs(T) - S.begin_us;
     record(T, S);
+    recordAnatomy(S, T->depth == 0);
+    if (T->depth == 0 && S.kind == FLICK_SPAN_RPC)
+      captureExemplar(T, S);
   }
 }
 
@@ -250,15 +508,28 @@ void flick_trace_record_complete(int kind, const char *name, double dur_us) {
                 1];
     S.trace_id = Top.trace_id;
     S.parent_id = Top.span_id;
+    S.endpoint = Top.endpoint;
   } else {
     S.trace_id = ++T->next_trace_id;
   }
   record(T, S);
+  recordAnatomy(S, false);
 }
 
-void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id) {
+void flick_trace_tag_endpoint(uint32_t endpoint) {
+  flick_tracer *T = flick_trace_active;
+  if (!T || T->depth == 0 || T->depth > FLICK_TRACE_MAX_DEPTH)
+    return;
+  T->open[T->depth - 1].endpoint =
+      static_cast<uint8_t>(endpoint < FLICK_MAX_ENDPOINTS ? endpoint : 0);
+}
+
+void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id,
+                       uint32_t *endpoint) {
   *trace_id = 0;
   *parent_id = 0;
+  if (endpoint)
+    *endpoint = 0;
   flick_tracer *T = flick_trace_active;
   if (!T || T->depth == 0)
     return;
@@ -268,15 +539,26 @@ void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id) {
               1];
   *trace_id = Top.trace_id;
   *parent_id = Top.span_id;
+  if (endpoint)
+    *endpoint = Top.endpoint;
 }
 
-void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id) {
+void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id,
+                         uint32_t endpoint) {
   flick_tracer *T = flick_trace_active;
   if (!T)
     return;
   T->pending_trace_id = trace_id;
   T->pending_parent_id = parent_id;
+  T->pending_endpoint = endpoint;
   T->pending_valid = trace_id != 0;
+}
+
+void flick_trace_deposit_wait(uint64_t wait_ns) {
+  flick_tracer *T = flick_trace_active;
+  if (!T)
+    return;
+  T->pending_wait_us = static_cast<double>(wait_ns) / 1000.0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -301,6 +583,8 @@ const char *flick_span_kind_name(int kind) {
     return "unmarshal";
   case FLICK_SPAN_REPLY:
     return "reply";
+  case FLICK_SPAN_QUEUE:
+    return "queue";
   default:
     return "unknown";
   }
@@ -416,20 +700,31 @@ std::string flick_trace_to_chrome_json(const flick_tracer *t,
                                       : A.Depth > B.Depth;
                    });
   std::string Out = "{\n  \"traceEvents\": [";
-  char Buf[256];
+  char Buf[384];
   for (size_t I = 0; I != Events.size(); ++I) {
     const Event &E = Events[I];
     std::string Name =
         flick_json_escape(E.S->name ? E.S->name
                                     : flick_span_kind_name(E.S->kind));
-    std::snprintf(Buf, sizeof(Buf),
-                  "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
-                  "\"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, "
-                  "\"tid\": %llu}",
-                  I ? "," : "", Name.c_str(),
-                  flick_span_kind_name(E.S->kind), E.IsBegin ? 'B' : 'E',
-                  E.Ts,
-                  static_cast<unsigned long long>(E.S->trace_id));
+    if (E.IsBegin)
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                    "\"ph\": \"B\", \"ts\": %.3f, \"pid\": 1, "
+                    "\"tid\": %llu, \"args\": {\"kind\": \"%s\", "
+                    "\"endpoint\": \"%s\"}}",
+                    I ? "," : "", Name.c_str(),
+                    flick_span_kind_name(E.S->kind), E.Ts,
+                    static_cast<unsigned long long>(E.S->trace_id),
+                    flick_span_kind_name(E.S->kind),
+                    flick_endpoint_name(E.S->endpoint));
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                    "\"ph\": \"E\", \"ts\": %.3f, \"pid\": 1, "
+                    "\"tid\": %llu}",
+                    I ? "," : "", Name.c_str(),
+                    flick_span_kind_name(E.S->kind), E.Ts,
+                    static_cast<unsigned long long>(E.S->trace_id));
     Out += Buf;
   }
   if (!extra_events.empty()) {
@@ -486,4 +781,120 @@ std::string flick_trace_to_collapsed(const flick_tracer *t) {
     Out += Stack + Buf;
   }
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Exemplar exporters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The endpoint's retained exemplars, slowest first.
+std::vector<const flick_exemplar *> sortedSlots(const flick_tracer *T,
+                                                uint32_t Ep) {
+  std::vector<const flick_exemplar *> Order;
+  for (uint32_t I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I)
+    if (T->exemplars.slots[Ep][I].n_spans)
+      Order.push_back(&T->exemplars.slots[Ep][I]);
+  std::sort(Order.begin(), Order.end(),
+            [](const flick_exemplar *A, const flick_exemplar *B) {
+              return A->dur_us > B->dur_us;
+            });
+  return Order;
+}
+
+void appendSpanJson(std::string &Out, const flick_span &S,
+                    const char *Prefix) {
+  char Buf[256];
+  std::string Name =
+      flick_json_escape(S.name ? S.name : flick_span_kind_name(S.kind));
+  std::snprintf(Buf, sizeof(Buf),
+                "%s{\"name\": \"%s\", \"kind\": \"%s\", "
+                "\"endpoint\": \"%s\", \"span_id\": %llu, "
+                "\"parent_id\": %llu, \"begin_us\": %.3f, "
+                "\"dur_us\": %.3f}",
+                Prefix, Name.c_str(), flick_span_kind_name(S.kind),
+                flick_endpoint_name(S.endpoint),
+                static_cast<unsigned long long>(S.span_id),
+                static_cast<unsigned long long>(S.parent_id), S.begin_us,
+                S.dur_us);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string flick_exemplars_to_json(const flick_tracer *t,
+                                    const char *indent) {
+  std::string Ind = indent;
+  std::string Out = "{\n" + Ind + "\"build\": " + flick_build_info_json() +
+                    ",\n" + Ind + "\"endpoints\": {";
+  char Buf[128];
+  bool FirstEp = true;
+  for (uint32_t Ep = 0; Ep != FLICK_MAX_ENDPOINTS; ++Ep) {
+    auto Order = sortedSlots(t, Ep);
+    if (Order.empty())
+      continue;
+    Out += FirstEp ? "\n" : ",\n";
+    FirstEp = false;
+    Out += Ind + Ind + "\"" +
+           flick_json_escape(flick_endpoint_name(Ep)) + "\": [";
+    for (size_t X = 0; X != Order.size(); ++X) {
+      const flick_exemplar &E = *Order[X];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\n%s%s%s{\"trace_id\": \"0x%llx\", "
+                    "\"dur_us\": %.3f, \"spans\": [",
+                    X ? "," : "", Ind.c_str(), Ind.c_str(), Ind.c_str(),
+                    static_cast<unsigned long long>(E.trace_id), E.dur_us);
+      Out += Buf;
+      bool FirstSpan = true;
+      auto Emit = [&](const flick_span &S) {
+        Out += FirstSpan ? "\n" : ",\n";
+        FirstSpan = false;
+        Out += Ind + Ind + Ind + Ind;
+        appendSpanJson(Out, S, "");
+      };
+      // The retained copy first, then any spans still in the ring that
+      // share the trace id but were recorded elsewhere (e.g. server-side
+      // segments absorbed from worker tracers after capture).
+      std::vector<uint64_t> SeenIds;
+      for (uint32_t J = 0; J != E.n_spans; ++J) {
+        Emit(E.spans[J]);
+        SeenIds.push_back(E.spans[J].span_id);
+      }
+      size_t N = flick_trace_span_count(t);
+      for (size_t J = 0; J != N; ++J) {
+        const flick_span &S = *flick_trace_span(t, J);
+        if (S.trace_id != E.trace_id)
+          continue;
+        if (std::find(SeenIds.begin(), SeenIds.end(), S.span_id) !=
+            SeenIds.end())
+          continue;
+        Emit(S);
+        SeenIds.push_back(S.span_id);
+      }
+      Out += "\n" + Ind + Ind + Ind + "]}";
+    }
+    Out += "\n" + Ind + Ind + "]";
+  }
+  Out += FirstEp ? "}" : "\n" + Ind + "}";
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string flick_exemplars_to_chrome_json(const flick_tracer *t) {
+  std::vector<flick_span> Flat;
+  for (uint32_t Ep = 0; Ep != FLICK_MAX_ENDPOINTS; ++Ep)
+    for (uint32_t I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I) {
+      const flick_exemplar &E = t->exemplars.slots[Ep][I];
+      for (uint32_t J = 0; J != E.n_spans; ++J)
+        Flat.push_back(E.spans[J]);
+    }
+  // A borrowed tracer over the flat copy reuses the Chrome exporter; its
+  // tid-per-trace convention already gives each retained RPC a track.
+  flick_tracer View;
+  View.spans = Flat.empty() ? nullptr : Flat.data();
+  View.cap = static_cast<uint32_t>(Flat.size());
+  View.head = Flat.size();
+  View.epoch = t->epoch;
+  return flick_trace_to_chrome_json(&View);
 }

@@ -77,7 +77,8 @@ std::string flick_hist_to_json(const flick_latency_hist *h,
 //===----------------------------------------------------------------------===//
 
 /// What phase of an RPC a span covers.  Kept as plain enum constants so
-/// generated (C-flavored) stub code can name them.
+/// generated (C-flavored) stub code can name them.  New kinds append
+/// before KIND_COUNT so recorded traces keep their numeric meaning.
 enum {
   FLICK_SPAN_RPC = 0,   ///< client root: one whole invocation
   FLICK_SPAN_MARSHAL,   ///< generated encode helper (--trace-hooks)
@@ -87,11 +88,70 @@ enum {
   FLICK_SPAN_WORK,      ///< server work function (--trace-hooks)
   FLICK_SPAN_UNMARSHAL, ///< generated decode helper (--trace-hooks)
   FLICK_SPAN_REPLY,     ///< channel send of the reply
+  FLICK_SPAN_QUEUE,     ///< transport queue wait (enqueue -> worker dequeue)
   FLICK_SPAN_KIND_COUNT
 };
 
 /// Printable name of a span kind ("rpc", "marshal", ...).
 const char *flick_span_kind_name(int kind);
+
+//===----------------------------------------------------------------------===//
+// Endpoints
+//===----------------------------------------------------------------------===//
+
+/// Bound on distinct endpoint ids.  Endpoint 0 is the implicit default;
+/// interning past the bound falls back to it, so attribution degrades to
+/// "default" rather than failing.
+enum { FLICK_MAX_ENDPOINTS = 8 };
+
+/// Interns \p name into the process-wide endpoint registry and returns
+/// its small id (same name, same id).  Returns 0 (the default endpoint)
+/// for null/empty names or when the registry is full.  Thread-safe; the
+/// cold path takes a mutex, so intern once per client, not per call.
+uint32_t flick_endpoint_intern(const char *name);
+
+/// Printable name of an endpoint id ("default" for 0 and out-of-range).
+const char *flick_endpoint_name(uint32_t id);
+
+/// Endpoint ids minted so far (including the implicit default).
+uint32_t flick_endpoint_count();
+
+/// Test hook: empties the registry and every parsed SLO.  Not
+/// thread-safe; call only while nothing records.
+void flick_endpoint_reset_for_tests();
+
+/// One endpoint's latency objective, parsed from the environment:
+/// FLICK_SLO_<NAME> (endpoint name uppercased, non-alphanumerics as '_')
+/// or FLICK_SLO_DEFAULT, with the grammar `p<digits><<number><us|ms|s>`
+/// -- e.g. `p99<2ms` reads "99% of calls complete within 2 ms".
+struct flick_slo {
+  int set = 0;             ///< 0: no objective configured
+  double target = 0;       ///< quantile that must meet the bound (0.99)
+  double threshold_us = 0; ///< the latency bound
+  char objective[24] = {}; ///< the source text, for reports
+};
+
+/// The objective for \p id (never null; .set == 0 when unconfigured).
+/// Parsed lazily at intern time; flick_slo_reload() re-reads the
+/// environment for every registered endpoint (tests use this).
+const flick_slo *flick_slo_for(uint32_t id);
+void flick_slo_reload();
+
+/// The tightest allowed-violation fraction (1 - target) across all
+/// configured objectives, for burn-rate math; 0 when none are set.
+double flick_slo_strictest_allowed();
+
+/// One endpoint's latency anatomy: a log2 histogram per span kind,
+/// populated allocation-free at span close (flick_trace_end_impl) when a
+/// metrics block is active, plus the SLO error-budget counters bumped at
+/// RPC-root close.  Lives as a fixed table inside flick_metrics so
+/// per-thread blocks merge exactly (flick_metrics_merge).
+struct flick_endpoint_stats {
+  uint64_t used = 0; ///< any phase recorded (merge fast-path gate)
+  uint64_t slo_met = 0;      ///< RPCs within the configured threshold
+  uint64_t slo_violated = 0; ///< RPCs over it (error-budget spend)
+  flick_latency_hist phase[FLICK_SPAN_KIND_COUNT];
+};
 
 /// One completed span.  `name` must be a string literal (or otherwise
 /// outlive the tracer): the recording path stores the pointer only.
@@ -103,11 +163,42 @@ struct flick_span {
   double begin_us = 0; ///< monotonic, relative to flick_trace_enable
   double dur_us = 0;
   uint8_t kind = FLICK_SPAN_RPC;
+  uint8_t endpoint = 0; ///< interned endpoint id (inherited from parent)
 };
 
 /// Deepest span nesting the tracer tracks; begins past this depth are
 /// counted in `truncated` and dropped.
 enum { FLICK_TRACE_MAX_DEPTH = 32 };
+
+//===----------------------------------------------------------------------===//
+// Tail exemplars
+//===----------------------------------------------------------------------===//
+
+/// Reservoir bounds: the slowest FLICK_EXEMPLAR_SLOTS RPCs per endpoint
+/// are retained, each with up to FLICK_EXEMPLAR_SPANS spans of its tree.
+enum { FLICK_EXEMPLAR_SLOTS = 4, FLICK_EXEMPLAR_SPANS = 16 };
+
+/// One retained slow RPC: the root's duration (the selection key) plus a
+/// bounded copy of its span tree, taken at root close -- before the span
+/// ring can overwrite it.  The copy holds the spans recorded on the
+/// capturing thread (client side: rpc/send/wire; the deterministic
+/// LocalLink pump captures the server's spans too since they share the
+/// tracer).  Cross-thread segments with the same trace_id can be joined
+/// from the merged ring at export when they are still held.
+struct flick_exemplar {
+  double dur_us = 0;
+  uint64_t trace_id = 0;
+  uint32_t endpoint = 0;
+  uint32_t n_spans = 0; ///< 0: slot empty
+  flick_span spans[FLICK_EXEMPLAR_SPANS];
+};
+
+/// The per-tracer reservoir: slowest-N slots per endpoint.  Merged across
+/// tracers by flick_trace_absorb (the slots compete on dur_us), so pool
+/// workers and bench driver threads contribute like the span rings do.
+struct flick_exemplar_set {
+  flick_exemplar slots[FLICK_MAX_ENDPOINTS][FLICK_EXEMPLAR_SLOTS];
+};
 
 /// Span recorder: completed spans go into the caller-supplied ring
 /// `spans[cap]` (oldest overwritten first), open spans live on a fixed
@@ -132,7 +223,14 @@ struct flick_tracer {
   /// root begin on this side (out-of-band propagation).
   uint64_t pending_trace_id = 0;
   uint64_t pending_parent_id = 0;
+  uint32_t pending_endpoint = 0;
   int pending_valid = 0;
+  /// Transport queue wait deposited at dequeue, recorded as a completed
+  /// QUEUE span by the next remote root begin.
+  double pending_wait_us = 0;
+  /// Slowest-RPC reservoir (see flick_exemplar); written at RPC-root
+  /// close, merged by flick_trace_absorb.
+  flick_exemplar_set exemplars;
   std::chrono::steady_clock::time_point epoch;
 };
 
@@ -179,13 +277,28 @@ void flick_trace_close_to(uint32_t depth);
 /// completed child of the innermost open span.
 void flick_trace_record_complete(int kind, const char *name, double dur_us);
 
-/// Current (trace id, innermost open span id) for stamping outgoing
-/// messages; both 0 when no span is open.
-void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id);
+/// Tags the innermost open span with \p endpoint; spans opened under it
+/// inherit the tag, and every close attributes its duration to that
+/// endpoint's per-phase histograms in the active metrics block.  The
+/// runtime calls this on the RPC root from flick_client.endpoint.
+void flick_trace_tag_endpoint(uint32_t endpoint);
+
+/// Current (trace id, innermost open span id, endpoint) for stamping
+/// outgoing messages; zeros when no span is open.  \p endpoint may be
+/// null when the caller has nowhere to carry it.
+void flick_trace_stamp(uint64_t *trace_id, uint64_t *parent_id,
+                       uint32_t *endpoint = nullptr);
 
 /// Deposits a received message's context for the next remote begin.
 /// (0, 0) clears instead.
-void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id);
+void flick_trace_deposit(uint64_t trace_id, uint64_t parent_id,
+                         uint32_t endpoint = 0);
+
+/// Deposits a measured transport queue wait (enqueue to dequeue, in
+/// nanoseconds) for the next remote root begin, which records it as a
+/// completed QUEUE child ending where the root begins.  Transports call
+/// this at dequeue so all of them attribute queue time identically.
+void flick_trace_deposit_wait(uint64_t wait_ns);
 
 //===----------------------------------------------------------------------===//
 // Inline hooks (the only calls on stub hot paths)
@@ -228,6 +341,19 @@ flick_trace_to_chrome_json(const flick_tracer *t,
 /// Flamegraph-friendly collapsed stacks: "root;child;leaf <self_us>" per
 /// line, aggregated over all spans, durations in integer microseconds.
 std::string flick_trace_to_collapsed(const flick_tracer *t);
+
+/// Post-mortem JSON of \p t's exemplar reservoir: per endpoint, the
+/// retained slowest RPCs (slowest first), each with its span tree
+/// rendered with human-readable kind names.  Spans still in the ring
+/// that share a retained trace_id (e.g. server-side segments absorbed
+/// from worker tracers) are joined into the tree.
+std::string flick_exemplars_to_json(const flick_tracer *t,
+                                    const char *indent = "  ");
+
+/// The exemplar reservoir as a standalone Chrome trace-event document:
+/// one track per retained RPC, so the slowest calls open directly in
+/// chrome://tracing even after the main ring overwrote them.
+std::string flick_exemplars_to_chrome_json(const flick_tracer *t);
 
 /// Escapes \p s for inclusion in a JSON string literal (quotes,
 /// backslashes, control characters).  Shared by every runtime/bench JSON

@@ -122,6 +122,11 @@ struct flick_metrics {
   // its wall time here, so every metrics dump (and every FLICK_BENCH_JSON
   // document) carries p50/p90/p99/max beside the aggregate counters.
   flick_latency_hist rpc_latency;
+  // Latency anatomy: per-endpoint x per-span-kind histograms (and SLO
+  // error-budget counters), populated allocation-free at span close when
+  // both a tracer and this block are active.  Merged entry-wise by
+  // flick_metrics_merge, so pool workers attribute exactly.
+  flick_endpoint_stats anatomy[FLICK_MAX_ENDPOINTS];
 };
 
 /// The calling thread's installed metrics block, or null when collection
@@ -146,6 +151,13 @@ void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src);
 /// is prepended to each line of the body.
 std::string flick_metrics_to_json(const flick_metrics *m,
                                   const char *indent = "  ");
+
+/// Renders the latency-anatomy table alone: per used endpoint, the rpc
+/// summary, each phase's p50/p99 and share of the rpc span, SLO counters
+/// (when configured), and the mean-based self-consistency block the CI
+/// gate checks.  "{}" when nothing was attributed.
+std::string flick_metrics_anatomy_json(const flick_metrics *m,
+                                       const char *indent = "  ");
 
 /// Adds \p v to the counter member \p f of the active block, if any.
 inline void flick_metric_add(uint64_t flick_metrics::*f, uint64_t v) {
@@ -497,12 +509,15 @@ void flick_arena_reset(flick_arena *a);
 //===----------------------------------------------------------------------===//
 
 /// Client-side state for one connection: the channel plus reused request
-/// and reply buffers.
+/// and reply buffers.  `endpoint` (flick_endpoint_intern) tags this
+/// client's RPC spans so latency anatomy attributes per endpoint; 0 (the
+/// default) groups everything under "default".
 struct flick_client {
   flick_channel *chan = nullptr;
   flick_buf req;
   flick_buf rep;
   uint32_t next_xid = 1;
+  uint32_t endpoint = 0;
 };
 
 void flick_client_init(flick_client *c, flick_channel *chan);

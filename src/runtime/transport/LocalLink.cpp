@@ -50,7 +50,7 @@ int LocalLink::End::send(const uint8_t *Data, size_t Len) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.account(Len);
   (IsClient ? Link.ToB : Link.ToA).push_back(M);
   return FLICK_OK;
@@ -77,7 +77,7 @@ int LocalLink::End::sendv(const flick_iov *Segs, size_t Count) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.account(Total);
   (IsClient ? Link.ToB : Link.ToA).push_back(M);
   return FLICK_OK;
@@ -94,7 +94,7 @@ int LocalLink::End::recv(std::vector<uint8_t> &Out) {
   Msg M = Queue.front();
   Queue.pop_front();
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += M.Len;
@@ -113,7 +113,7 @@ int LocalLink::End::recvInto(flick_buf *Into) {
   Msg M = Queue.front();
   Queue.pop_front();
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   // Hand the pooled wire buffer to the caller whole and park the caller's
   // old allocation for the next send: the receive itself copies nothing.
   // Legal because flick_buf manages data with realloc/free and the pool

@@ -80,6 +80,7 @@ private:
     size_t Len = 0;
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
+    uint32_t Endpoint = 0;
   };
 
   void account(size_t Len);

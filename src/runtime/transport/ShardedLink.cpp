@@ -220,6 +220,16 @@ int ShardedLink::pushRequest(Conn *From, Msg M) {
     flick_gauges_global.queue_enqueues.fetch_add(1, std::memory_order_relaxed);
     flick_gauges_global.queue_depth.fetch_add(1, std::memory_order_relaxed);
     flick_gauge_shard_add(From->Shard, 1);
+    // Tell the sampler how many shard slots actually exist, so JSONL
+    // depth statistics average over live shards, not all 8 slots.
+    flick_gauges_global.shard_slots_live.store(
+        NShards < FLICK_GAUGE_SHARD_SLOTS ? NShards
+                                          : FLICK_GAUGE_SHARD_SLOTS,
+        std::memory_order_relaxed);
+  } else if (M.TraceId) {
+    // A traced request still wants its queue wait attributed (the QUEUE
+    // span) even with the flight recorder off.
+    M.EnqNs = flick_gauge_now_ns();
   }
   if (!R.push(From, M)) {
     // Backpressure: count the event once, then wait for a worker to free
@@ -245,7 +255,7 @@ int ShardedLink::pushRequest(Conn *From, Msg M) {
           From->Pool.release(M.Data, M.Cap);
           return FLICK_ERR_TRANSPORT;
         }
-        if (flick_gauges_on())
+        if (flick_gauges_on() || M.TraceId)
           M.EnqNs = flick_gauge_now_ns();
         if (R.push(From, M))
           break;
@@ -279,6 +289,10 @@ bool ShardedLink::tryPopAny(size_t Pref, Conn **From, Msg *M) {
         flick_gauges_global.queue_wait_ns.fetch_add(
             Now > M->EnqNs ? Now - M->EnqNs : 0, std::memory_order_relaxed);
       }
+    }
+    if (M->EnqNs && flick_trace_active) {
+      uint64_t Now = flick_gauge_now_ns();
+      flick_trace_deposit_wait(Now > M->EnqNs ? Now - M->EnqNs : 0);
     }
     notifySpace();
     return true;
@@ -349,7 +363,7 @@ int ShardedLink::Conn::send(const uint8_t *Data, size_t Len) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.wireDelay(Len);
   return Link.pushRequest(this, M);
 }
@@ -375,7 +389,7 @@ int ShardedLink::Conn::sendv(const flick_iov *Segs, size_t Count) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.wireDelay(Total);
   return Link.pushRequest(this, M);
 }
@@ -385,7 +399,7 @@ int ShardedLink::Conn::recv(std::vector<uint8_t> &Out) {
   if (int Err = awaitReply(&M))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += M.Len;
@@ -400,7 +414,7 @@ int ShardedLink::Conn::recvInto(flick_buf *Into) {
   if (int Err = awaitReply(&M))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);
   Pool.release(Into->data, Into->cap);
   Into->data = M.Data;
@@ -447,7 +461,7 @@ int ShardedLink::WorkerChan::send(const uint8_t *Data, size_t Len) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   return sendReply(M);
 }
 
@@ -472,7 +486,7 @@ int ShardedLink::WorkerChan::sendv(const flick_iov *Segs, size_t Count) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   return sendReply(M);
 }
 
@@ -483,7 +497,7 @@ int ShardedLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
     return Err;
   CurConn = From;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += M.Len;
@@ -500,7 +514,7 @@ int ShardedLink::WorkerChan::recvInto(flick_buf *Into) {
     return Err;
   CurConn = From;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);
   Pool.release(Into->data, Into->cap);
   Into->data = M.Data;

@@ -67,13 +67,15 @@ public:
 
 private:
   /// As in ThreadedLink: pooled wire bytes plus out-of-band trace context
-  /// and the enqueue stamp for the flight recorder's queue-wait gauge.
+  /// (with the sender's endpoint tag) and the enqueue stamp for the flight
+  /// recorder's queue-wait gauge and the dequeue side's QUEUE span.
   struct Msg {
     uint8_t *Data = nullptr;
     size_t Cap = 0;
     size_t Len = 0;
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
+    uint32_t Endpoint = 0;
     uint64_t EnqNs = 0;
   };
 

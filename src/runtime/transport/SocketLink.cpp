@@ -195,10 +195,15 @@ int SocketLink::Conn::sendFrame(const flick_iov *Segs, size_t Count,
                                 size_t Total) {
   if (Fd < 0 || Link.Down.load(std::memory_order_acquire))
     return FLICK_ERR_TRANSPORT;
-  FrameHdr H = {Total, 0, 0};
+  FrameHdr H = {Total, 0, 0, 0, 0, 0};
   if (flick_trace_active)
-    flick_trace_stamp(&H.TraceId, &H.ParentSpan);
+    flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
   Link.wireDelay(Total);
+  // Stamp after the modeled wire sleep: the receiver's queue-wait
+  // attribution then covers only real kernel-buffer time, never the
+  // already-accounted WIRE span.
+  if (H.TraceId)
+    H.SendNs = flick_gauge_now_ns();
 
   // One gather array: header first, then the caller's segments verbatim.
   // No staging buffer -- this is the transport's zero-copy send path.
@@ -313,7 +318,7 @@ int SocketLink::Conn::recv(std::vector<uint8_t> &Out) {
     if (int Err = readFullPolled(Link, Link.Down, Fd, Out.data(), H.Len))
       return Err;
   if (flick_trace_active)
-    flick_trace_deposit(H.TraceId, H.ParentSpan);
+    flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   return FLICK_OK;
 }
 
@@ -333,7 +338,7 @@ int SocketLink::Conn::recvInto(flick_buf *Into) {
       return Err;
     }
   if (flick_trace_active)
-    flick_trace_deposit(H.TraceId, H.ParentSpan);
+    flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   // Receive by adoption, as everywhere: the pooled buffer the kernel
   // filled becomes the caller's flick_buf storage, no user-space copy.
   flick_buf_reset(Into);
@@ -418,6 +423,15 @@ int SocketLink::WorkerChan::recvFrame(FrameHdr *H, uint8_t **Data,
                              !Link.Down.load(std::memory_order_relaxed));
       continue;
     }
+    // Queue wait ends the moment this worker claims the frame, before
+    // the payload drain: a payload larger than the socket buffer is
+    // streamed while the sender still blocks inside its SEND span, and
+    // clocking that overlap here too would double-count it.
+    uint64_t WaitNs = 0;
+    if (H->SendNs) {
+      uint64_t Now = flick_gauge_now_ns();
+      WaitNs = Now > H->SendNs ? Now - H->SendNs : 0;
+    }
     if (H->Len > MaxFrameLen) {
       Link.deregister(S, true);
       continue;
@@ -441,6 +455,14 @@ int SocketLink::WorkerChan::recvFrame(FrameHdr *H, uint8_t **Data,
     Re.data.ptr = S;
     ::epoll_ctl(Link.EpollFd, EPOLL_CTL_MOD, S->Fd, &Re);
     countSyscall();
+    if (H->SendNs) {
+      // Kernel-buffer dwell time: this transport's queue wait.
+      if (flick_gauges_on())
+        flick_gauges_global.queue_wait_ns.fetch_add(
+            WaitNs, std::memory_order_relaxed);
+      if (flick_trace_active)
+        flick_trace_deposit_wait(WaitNs);
+    }
     Cur = S;
     return FLICK_OK;
   }
@@ -451,9 +473,9 @@ int SocketLink::WorkerChan::sendReply(const flick_iov *Segs, size_t Count,
   SConn *S = Cur;
   if (!S || S->Dead.load(std::memory_order_relaxed))
     return FLICK_ERR_TRANSPORT;
-  FrameHdr H = {Total, 0, 0};
+  FrameHdr H = {Total, 0, 0, 0, 0, 0};
   if (flick_trace_active)
-    flick_trace_stamp(&H.TraceId, &H.ParentSpan);
+    flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
   Link.wireDelay(Total);
 
   iovec Stack[9];
@@ -512,7 +534,7 @@ int SocketLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
   if (int Err = recvFrame(&H, &Data, &Cap))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(H.TraceId, H.ParentSpan);
+    flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   Out.assign(Data, Data + H.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += H.Len;
@@ -529,7 +551,7 @@ int SocketLink::WorkerChan::recvInto(flick_buf *Into) {
   if (int Err = recvFrame(&H, &Data, &Cap))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(H.TraceId, H.ParentSpan);
+    flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   flick_buf_reset(Into);
   Pool.release(Into->data, Into->cap);
   Into->data = Data;

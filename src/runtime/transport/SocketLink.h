@@ -8,7 +8,7 @@
 /// \file
 /// SocketLink: the first transport whose messages cross a real kernel
 /// boundary.  Every connect() makes an AF_UNIX SOCK_STREAM socketpair;
-/// requests and replies travel as length-prefixed frames whose 24-byte
+/// requests and replies travel as length-prefixed frames whose 40-byte
 /// header carries the trace context out of band (the CDR payload bytes
 /// are identical to every other transport).  Worker-side fds sit behind
 /// one shared epoll instance: each is armed EPOLLIN|EPOLLONESHOT so
@@ -79,13 +79,20 @@ public:
   void debugCloseClient(Channel &C);
 
 private:
-  /// The 24-byte wire frame header.  Len counts payload bytes only;
-  /// TraceId/ParentSpan carry the sender's trace context beside the
-  /// payload, never inside it.
+  /// The 40-byte wire frame header.  Len counts payload bytes only;
+  /// TraceId/ParentSpan/Endpoint carry the sender's trace context beside
+  /// the payload, never inside it.  SendNs (gauge clock, stamped *after*
+  /// the sender's modeled wire sleep so the two never double-count) lets
+  /// the receive side attribute time spent queued in the kernel socket
+  /// buffer, this transport's request queue.  Zero when the sender had no
+  /// tracer.
   struct FrameHdr {
     uint64_t Len;
     uint64_t TraceId;
     uint64_t ParentSpan;
+    uint64_t SendNs;
+    uint32_t Endpoint;
+    uint32_t Pad;
   };
 
   /// Server-side half of one connection: the epoll-registered fd plus a

@@ -104,6 +104,10 @@ int ThreadedLink::pushRequest(Conn *From, Msg M) {
     M.EnqNs = flick_gauge_now_ns();
     flick_gauges_global.queue_enqueues.fetch_add(1, std::memory_order_relaxed);
     flick_gauges_global.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  } else if (M.TraceId) {
+    // A traced request still wants its queue wait attributed (the QUEUE
+    // span) even with the flight recorder off.
+    M.EnqNs = flick_gauge_now_ns();
   }
   ReqQ.push_back(Req{From, M});
   L.unlock();
@@ -133,6 +137,10 @@ int ThreadedLink::popRequest(Conn **From, Msg *M) {
       flick_gauges_global.queue_wait_ns.fetch_add(
           Now > R.M.EnqNs ? Now - R.M.EnqNs : 0, std::memory_order_relaxed);
     }
+  }
+  if (R.M.EnqNs && flick_trace_active) {
+    uint64_t Now = flick_gauge_now_ns();
+    flick_trace_deposit_wait(Now > R.M.EnqNs ? Now - R.M.EnqNs : 0);
   }
   *From = R.From;
   *M = R.M;
@@ -170,7 +178,7 @@ int ThreadedLink::Conn::send(const uint8_t *Data, size_t Len) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.wireDelay(Len);
   return Link.pushRequest(this, M);
 }
@@ -196,7 +204,7 @@ int ThreadedLink::Conn::sendv(const flick_iov *Segs, size_t Count) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   Link.wireDelay(Total);
   return Link.pushRequest(this, M);
 }
@@ -206,7 +214,7 @@ int ThreadedLink::Conn::recv(std::vector<uint8_t> &Out) {
   if (int Err = awaitReply(&M))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += M.Len;
@@ -221,7 +229,7 @@ int ThreadedLink::Conn::recvInto(flick_buf *Into) {
   if (int Err = awaitReply(&M))
     return Err;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   // Adopt the wire allocation whole, as in LocalLink; the buffer migrates
   // from the worker's pool to this connection's (both plain malloc).
   flick_buf_reset(Into);
@@ -270,7 +278,7 @@ int ThreadedLink::WorkerChan::send(const uint8_t *Data, size_t Len) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   return sendReply(M);
 }
 
@@ -295,7 +303,7 @@ int ThreadedLink::WorkerChan::sendv(const flick_iov *Segs, size_t Count) {
     ++flick_metrics_active->copy_ops;
   }
   if (flick_trace_active)
-    flick_trace_stamp(&M.TraceId, &M.ParentSpan);
+    flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
   return sendReply(M);
 }
 
@@ -306,7 +314,7 @@ int ThreadedLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
     return Err;
   CurConn = From;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
   if (flick_metrics_active) {
     flick_metrics_active->bytes_copied += M.Len;
@@ -323,7 +331,7 @@ int ThreadedLink::WorkerChan::recvInto(flick_buf *Into) {
     return Err;
   CurConn = From;
   if (flick_trace_active)
-    flick_trace_deposit(M.TraceId, M.ParentSpan);
+    flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);
   Pool.release(Into->data, Into->cap);
   Into->data = M.Data;

@@ -81,9 +81,10 @@ public:
 
 private:
   /// One queued message; bytes live in a pool-managed malloc allocation
-  /// and the sender's trace context rides out of band, as in LocalLink.
-  /// EnqNs stamps when the request entered the MPSC queue (gauge clock, 0
-  /// when the flight recorder is off) so the dequeue side can account the
+  /// and the sender's trace context (including its endpoint tag) rides out
+  /// of band, as in LocalLink.  EnqNs stamps when the request entered the
+  /// MPSC queue (gauge clock, 0 when neither the flight recorder nor the
+  /// sender's tracer is on) so the dequeue side can account the
   /// enqueue-to-dequeue wait.
   struct Msg {
     uint8_t *Data = nullptr;
@@ -91,6 +92,7 @@ private:
     size_t Len = 0;
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
+    uint32_t Endpoint = 0;
     uint64_t EnqNs = 0;
   };
 

@@ -1,0 +1,462 @@
+//===- tests/AnatomyTests.cpp - latency anatomy, SLOs, exemplars ----------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the tail-latency anatomy subsystem: the endpoint registry
+/// and SLO grammar, per-endpoint x per-phase attribution at span close,
+/// error-budget counters settled at RPC-root close, entry-wise anatomy
+/// merging, histogram behavior at exact bucket boundaries, the slow-RPC
+/// exemplar reservoir (including survival of a single slow call among
+/// thousands after the span ring has overwritten it), and the Prometheus
+/// rendering of SLO counter families and exemplar annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Sampler.h"
+#include "runtime/transport/LocalLink.h"
+#include "runtime/flick_runtime.h"
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+using namespace flick;
+
+namespace {
+
+/// Dispatch that echoes the payload; a leading 0xFF byte makes the call
+/// artificially slow so a test can plant one outlier among thousands.
+int markedEchoDispatch(flick_server *, flick_buf *Req, flick_buf *Rep) {
+  size_t N = Req->len - Req->pos;
+  if (N && static_cast<uint8_t>(Req->data[Req->pos]) == 0xFF) {
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(1500);
+    while (std::chrono::steady_clock::now() < Until) {
+    }
+  }
+  if (flick_buf_ensure(Rep, N) != FLICK_OK)
+    return FLICK_ERR_ALLOC;
+  std::memcpy(flick_buf_grab(Rep, N), Req->data + Req->pos, N);
+  return FLICK_OK;
+}
+
+struct Rig {
+  LocalLink Link;
+  flick_server Srv;
+  flick_client Cli;
+
+  Rig() {
+    flick_server_init(&Srv, &Link.serverEnd(), markedEchoDispatch);
+    Link.setPump(
+        [this] { return flick_server_handle_one(&Srv) == FLICK_OK; });
+    flick_client_init(&Cli, &Link.clientEnd());
+  }
+  ~Rig() {
+    flick_client_destroy(&Cli);
+    flick_server_destroy(&Srv);
+  }
+};
+
+void invokeOnce(Rig &R, bool Slow = false) {
+  flick_buf *Req = flick_client_begin(&R.Cli);
+  ASSERT_EQ(flick_buf_ensure(Req, 16), FLICK_OK);
+  std::memset(flick_buf_grab(Req, 16), Slow ? 0xFF : 0x42, 16);
+  ASSERT_EQ(flick_client_invoke(&R.Cli), FLICK_OK);
+}
+
+void busyWaitUs(unsigned Us) {
+  auto Until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(Us);
+  while (std::chrono::steady_clock::now() < Until) {
+  }
+}
+
+/// Clears the process-wide endpoint/SLO registry around each test so
+/// intern order in one test never shifts ids in another.
+struct RegistryGuard {
+  RegistryGuard() { flick_endpoint_reset_for_tests(); }
+  ~RegistryGuard() { flick_endpoint_reset_for_tests(); }
+};
+
+TEST(Endpoint, InternIsIdempotentAndBounded) {
+  RegistryGuard G;
+  EXPECT_EQ(flick_endpoint_intern(nullptr), 0u);
+  EXPECT_EQ(flick_endpoint_intern(""), 0u);
+  uint32_t A = flick_endpoint_intern("pay-api");
+  EXPECT_NE(A, 0u);
+  EXPECT_EQ(flick_endpoint_intern("pay-api"), A);
+  EXPECT_STREQ(flick_endpoint_name(A), "pay-api");
+  EXPECT_STREQ(flick_endpoint_name(0), "default");
+  EXPECT_STREQ(flick_endpoint_name(999), "default");
+  // Fill the table; interning past the bound degrades to the default id
+  // instead of failing.
+  char Name[16];
+  for (int I = 0; I != FLICK_MAX_ENDPOINTS; ++I) {
+    std::snprintf(Name, sizeof(Name), "ep-%d", I);
+    flick_endpoint_intern(Name);
+  }
+  EXPECT_EQ(flick_endpoint_intern("one-too-many"), 0u);
+  EXPECT_EQ(flick_endpoint_count(), uint32_t(FLICK_MAX_ENDPOINTS));
+}
+
+TEST(Endpoint, SloGrammarParsesTargetAndThreshold) {
+  RegistryGuard G;
+  setenv("FLICK_SLO_PAY_API", "p99<2ms", 1);
+  setenv("FLICK_SLO_BULK", "p50<250us", 1);
+  setenv("FLICK_SLO_BATCH", "p90<1s", 1);
+  setenv("FLICK_SLO_BROKEN", "banana", 1);
+  uint32_t Pay = flick_endpoint_intern("pay-api");
+  uint32_t Bulk = flick_endpoint_intern("bulk");
+  uint32_t Batch = flick_endpoint_intern("batch");
+  uint32_t Broken = flick_endpoint_intern("broken");
+  uint32_t Plain = flick_endpoint_intern("plain");
+
+  const flick_slo *S = flick_slo_for(Pay);
+  ASSERT_TRUE(S->set);
+  EXPECT_DOUBLE_EQ(S->target, 0.99);
+  EXPECT_DOUBLE_EQ(S->threshold_us, 2000.0);
+  EXPECT_STREQ(S->objective, "p99<2ms");
+  S = flick_slo_for(Bulk);
+  ASSERT_TRUE(S->set);
+  EXPECT_DOUBLE_EQ(S->target, 0.50);
+  EXPECT_DOUBLE_EQ(S->threshold_us, 250.0);
+  S = flick_slo_for(Batch);
+  ASSERT_TRUE(S->set);
+  EXPECT_DOUBLE_EQ(S->target, 0.90);
+  EXPECT_DOUBLE_EQ(S->threshold_us, 1e6);
+  EXPECT_FALSE(flick_slo_for(Broken)->set) << "bad grammar must not parse";
+  EXPECT_FALSE(flick_slo_for(Plain)->set);
+  // Burn-rate math uses the tightest allowed-violation fraction.
+  EXPECT_NEAR(flick_slo_strictest_allowed(), 0.01, 1e-12);
+
+  unsetenv("FLICK_SLO_PAY_API");
+  unsetenv("FLICK_SLO_BULK");
+  unsetenv("FLICK_SLO_BATCH");
+  unsetenv("FLICK_SLO_BROKEN");
+  flick_slo_reload();
+  EXPECT_FALSE(flick_slo_for(Pay)->set) << "reload re-reads the env";
+  EXPECT_DOUBLE_EQ(flick_slo_strictest_allowed(), 0.0);
+}
+
+TEST(Anatomy, RpcCloseAttributesPhasesPerEndpoint) {
+  RegistryGuard G;
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  flick_tracer T;
+  std::vector<flick_span> Storage(256);
+  flick_trace_enable(&T, Storage.data(), 256);
+  {
+    Rig R;
+    R.Cli.endpoint = flick_endpoint_intern("ints-test");
+    for (int I = 0; I != 5; ++I)
+      invokeOnce(R);
+  }
+  flick_trace_disable();
+  flick_metrics_disable();
+
+  uint32_t Ep = flick_endpoint_intern("ints-test");
+  const flick_endpoint_stats &E = M.anatomy[Ep];
+  EXPECT_TRUE(E.used);
+  EXPECT_EQ(E.phase[FLICK_SPAN_RPC].count, 5u);
+  EXPECT_EQ(E.phase[FLICK_SPAN_SEND].count, 5u);
+  EXPECT_EQ(E.phase[FLICK_SPAN_DEMUX].count, 5u);
+  EXPECT_EQ(E.phase[FLICK_SPAN_REPLY].count, 5u);
+  EXPECT_FALSE(M.anatomy[0].used) << "tagged calls must not hit default";
+
+  std::string J = flick_metrics_anatomy_json(&M);
+  EXPECT_NE(J.find("\"ints-test\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"phases\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"send\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"share_p99\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"consistency\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"drift_frac\""), std::string::npos) << J;
+}
+
+TEST(Anatomy, UntaggedTrafficAttributesToDefaultEndpoint) {
+  RegistryGuard G;
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  flick_tracer T;
+  std::vector<flick_span> Storage(64);
+  flick_trace_enable(&T, Storage.data(), 64);
+  {
+    Rig R; // endpoint never set
+    invokeOnce(R);
+  }
+  flick_trace_disable();
+  flick_metrics_disable();
+  EXPECT_TRUE(M.anatomy[0].used);
+  EXPECT_EQ(M.anatomy[0].phase[FLICK_SPAN_RPC].count, 1u);
+}
+
+TEST(Anatomy, SloCountersSettleAtRpcRootClose) {
+  RegistryGuard G;
+  setenv("FLICK_SLO_GATED", "p99<200us", 1);
+  uint32_t Ep = flick_endpoint_intern("gated");
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  flick_tracer T;
+  std::vector<flick_span> Storage(64);
+  flick_trace_enable(&T, Storage.data(), 64);
+
+  for (int I = 0; I != 3; ++I) { // fast: within the objective
+    flick_span_begin(FLICK_SPAN_RPC, "call");
+    flick_trace_tag_endpoint(Ep);
+    flick_span_end();
+  }
+  flick_span_begin(FLICK_SPAN_RPC, "slow-call");
+  flick_trace_tag_endpoint(Ep);
+  busyWaitUs(400); // over the 200us bound
+  flick_span_end();
+
+  flick_trace_disable();
+  flick_metrics_disable();
+  unsetenv("FLICK_SLO_GATED");
+
+  EXPECT_EQ(M.anatomy[Ep].slo_met, 3u);
+  EXPECT_EQ(M.anatomy[Ep].slo_violated, 1u);
+  std::string J = flick_metrics_anatomy_json(&M);
+  EXPECT_NE(J.find("\"objective\": \"p99<200us\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"violated\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"burn_rate\""), std::string::npos) << J;
+}
+
+TEST(AnatomyMerge, EmptyEntryIntoPopulatedIsIdentity) {
+  flick_metrics Full{}, Empty{};
+  flick_endpoint_stats &E = Full.anatomy[2];
+  E.used = 1;
+  E.slo_met = 7;
+  E.slo_violated = 3;
+  flick_hist_record(&E.phase[FLICK_SPAN_RPC], 100.0);
+  flick_hist_record(&E.phase[FLICK_SPAN_SEND], 40.0);
+  flick_metrics Snapshot = Full;
+
+  flick_metrics_merge(&Full, &Empty);
+  const flick_endpoint_stats &A = Full.anatomy[2];
+  const flick_endpoint_stats &B = Snapshot.anatomy[2];
+  EXPECT_EQ(A.used, B.used);
+  EXPECT_EQ(A.slo_met, B.slo_met);
+  EXPECT_EQ(A.slo_violated, B.slo_violated);
+  EXPECT_EQ(A.phase[FLICK_SPAN_RPC].count, B.phase[FLICK_SPAN_RPC].count);
+  EXPECT_DOUBLE_EQ(A.phase[FLICK_SPAN_RPC].sum_us,
+                   B.phase[FLICK_SPAN_RPC].sum_us);
+  for (int I = 0; I != FLICK_HIST_BUCKETS; ++I)
+    EXPECT_EQ(A.phase[FLICK_SPAN_SEND].buckets[I],
+              B.phase[FLICK_SPAN_SEND].buckets[I])
+        << "bucket " << I;
+
+  // The other direction: populating an empty block copies everything.
+  flick_metrics Dst{};
+  flick_metrics_merge(&Dst, &Full);
+  EXPECT_TRUE(Dst.anatomy[2].used);
+  EXPECT_EQ(Dst.anatomy[2].slo_met, 7u);
+  EXPECT_EQ(Dst.anatomy[2].phase[FLICK_SPAN_SEND].count, 1u);
+  EXPECT_FALSE(Dst.anatomy[0].used);
+}
+
+TEST(Hist, RecordsAtExactBucketBoundaries) {
+  // Bucket i holds [2^(i-1), 2^i): a value exactly at a power of two
+  // belongs to the bucket above the boundary, and values just below it
+  // stay in the bucket below.
+  flick_latency_hist H{};
+  flick_hist_record(&H, 4.0);
+  EXPECT_EQ(H.buckets[3], 1u); // [4, 8)
+  flick_hist_record(&H, 3.999);
+  EXPECT_EQ(H.buckets[2], 1u); // [2, 4)
+  flick_hist_record(&H, 1.0);
+  EXPECT_EQ(H.buckets[1], 1u); // [1, 2)
+  flick_hist_record(&H, 0.5);
+  EXPECT_EQ(H.buckets[0], 1u); // below 1us
+}
+
+TEST(Hist, PercentileInterpolatesAtBucketBoundaries) {
+  flick_latency_hist H{};
+  for (int I = 0; I != 50; ++I)
+    flick_hist_record(&H, 4.0); // bucket [4,8)
+  for (int I = 0; I != 50; ++I)
+    flick_hist_record(&H, 16.0); // bucket [16,32)
+  // p50 falls exactly on the last sample of the low bucket: its upper
+  // bound, not the next bucket's.
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.50), 8.0);
+  // Anything past the boundary resolves to the high bucket, clamped to
+  // the observed max rather than the 32us bucket bound.
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.51), 16.0);
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&H, 0.99), 16.0);
+  // A single sample clamps to itself even though its bucket bound is
+  // higher.
+  flick_latency_hist One{};
+  flick_hist_record(&One, 4.0);
+  EXPECT_DOUBLE_EQ(flick_hist_percentile(&One, 1.0), 4.0);
+}
+
+TEST(Exemplar, SlowRpcSurvivesRingOverwrite) {
+  // The acceptance scenario: one artificially slow RPC among thousands
+  // must remain inspectable after the span ring (here: 16 RPCs deep) has
+  // long since overwritten it.
+  RegistryGuard G;
+  flick_tracer T;
+  std::vector<flick_span> Storage(64);
+  flick_trace_enable(&T, Storage.data(), 64);
+  uint64_t SlowTrace = 0;
+  {
+    Rig R;
+    R.Cli.endpoint = flick_endpoint_intern("survival");
+    for (int I = 0; I != 100; ++I)
+      invokeOnce(R);
+    invokeOnce(R, /*Slow=*/true);
+    // The slow call's trace id is the newest RPC root in the ring.
+    for (size_t I = flick_trace_span_count(&T); I-- > 0;) {
+      const flick_span *S = flick_trace_span(&T, I);
+      if (S->kind == FLICK_SPAN_RPC) {
+        SlowTrace = S->trace_id;
+        break;
+      }
+    }
+    for (int I = 0; I != 2000; ++I) // bury it
+      invokeOnce(R);
+  }
+  flick_trace_disable();
+  ASSERT_NE(SlowTrace, 0u);
+
+  // The ring has overwritten the slow call...
+  for (size_t I = 0; I != flick_trace_span_count(&T); ++I)
+    EXPECT_NE(flick_trace_span(&T, I)->trace_id, SlowTrace)
+        << "ring should have overwritten the slow RPC";
+  // ...but the reservoir retained it, as the slowest for its endpoint.
+  uint32_t Ep = flick_endpoint_intern("survival");
+  const flick_exemplar *Kept = nullptr;
+  for (int I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I)
+    if (T.exemplars.slots[Ep][I].trace_id == SlowTrace)
+      Kept = &T.exemplars.slots[Ep][I];
+  ASSERT_NE(Kept, nullptr) << "slow RPC fell out of the reservoir";
+  EXPECT_GE(Kept->dur_us, 1000.0);
+  ASSERT_GE(Kept->n_spans, 1u);
+  // The copy is in ring (close) order: children close before the root,
+  // so the rpc root is the tree's last span.
+  EXPECT_EQ(Kept->spans[Kept->n_spans - 1].kind, FLICK_SPAN_RPC);
+  for (int I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I)
+    EXPECT_LE(T.exemplars.slots[Ep][I].dur_us, Kept->dur_us);
+
+  // Both post-mortem exports carry the retained call.
+  std::string J = flick_exemplars_to_json(&T);
+  EXPECT_NE(J.find("\"survival\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"rpc\""), std::string::npos) << J;
+  std::string C = flick_exemplars_to_chrome_json(&T);
+  EXPECT_NE(C.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(C.find("survival"), std::string::npos) << C;
+}
+
+TEST(Exemplar, AbsorbMergesReservoirsBySlowness) {
+  RegistryGuard G;
+  uint32_t Ep = flick_endpoint_intern("merged");
+
+  auto RecordRpc = [&](unsigned Us) {
+    flick_span_begin(FLICK_SPAN_RPC, "call");
+    flick_trace_tag_endpoint(Ep);
+    busyWaitUs(Us);
+    flick_span_end();
+  };
+
+  flick_tracer Dst;
+  std::vector<flick_span> DS(32);
+  flick_trace_enable(&Dst, DS.data(), 32);
+  RecordRpc(200);
+  flick_trace_disable();
+
+  flick_tracer Src;
+  std::vector<flick_span> SS(32);
+  flick_trace_enable_thread(&Src, SS.data(), 32);
+  RecordRpc(800); // slower than anything Dst holds
+  flick_trace_disable();
+
+  flick_trace_absorb(&Dst, &Src);
+  double Slowest = 0;
+  int Held = 0;
+  for (int I = 0; I != FLICK_EXEMPLAR_SLOTS; ++I) {
+    const flick_exemplar &E = Dst.exemplars.slots[Ep][I];
+    if (!E.n_spans)
+      continue;
+    ++Held;
+    if (E.dur_us > Slowest)
+      Slowest = E.dur_us;
+  }
+  EXPECT_EQ(Held, 2) << "both tracers' exemplars must survive the merge";
+  EXPECT_GE(Slowest, 800.0) << "the absorbed slow call must be retained";
+}
+
+TEST(Exemplar, PrometheusCarriesSloFamiliesAndExemplars) {
+  RegistryGuard G;
+  setenv("FLICK_SLO_PROM_EP", "p99<10ms", 1);
+  uint32_t Ep = flick_endpoint_intern("prom-ep");
+
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  flick_tracer T;
+  std::vector<flick_span> Storage(32);
+  flick_trace_enable(&T, Storage.data(), 32);
+  flick_span_begin(FLICK_SPAN_RPC, "call");
+  flick_trace_tag_endpoint(Ep);
+  busyWaitUs(100);
+  flick_span_end();
+  flick_hist_record(&M.rpc_latency, 100.0);
+  flick_trace_disable();
+  flick_metrics_disable();
+  unsetenv("FLICK_SLO_PROM_EP");
+
+  std::string P = flick_metrics_to_prometheus(&M, &T);
+  EXPECT_NE(P.find("# TYPE flick_slo_met_total counter"),
+            std::string::npos)
+      << P;
+  EXPECT_NE(P.find("flick_slo_met_total{endpoint=\"prom-ep\","
+                   "objective=\"p99<10ms\"} 1"),
+            std::string::npos)
+      << P;
+  EXPECT_NE(P.find("flick_slo_violated_total{endpoint=\"prom-ep\""),
+            std::string::npos)
+      << P;
+  // The latency bucket holding the exemplar carries the OpenMetrics
+  // annotation: "# {trace_id=...,endpoint=...} <seconds>".
+  size_t Ann = P.find("# {trace_id=\"0x");
+  ASSERT_NE(Ann, std::string::npos) << P;
+  EXPECT_NE(P.find("endpoint=\"prom-ep\"", Ann), std::string::npos) << P;
+  // Without a tracer the export must not change shape, just drop the
+  // annotations.
+  std::string Plain = flick_metrics_to_prometheus(&M);
+  EXPECT_EQ(Plain.find("# {trace_id"), std::string::npos);
+}
+
+TEST(Anatomy, DisabledAttributionLeavesMetricsUntouched) {
+  // Tracer on, metrics off: spans record but nothing attributes.
+  RegistryGuard G;
+  flick_tracer T;
+  std::vector<flick_span> Storage(32);
+  flick_trace_enable(&T, Storage.data(), 32);
+  {
+    Rig R;
+    R.Cli.endpoint = flick_endpoint_intern("nobody");
+    invokeOnce(R);
+  }
+  flick_trace_disable();
+  // Metrics on, tracer off: counters record but anatomy stays empty
+  // (spans are the attribution source).
+  flick_metrics M;
+  flick_metrics_enable(&M);
+  {
+    Rig R;
+    R.Cli.endpoint = flick_endpoint_intern("nobody");
+    invokeOnce(R);
+  }
+  flick_metrics_disable();
+  for (int I = 0; I != FLICK_MAX_ENDPOINTS; ++I)
+    EXPECT_FALSE(M.anatomy[I].used) << "endpoint " << I;
+  EXPECT_EQ(flick_metrics_anatomy_json(&M), "{}");
+  EXPECT_EQ(M.rpcs_sent, 1u) << "plain counters still work without spans";
+}
+
+} // namespace
