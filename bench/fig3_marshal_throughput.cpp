@@ -26,6 +26,7 @@
 #include "b_gather.h"
 #include "b_naive.h"
 #include "runtime/Interp.h"
+#include "runtime/Specialize.h"
 #include <cstring>
 #include <vector>
 
@@ -66,23 +67,37 @@ const InterpType DirentSeqTy = InterpType::counted(
 
 constexpr InterpWire XdrWire{true, true};
 
+/// The specialized programs stand in for load-time compilation of a
+/// dynamic IDL description: resolved once, reused per call (the program
+/// cache makes repeat resolution a hash lookup anyway).
+const flick::flick_spec_program *specProgram(const InterpType &T) {
+  const flick::flick_spec_program *P = flick::flick_specialize(T, XdrWire);
+  if (!P) {
+    std::fprintf(stderr, "fig3: type program failed to specialize\n");
+    std::exit(1);
+  }
+  return P;
+}
+
 struct Row {
   size_t Payload;
-  double FlickXdr, FlickCdr, FlickCdrGather, Naive, Interp;
+  double FlickXdr, FlickCdr, FlickCdrGather, Naive, Interp, InterpSpec;
 };
 
 void printRows(const char *Title, const std::vector<Row> &Rows) {
   std::printf("\n%s\n", Title);
-  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "size", "flick-xdr",
-              "flick-cdr", "cdr-gather", "naive", "interp",
-              "flick/naive");
+  std::printf("%8s %12s %12s %12s %12s %12s %12s %12s %12s\n", "size",
+              "flick-xdr", "flick-cdr", "cdr-gather", "naive", "interp",
+              "interp-spec", "spec/interp", "flick/naive");
   for (const Row &R : Rows) {
-    std::printf(
-        "%8s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %11.1fx\n",
-        fmtBytes(R.Payload).c_str(), fmtRate(R.FlickXdr).c_str(),
-        fmtRate(R.FlickCdr).c_str(), fmtRate(R.FlickCdrGather).c_str(),
-        fmtRate(R.Naive).c_str(), fmtRate(R.Interp).c_str(),
-        R.Naive > 0 ? R.FlickCdr / R.Naive : 0.0);
+    std::printf("%8s %10sMB/s %10sMB/s %10sMB/s %10sMB/s %10sMB/s "
+                "%10sMB/s %11.1fx %11.1fx\n",
+                fmtBytes(R.Payload).c_str(), fmtRate(R.FlickXdr).c_str(),
+                fmtRate(R.FlickCdr).c_str(),
+                fmtRate(R.FlickCdrGather).c_str(), fmtRate(R.Naive).c_str(),
+                fmtRate(R.Interp).c_str(), fmtRate(R.InterpSpec).c_str(),
+                R.Interp > 0 ? R.InterpSpec / R.Interp : 0.0,
+                R.Naive > 0 ? R.FlickCdr / R.Naive : 0.0);
   }
 }
 
@@ -130,6 +145,10 @@ void benchInts() {
     R.Interp = rate("ints", "interp", Bytes, &Buf, [&] {
       flick_interp_encode(&Buf, IntSeqTy, &FS, XdrWire);
     });
+    const flick::flick_spec_program *P = specProgram(IntSeqTy);
+    R.InterpSpec = rate("ints", "interp-spec", Bytes, &Buf, [&] {
+      flick_spec_encode(&Buf, P, &FS);
+    });
     Rows.push_back(R);
   }
   flick_buf_destroy(&Buf);
@@ -169,6 +188,10 @@ void benchRects() {
     });
     R.Interp = rate("rects", "interp", Payload, &Buf, [&] {
       flick_interp_encode(&Buf, RectSeqTy, &FS, XdrWire);
+    });
+    const flick::flick_spec_program *P = specProgram(RectSeqTy);
+    R.InterpSpec = rate("rects", "interp-spec", Payload, &Buf, [&] {
+      flick_spec_encode(&Buf, P, &FS);
     });
     Rows.push_back(R);
   }
@@ -233,6 +256,10 @@ void benchDirents() {
     });
     R.Interp = rate("dirents", "interp", Payload, &Buf, [&] {
       flick_interp_encode(&Buf, DirentSeqTy, &FS, XdrWire);
+    });
+    const flick::flick_spec_program *P = specProgram(DirentSeqTy);
+    R.InterpSpec = rate("dirents", "interp-spec", Payload, &Buf, [&] {
+      flick_spec_encode(&Buf, P, &FS);
     });
     Rows.push_back(R);
   }

@@ -1,0 +1,48 @@
+# Runs the micro_specialize bench with FLICK_METRICS_PROM pointed at OUT,
+# then validates the exposition with bench/check_prometheus.py and pins
+# the runtime-specialization counter families CI dashboards depend on.
+# The bench compiles stencil programs, resolves them from the cache, and
+# drives both the interpreter and specialized encode paths, so every
+# required family carries a nonzero sample.
+#
+# Usage:
+#   cmake -DBENCH=<micro_specialize> -DCHECKER=<check_prometheus.py>
+#         -DPYTHON=<python3> -DOUT=<spec_metrics.prom>
+#         -P CheckSpecProm.cmake
+
+foreach(VAR BENCH CHECKER PYTHON OUT)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckSpecProm.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT}")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env FLICK_METRICS_PROM=${OUT} "${BENCH}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "bench run failed (rc=${RC}):\n${STDERR}")
+endif()
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "bench did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}"
+          --require flick_build_info
+          --require flick_interp_dispatches_total
+          --require flick_spec_programs_total
+          --require flick_spec_cache_hits_total
+          --require flick_spec_steps_fused_total
+          --require flick_spec_dispatches_avoided_total
+          --require flick_spec_compile_seconds_total
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "Prometheus exposition invalid (rc=${RC}):\n"
+                      "${STDOUT}${STDERR}")
+endif()
+message(STATUS "${STDOUT}")

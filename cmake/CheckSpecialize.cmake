@@ -1,0 +1,43 @@
+# Runs the micro_specialize bench with JSON export on and gates the
+# result with bench/check_specialize.py: specialized encode must beat the
+# interpreter by 5x on dense payloads (2x on the string-broken dirents),
+# specialization must stay under the per-program compile budget, and
+# every workload must break even within the call budget.  The bench
+# export carries interp and interp-spec rate rows for the same payloads
+# fig3 sweeps, so this is the in-tree version of the CI perf-smoke gate
+# (which additionally runs it over the full fig3 export).
+#
+# Usage:
+#   cmake -DBENCH=<micro_specialize> -DCHECKER=<check_specialize.py>
+#         -DPYTHON=<python3> -DOUT=<output-stem>
+#         -P CheckSpecialize.cmake
+
+foreach(VAR BENCH CHECKER PYTHON OUT)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckSpecialize.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT}.json")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env FLICK_BENCH_JSON=${OUT}.json "${BENCH}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "bench run failed (rc=${RC}):\n${STDERR}")
+endif()
+if(NOT EXISTS "${OUT}.json")
+  message(FATAL_ERROR "bench did not write ${OUT}.json")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}.json" --micro "${OUT}.json"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "specialization gate failed (rc=${RC}):\n"
+                      "${STDOUT}${STDERR}")
+endif()
+message(STATUS "${STDOUT}")

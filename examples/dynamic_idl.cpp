@@ -1,0 +1,151 @@
+//===- examples/dynamic_idl.cpp - runtime specialization demo -------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Marshaling for types that do not exist until run time.  A dynamic-IDL
+/// host (an interface repository, a bridge, a scripting binding) cannot
+/// link generated stubs, so it describes each type as an InterpType
+/// program and hands it to the runtime.  This demo builds the paper's
+/// directory-listing type that way, then marshals it three ways:
+///
+///   interp     : the tree-walking interpreter, one dispatch per field
+///   specialize : flick_specialize() compiles the same program into a
+///                threaded array of pre-compiled stencil kernels with
+///                the analyses the static compiler runs at build time
+///                (run fusion, bounds hoisting) re-run at run time
+///
+/// The wire bytes are identical by construction -- the demo checks --
+/// and the specialized program is within reach of generated stubs while
+/// keeping the interpreter's deploy-a-type-at-runtime flexibility.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+#include "runtime/Specialize.h"
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+using flick::InterpType;
+using flick::InterpWire;
+
+// The presentation structs a binding would hand us.  Nothing about them
+// is known to the compiler: the type program below is built at run time.
+struct StatInfo {
+  uint32_t Words[30];
+  uint8_t Tag[16];
+};
+struct Dirent {
+  char *Name;
+  StatInfo Info;
+};
+struct Listing {
+  uint32_t Len;
+  Dirent *Val;
+};
+
+static double secsPerCall(const std::function<void()> &Fn) {
+  using Clock = std::chrono::steady_clock;
+  Fn(); // warm up
+  size_t Iters = 2000;
+  auto T0 = Clock::now();
+  for (size_t I = 0; I != Iters; ++I)
+    Fn();
+  return std::chrono::duration<double>(Clock::now() - T0).count() /
+         static_cast<double>(Iters);
+}
+
+int main() {
+  // -- 1. Describe the type at run time (what a dynamic host does). --
+  const InterpType Word = InterpType::scalar(0, 4);
+  const InterpType DirentTy = InterpType::structOf({
+      InterpType::cstring(offsetof(Dirent, Name)),
+      InterpType::fixedArray(offsetof(Dirent, Info.Words), &Word, 30, 4),
+      InterpType::bytes(offsetof(Dirent, Info.Tag), 16),
+  });
+  const InterpType ListingTy = InterpType::counted(
+      offsetof(Listing, Len), offsetof(Listing, Val), &DirentTy,
+      sizeof(Dirent));
+  constexpr InterpWire Xdr{true, true};
+
+  // -- 2. Build a listing worth marshaling. --
+  const uint32_t N = 256;
+  std::vector<std::string> Names(N);
+  std::vector<Dirent> Entries(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    Names[I] = "entry-" + std::to_string(I) + ".dat";
+    Entries[I].Name = Names[I].data();
+    for (int W = 0; W != 30; ++W)
+      Entries[I].Info.Words[W] = I * 31 + W;
+    std::memset(Entries[I].Info.Tag, 0x42, 16);
+  }
+  Listing L{N, Entries.data()};
+
+  // -- 3. Specialize: one compile, cached by structural hash. --
+  auto C0 = std::chrono::steady_clock::now();
+  const flick::flick_spec_program *P = flick::flick_specialize(ListingTy, Xdr);
+  double CompileUs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - C0)
+          .count() *
+      1e6;
+  if (!P) {
+    std::fprintf(stderr, "type program did not specialize\n");
+    return 1;
+  }
+
+  // -- 4. Same bytes either way (the contract the tests pin). --
+  flick_buf BI, BS;
+  flick_buf_init(&BI);
+  flick_buf_init(&BS);
+  flick_interp_encode(&BI, ListingTy, &L, Xdr);
+  flick_spec_encode(&BS, P, &L);
+  if (BI.len != BS.len || std::memcmp(BI.data, BS.data, BI.len) != 0) {
+    std::fprintf(stderr, "wire mismatch between interp and specialized\n");
+    return 1;
+  }
+
+  // -- 5. Decode through the specialized program, spot-check. --
+  flick_arena Arena;
+  Listing Out{};
+  if (flick_spec_decode(&BS, P, &Out, &Arena) != FLICK_OK || Out.Len != N ||
+      std::strcmp(Out.Val[7].Name, Entries[7].Name) != 0) {
+    std::fprintf(stderr, "specialized decode failed\n");
+    return 1;
+  }
+
+  // -- 6. The payoff. --
+  double InterpSecs = secsPerCall([&] {
+    flick_buf_reset(&BI);
+    flick_interp_encode(&BI, ListingTy, &L, Xdr);
+  });
+  double SpecSecs = secsPerCall([&] {
+    flick_buf_reset(&BS);
+    flick_spec_encode(&BS, P, &L);
+  });
+
+  std::printf("dynamic IDL: %u dirents, %zu wire bytes, XDR\n", N, BI.len);
+  std::printf("  specialize (once)  %8.1f us  (%zu enc ops, %llu steps "
+              "fused)\n",
+              CompileUs, P->Enc.size(),
+              static_cast<unsigned long long>(P->StepsFused));
+  std::printf("  interp encode      %8.1f us/call\n", InterpSecs * 1e6);
+  std::printf("  specialized encode %8.1f us/call  (%.1fx, identical "
+              "bytes)\n",
+              SpecSecs * 1e6, InterpSecs / SpecSecs);
+  double BreakEven = CompileUs / (InterpSecs * 1e6 - SpecSecs * 1e6);
+  if (BreakEven > 0)
+    std::printf("  break-even after   %8.1f calls\n", BreakEven);
+
+  flick_arena_destroy(&Arena);
+  flick_buf_destroy(&BI);
+  flick_buf_destroy(&BS);
+  return 0;
+}

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Interp.h"
+#include "runtime/Specialize.h"
 #include <cstring>
 
 using namespace flick;
@@ -74,7 +75,7 @@ int putScalar(flick_buf *B, const InterpWire &W, unsigned Width,
   unsigned WW = wireWidth(W, Width);
   if (int Err = flick_buf_ensure(B, WW))
     return Err;
-  uint8_t *P = flick_buf_grab(B, WW);
+  uint8_t *P = flick_buf_grab_raw(B, WW);
   uint64_t V = 0;
   std::memcpy(&V, Src, Width);
   // Sign extension is unnecessary: decode truncates back to Width.
@@ -109,7 +110,7 @@ int getScalar(flick_buf *B, const InterpWire &W, unsigned Width,
   unsigned WW = wireWidth(W, Width);
   if (!flick_buf_check(B, WW))
     return FLICK_ERR_DECODE;
-  const uint8_t *P = flick_buf_take(B, WW);
+  const uint8_t *P = flick_buf_take_raw(B, WW);
   uint64_t V = 0;
   switch (WW) {
   case 1:
@@ -143,11 +144,15 @@ int pad4(flick_buf *B, const InterpWire &W, bool Encode) {
   return Encode ? flick_buf_align_write(B, 4) : flick_buf_align_read(B, 4);
 }
 
-} // namespace
+// The recursive cores use the raw (non-accounting) cursor ops; the public
+// entry points charge bytes_copied/copy_ops once per call so
+// copies_per_rpc is on the same basis as compiled stubs and the
+// specializer.
 
-int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
-                               const void *Val, const InterpWire &W) {
+int encodeNode(flick_buf *Buf, const InterpType &T, const void *Val,
+               const InterpWire &W) {
   flick_metric_add(&flick_metrics::interp_encodes, 1);
+  flick_metric_add(&flick_metrics::interp_dispatches, 1);
   const uint8_t *V = static_cast<const uint8_t *>(Val);
   switch (T.K) {
   case InterpType::Kind::Scalar:
@@ -155,7 +160,7 @@ int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
   case InterpType::Kind::Bytes: {
     if (int Err = flick_buf_ensure(Buf, T.Count))
       return Err;
-    std::memcpy(flick_buf_grab(Buf, T.Count), V + T.Offset, T.Count);
+    std::memcpy(flick_buf_grab_raw(Buf, T.Count), V + T.Offset, T.Count);
     return pad4(Buf, W, true);
   }
   case InterpType::Kind::CString: {
@@ -168,19 +173,18 @@ int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
       return Err;
     if (int Err = flick_buf_ensure(Buf, WireLen))
       return Err;
-    std::memcpy(flick_buf_grab(Buf, WireLen), S, WireLen);
+    std::memcpy(flick_buf_grab_raw(Buf, WireLen), S, WireLen);
     return pad4(Buf, W, true);
   }
   case InterpType::Kind::Struct:
     for (const InterpType &F : T.Fields)
-      if (int Err = flick_interp_encode(Buf, F, V, W))
+      if (int Err = encodeNode(Buf, F, V, W))
         return Err;
     return FLICK_OK;
   case InterpType::Kind::FixedArray: {
     const uint8_t *Base = V + T.Offset;
     for (size_t I = 0; I != T.Count; ++I)
-      if (int Err =
-              flick_interp_encode(Buf, *T.Elem, Base + I * T.HostStride, W))
+      if (int Err = encodeNode(Buf, *T.Elem, Base + I * T.HostStride, W))
         return Err;
     return FLICK_OK;
   }
@@ -192,8 +196,7 @@ int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
     if (int Err = putU32(Buf, W, Len))
       return Err;
     for (uint32_t I = 0; I != Len; ++I)
-      if (int Err =
-              flick_interp_encode(Buf, *T.Elem, Base + I * T.HostStride, W))
+      if (int Err = encodeNode(Buf, *T.Elem, Base + I * T.HostStride, W))
         return Err;
     return FLICK_OK;
   }
@@ -201,10 +204,10 @@ int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
   return FLICK_ERR_DECODE;
 }
 
-int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
-                               void *Val, const InterpWire &W,
-                               flick_arena *Ar) {
+int decodeNode(flick_buf *Buf, const InterpType &T, void *Val,
+               const InterpWire &W, flick_arena *Ar) {
   flick_metric_add(&flick_metrics::interp_decodes, 1);
+  flick_metric_add(&flick_metrics::interp_dispatches, 1);
   uint8_t *V = static_cast<uint8_t *>(Val);
   switch (T.K) {
   case InterpType::Kind::Scalar:
@@ -212,7 +215,7 @@ int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
   case InterpType::Kind::Bytes: {
     if (!flick_buf_check(Buf, T.Count))
       return FLICK_ERR_DECODE;
-    std::memcpy(V + T.Offset, flick_buf_take(Buf, T.Count), T.Count);
+    std::memcpy(V + T.Offset, flick_buf_take_raw(Buf, T.Count), T.Count);
     return pad4(Buf, W, false);
   }
   case InterpType::Kind::CString: {
@@ -224,21 +227,20 @@ int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
     char *S = static_cast<char *>(flick_arena_alloc(Ar, WireLen + 1));
     if (!S)
       return FLICK_ERR_ALLOC;
-    std::memcpy(S, flick_buf_take(Buf, WireLen), WireLen);
+    std::memcpy(S, flick_buf_take_raw(Buf, WireLen), WireLen);
     S[WireLen] = '\0';
     *reinterpret_cast<char **>(V + T.Offset) = S;
     return pad4(Buf, W, false);
   }
   case InterpType::Kind::Struct:
     for (const InterpType &F : T.Fields)
-      if (int Err = flick_interp_decode(Buf, F, V, W, Ar))
+      if (int Err = decodeNode(Buf, F, V, W, Ar))
         return Err;
     return FLICK_OK;
   case InterpType::Kind::FixedArray: {
     uint8_t *Base = V + T.Offset;
     for (size_t I = 0; I != T.Count; ++I)
-      if (int Err = flick_interp_decode(Buf, *T.Elem,
-                                        Base + I * T.HostStride, W, Ar))
+      if (int Err = decodeNode(Buf, *T.Elem, Base + I * T.HostStride, W, Ar))
         return Err;
     return FLICK_OK;
   }
@@ -253,8 +255,7 @@ int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
     if (!Base)
       return FLICK_ERR_ALLOC;
     for (uint32_t I = 0; I != Len; ++I)
-      if (int Err = flick_interp_decode(Buf, *T.Elem,
-                                        Base + I * T.HostStride, W, Ar))
+      if (int Err = decodeNode(Buf, *T.Elem, Base + I * T.HostStride, W, Ar))
         return Err;
     std::memcpy(V + T.LenOffset, &Len, 4);
     *reinterpret_cast<uint8_t **>(V + T.BufOffset) = Base;
@@ -262,4 +263,36 @@ int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
   }
   }
   return FLICK_ERR_DECODE;
+}
+
+} // namespace
+
+int flick::flick_interp_encode(flick_buf *Buf, const InterpType &T,
+                               const void *Val, const InterpWire &W,
+                               bool Specialize) {
+  if (Specialize)
+    if (const flick_spec_program *P = flick_specialize(T, W))
+      return flick_spec_encode(Buf, P, Val);
+  size_t Len0 = Buf->len;
+  int Err = encodeNode(Buf, T, Val, W);
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Buf->len - Len0;
+    ++flick_metrics_active->copy_ops;
+  }
+  return Err;
+}
+
+int flick::flick_interp_decode(flick_buf *Buf, const InterpType &T,
+                               void *Val, const InterpWire &W,
+                               flick_arena *Ar, bool Specialize) {
+  if (Specialize)
+    if (const flick_spec_program *P = flick_specialize(T, W))
+      return flick_spec_decode(Buf, P, Val, Ar);
+  size_t Pos0 = Buf->pos;
+  int Err = decodeNode(Buf, T, Val, W, Ar);
+  if (flick_metrics_active) {
+    flick_metrics_active->bytes_copied += Buf->pos - Pos0;
+    ++flick_metrics_active->copy_ops;
+  }
+  return Err;
 }

@@ -70,14 +70,21 @@ struct InterpWire {
   bool XdrWidening = true; ///< pad every item to 4 bytes (XDR)
 };
 
-/// Encodes the C value \p Val described by \p T into \p Buf.
+/// Encodes the C value \p Val described by \p T into \p Buf.  With
+/// \p Specialize set, routes through the runtime specializer
+/// (runtime/Specialize.h): the type program is compiled to threaded code
+/// on first use and cached; unspecializable trees fall back to the
+/// interpreter transparently.  Wire output is byte-identical either way.
 int flick_interp_encode(flick_buf *Buf, const InterpType &T,
-                        const void *Val, const InterpWire &W);
+                        const void *Val, const InterpWire &W,
+                        bool Specialize = false);
 
 /// Decodes from \p Buf into the C value \p Val (pointer members are heap
-/// allocated, or arena-allocated when \p Ar is non-null).
+/// allocated, or arena-allocated when \p Ar is non-null).  \p Specialize
+/// as for flick_interp_encode.
 int flick_interp_decode(flick_buf *Buf, const InterpType &T, void *Val,
-                        const InterpWire &W, flick_arena *Ar);
+                        const InterpWire &W, flick_arena *Ar,
+                        bool Specialize = false);
 
 } // namespace flick
 

@@ -39,6 +39,12 @@ void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src) {
   dst->alloc_errors += src->alloc_errors;
   dst->interp_encodes += src->interp_encodes;
   dst->interp_decodes += src->interp_decodes;
+  dst->interp_dispatches += src->interp_dispatches;
+  dst->spec_programs += src->spec_programs;
+  dst->spec_compile_ns += src->spec_compile_ns;
+  dst->spec_cache_hits += src->spec_cache_hits;
+  dst->spec_steps_fused += src->spec_steps_fused;
+  dst->spec_dispatches_avoided += src->spec_dispatches_avoided;
   dst->bytes_copied += src->bytes_copied;
   dst->copy_ops += src->copy_ops;
   dst->gather_refs += src->gather_refs;
@@ -194,6 +200,12 @@ std::string flick_metrics_to_json(const flick_metrics *m,
       {"alloc_errors", m->alloc_errors},
       {"interp_encodes", m->interp_encodes},
       {"interp_decodes", m->interp_decodes},
+      {"interp_dispatches", m->interp_dispatches},
+      {"spec_programs", m->spec_programs},
+      {"spec_compile_ns", m->spec_compile_ns},
+      {"spec_cache_hits", m->spec_cache_hits},
+      {"spec_steps_fused", m->spec_steps_fused},
+      {"spec_dispatches_avoided", m->spec_dispatches_avoided},
       {"bytes_copied", m->bytes_copied},
       {"copy_ops", m->copy_ops},
       {"gather_refs", m->gather_refs},

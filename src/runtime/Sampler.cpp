@@ -645,6 +645,20 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m,
          m->pool_misses},
         {"flick_queue_full_total", "Sends that met a full request queue.",
          m->queue_full},
+        {"flick_interp_dispatches_total",
+         "Dynamic dispatches run by the interpretive marshaler.",
+         m->interp_dispatches},
+        {"flick_spec_programs_total",
+         "Type programs compiled by the runtime specializer.",
+         m->spec_programs},
+        {"flick_spec_cache_hits_total",
+         "Specialized-program cache hits.", m->spec_cache_hits},
+        {"flick_spec_steps_fused_total",
+         "Primitive marshal steps fused at specialization time.",
+         m->spec_steps_fused},
+        {"flick_spec_dispatches_avoided_total",
+         "Interpreter dispatches saved by specialized programs.",
+         m->spec_dispatches_avoided},
     };
     for (const Counter &C : Counters)
       promMetric(Out, C.Name, "counter", C.Help,
@@ -652,6 +666,9 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m,
     promMetric(Out, "flick_wire_time_seconds_total", "counter",
                "Simulated wire time accumulated by modeled links.",
                m->wire_time_us / 1e6);
+    promMetric(Out, "flick_spec_compile_seconds_total", "counter",
+               "Time spent specializing type programs.",
+               static_cast<double>(m->spec_compile_ns) / 1e9);
 
     // The RPC latency histogram, in base-unit seconds with cumulative
     // buckets as the exposition format requires.  When a tracer with a

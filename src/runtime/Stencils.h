@@ -1,0 +1,182 @@
+//===- runtime/Stencils.h - Pre-compiled marshal stencil kernels -*- C++ -*-===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stencil library for the runtime marshal specializer: a fixed
+/// vocabulary of pre-compiled kernels over the MarshalPlan step shapes
+/// (scalar put/get at fixed widths, bounded memcpy and byte-swap runs,
+/// counted-sequence headers, cstring scans, chunk reservations), in the
+/// copy-and-patch discipline.  Every variant that affects instruction
+/// selection -- host width, wire width, endianness, XDR widening -- is a
+/// template parameter, so the compiler burns it into the kernel body
+/// ahead of time; everything that is plain data -- offsets, byte counts,
+/// strides, jump distances -- is a "hole" in the flick_spec_op record
+/// that the specializer patches with immediates at specialization time.
+///
+/// A specialized program is a flat array of patched ops executed by
+/// direct threading: each kernel returns the next op to run (usually
+/// Op + 1; loop kernels jump by the patched D distance; the end kernel
+/// returns null).  Kernels never allocate and never dispatch on type --
+/// the one dynamic dispatch per field that defines the interpreter
+/// (runtime/Interp.h) becomes one indirect call per *run* of fields.
+///
+/// Hole assignments by kernel (unused holes stay zero):
+///
+///   kernel            A              B             C           D
+///   scalar put/get    host offset    -             -           -
+///   memcpy run        host offset    bytes         -           -
+///   swap run          host offset    element count -           -
+///   reserve / check   bytes          -             -           -
+///   align4            -              -             -           -
+///   cstring           host offset    -             -           -
+///   counted dense     len offset     buf offset    host stride -
+///   loop fixed        base offset    count         host stride -
+///   loop counted      len offset     buf offset    host stride skip-ahead
+///   loop end          -              -             -           jump-back
+///
+/// `Covers` is the accounting hole: how many interpreter node visits the
+/// op stands in for (per element, for the counted kernels).  Executed ops
+/// accumulate it so spec_dispatches_avoided is a measured number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLICK_RUNTIME_STENCILS_H
+#define FLICK_RUNTIME_STENCILS_H
+
+#include "runtime/flick_runtime.h"
+
+namespace flick {
+
+/// Loop-nesting bound for specialized programs; deeper type programs fall
+/// back to the interpreter.
+enum { FLICK_SPEC_MAX_DEPTH = 12 };
+
+/// One patched op: a stencil kernel pointer plus its immediate holes.
+/// Instantiated per direction (the encode and decode contexts differ).
+template <class Ctx> struct flick_spec_op_t {
+  const flick_spec_op_t<Ctx> *(*Fn)(const flick_spec_op_t<Ctx> *Op,
+                                    Ctx &C) = nullptr;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  uint32_t D = 0;
+  uint32_t Covers = 0;
+};
+
+/// Execution state for one specialized encode: the marshal buffer, the
+/// current presented base pointer (loop kernels rebind it per element),
+/// and a fixed-depth frame stack -- no allocation on any path.
+struct flick_spec_enc_ctx {
+  flick_buf *Buf = nullptr;
+  const uint8_t *V = nullptr;
+  int Err = FLICK_OK;
+  uint64_t Covers = 0; ///< interp node visits the executed ops stood in for
+  uint64_t Steps = 0;  ///< kernel dispatches actually executed
+  struct Frame {
+    const uint8_t *SavedV;
+    const uint8_t *Cur;
+    uint32_t Left;
+    uint32_t Stride;
+  };
+  Frame Stack[FLICK_SPEC_MAX_DEPTH];
+  unsigned Depth = 0;
+};
+
+/// Execution state for one specialized decode; pointer members are
+/// arena-allocated exactly as the interpreter allocates them.
+struct flick_spec_dec_ctx {
+  flick_buf *Buf = nullptr;
+  uint8_t *V = nullptr;
+  flick_arena *Ar = nullptr;
+  int Err = FLICK_OK;
+  uint64_t Covers = 0;
+  uint64_t Steps = 0;
+  struct Frame {
+    uint8_t *SavedV;
+    uint8_t *Cur;
+    uint32_t Left;
+    uint32_t Stride;
+  };
+  Frame Stack[FLICK_SPEC_MAX_DEPTH];
+  unsigned Depth = 0;
+};
+
+using flick_spec_enc_op = flick_spec_op_t<flick_spec_enc_ctx>;
+using flick_spec_dec_op = flick_spec_op_t<flick_spec_dec_ctx>;
+using flick_spec_enc_fn =
+    const flick_spec_enc_op *(*)(const flick_spec_enc_op *,
+                                 flick_spec_enc_ctx &);
+using flick_spec_dec_fn =
+    const flick_spec_dec_op *(*)(const flick_spec_dec_op *,
+                                 flick_spec_dec_ctx &);
+
+//===----------------------------------------------------------------------===//
+// Kernel selectors
+//===----------------------------------------------------------------------===//
+//
+// The specializer asks for kernels by shape; each selector returns the
+// pre-compiled instantiation for the requested width/endianness combo, or
+// null when the library has no such stencil (the caller then refuses to
+// specialize and the interpreter keeps the type).
+
+/// Scalar of \p HostW presented bytes traveling as \p WireW wire bytes
+/// (WireW > HostW is XDR widening).  Supported: 1/2/4/8 host bytes, wire
+/// width equal or widened to 4.
+flick_spec_enc_fn flick_stencil_enc_scalar(unsigned HostW, unsigned WireW,
+                                           bool BigEndian);
+flick_spec_dec_fn flick_stencil_dec_scalar(unsigned HostW, unsigned WireW,
+                                           bool BigEndian);
+
+/// Bounded bit-identical run: B bytes at host offset A.
+flick_spec_enc_fn flick_stencil_enc_memcpy();
+flick_spec_dec_fn flick_stencil_dec_memcpy();
+
+/// Bounded byte-swap run: B elements of \p Width bytes at host offset A.
+flick_spec_enc_fn flick_stencil_enc_swap(unsigned Width);
+flick_spec_dec_fn flick_stencil_dec_swap(unsigned Width);
+
+/// Front-loaded reservation (encode) / bounds check (decode) for the A
+/// fixed wire bytes that the following run of kernels produces/consumes.
+flick_spec_enc_fn flick_stencil_enc_reserve();
+flick_spec_dec_fn flick_stencil_dec_check();
+
+/// XDR 4-byte alignment of the write/read cursor (emitted only under
+/// XdrWidening, after byte runs whose length is not statically aligned).
+flick_spec_enc_fn flick_stencil_enc_align4();
+flick_spec_dec_fn flick_stencil_dec_align4();
+
+/// NUL-terminated string scan: length word + bytes (+ NUL under CDR) +
+/// alignment, in one kernel; does its own reservation (variable size).
+flick_spec_enc_fn flick_stencil_enc_cstring(bool BigEndian, bool Widening);
+flick_spec_dec_fn flick_stencil_dec_cstring(bool BigEndian, bool Widening);
+
+/// Counted sequence whose element is one dense run: length word plus a
+/// single bulk memcpy (SwapWidth == 0) or byte-swap run (SwapWidth is
+/// the element scalar width).  The headline kernel: an entire sequence in
+/// one dispatch.
+flick_spec_enc_fn flick_stencil_enc_counted_dense(bool BigEndian,
+                                                  unsigned SwapWidth);
+flick_spec_dec_fn flick_stencil_dec_counted_dense(bool BigEndian,
+                                                  unsigned SwapWidth);
+
+/// Per-element loops for non-dense aggregates.  The counted variants
+/// marshal the length word themselves; decode allocates the presented
+/// element storage exactly as the interpreter does.
+flick_spec_enc_fn flick_stencil_enc_loop_fixed();
+flick_spec_dec_fn flick_stencil_dec_loop_fixed();
+flick_spec_enc_fn flick_stencil_enc_loop_counted(bool BigEndian);
+flick_spec_dec_fn flick_stencil_dec_loop_counted(bool BigEndian);
+flick_spec_enc_fn flick_stencil_enc_loop_end();
+flick_spec_dec_fn flick_stencil_dec_loop_end();
+
+/// Program terminator.
+flick_spec_enc_fn flick_stencil_enc_end();
+flick_spec_dec_fn flick_stencil_dec_end();
+
+} // namespace flick
+
+#endif // FLICK_RUNTIME_STENCILS_H

@@ -101,6 +101,13 @@ struct flick_metrics {
   // Interpreted marshaling (runtime/Interp.h): type-program nodes visited.
   uint64_t interp_encodes = 0;
   uint64_t interp_decodes = 0;
+  // Runtime marshal specialization (runtime/Specialize.h).
+  uint64_t interp_dispatches = 0;       ///< dynamic dispatches the interp ran
+  uint64_t spec_programs = 0;           ///< type programs specialized
+  uint64_t spec_compile_ns = 0;         ///< time spent specializing
+  uint64_t spec_cache_hits = 0;         ///< program-cache hits
+  uint64_t spec_steps_fused = 0;        ///< primitive steps fused at compile
+  uint64_t spec_dispatches_avoided = 0; ///< interp dispatches specialization saved
   // Copy accounting (zero-copy message path): every bulk byte movement on
   // the message path -- stub marshal/unmarshal copies, transport staging,
   // pooled-buffer fills -- adds to these, so "how many times was this
@@ -285,6 +292,22 @@ inline const uint8_t *flick_buf_take(flick_buf *b, size_t n) {
 /// that alias unmarshaled data inside the request buffer (paper §3.1).
 inline uint8_t *flick_buf_take_mut(flick_buf *b, size_t n) {
   uint8_t *p = b->data + b->pos;
+  b->pos += n;
+  return p;
+}
+
+/// Non-accounting cursor variants for marshalers that charge copy metrics
+/// once per call instead of once per datum (the interpreter and the
+/// runtime specializer): same cursor motion as grab/take, no counters, so
+/// copies_per_rpc stays comparable with compiled stubs.
+inline uint8_t *flick_buf_grab_raw(flick_buf *b, size_t n) {
+  uint8_t *p = b->data + b->len;
+  b->len += n;
+  return p;
+}
+
+inline const uint8_t *flick_buf_take_raw(flick_buf *b, size_t n) {
+  const uint8_t *p = b->data + b->pos;
   b->pos += n;
   return p;
 }

@@ -18,6 +18,7 @@
 #include "it_bn.h"
 #include "it_bx.h"
 #include "runtime/Interp.h"
+#include "runtime/Specialize.h"
 #include <cstring>
 #include <gtest/gtest.h>
 #include <random>
@@ -251,6 +252,71 @@ TEST(WireEquivalence, InterpreterMatchesCompiledStubsOnTheWire) {
   EXPECT_EQ(std::memcmp(Stub.data + 40, Interp.data, Interp.len), 0);
   flick_buf_destroy(&Stub);
   flick_buf_destroy(&Interp);
+}
+
+TEST(WireEquivalence, SpecializedMatchesInterpAndCompiledStubs) {
+  // The three-way contract: interpreter, runtime-specialized program, and
+  // compiled stub put the very same XDR bytes on the wire -- here for the
+  // dirent workload, the presentation with every node kind in play
+  // (cstring, fixed array, raw bytes, counted sequence of structs).
+  using flick::InterpType;
+  static const InterpType IntElem = InterpType::scalar(0, 4);
+  static const InterpType DirentTy = InterpType::structOf({
+      InterpType::cstring(offsetof(F_dirent, name)),
+      InterpType::fixedArray(offsetof(F_dirent, info.words), &IntElem, 30,
+                             4),
+      InterpType::bytes(offsetof(F_dirent, info.tag), 16),
+  });
+  static const InterpType SeqTy = InterpType::counted(
+      offsetof(F_direntseq, direntseq_len),
+      offsetof(F_direntseq, direntseq_val), &DirentTy, sizeof(F_dirent));
+  const flick::InterpWire Xdr{true, true};
+
+  char Name0[] = "three-way", Name1[] = "f";
+  F_dirent D[2]{};
+  D[0].name = Name0;
+  D[1].name = Name1;
+  for (int I = 0; I != 30; ++I)
+    D[0].info.words[I] = 3000 + I;
+  std::memcpy(D[1].info.tag, "fedcba9876543210", 16);
+  F_direntseq S{2, D};
+
+  flick_buf Stub, Interp, Spec;
+  flick_buf_init(&Stub);
+  flick_buf_init(&Interp);
+  flick_buf_init(&Spec);
+  ASSERT_EQ(F_send_dirents_1_encode_request(&Stub, 1, &S), FLICK_OK);
+  ASSERT_EQ(flick_interp_encode(&Interp, SeqTy, &S, Xdr), FLICK_OK);
+  const flick::flick_spec_program *P = flick::flick_specialize(SeqTy, Xdr);
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(flick_spec_encode(&Spec, P, &S), FLICK_OK);
+
+  ASSERT_EQ(Interp.len, Spec.len);
+  EXPECT_EQ(std::memcmp(Interp.data, Spec.data, Spec.len), 0);
+  ASSERT_EQ(Stub.len, 40 + Spec.len); // body behind the ONC header
+  EXPECT_EQ(std::memcmp(Stub.data + 40, Spec.data, Spec.len), 0);
+
+  // And the specialized decoder accepts the compiled stub's body.
+  flick_buf Body;
+  flick_buf_init(&Body);
+  ASSERT_EQ(flick_buf_ensure(&Body, Spec.len), FLICK_OK);
+  std::memcpy(flick_buf_grab(&Body, Spec.len), Stub.data + 40, Spec.len);
+  F_direntseq Out{};
+  flick_arena Ar{};
+  ASSERT_EQ(flick_spec_decode(&Body, P, &Out, &Ar), FLICK_OK);
+  ASSERT_EQ(Out.direntseq_len, 2u);
+  EXPECT_STREQ(Out.direntseq_val[0].name, Name0);
+  EXPECT_STREQ(Out.direntseq_val[1].name, Name1);
+  EXPECT_EQ(std::memcmp(Out.direntseq_val[0].info.words, D[0].info.words,
+                        120),
+            0);
+  EXPECT_EQ(std::memcmp(Out.direntseq_val[1].info.tag, D[1].info.tag, 16),
+            0);
+  flick_arena_destroy(&Ar);
+  flick_buf_destroy(&Body);
+  flick_buf_destroy(&Stub);
+  flick_buf_destroy(&Interp);
+  flick_buf_destroy(&Spec);
 }
 
 //===----------------------------------------------------------------------===//
