@@ -22,6 +22,15 @@
 /// the SimClock.  CI's socket smoke runs fig5 this way to prove the
 /// generated stubs round-trip over the epoll transport end to end.
 ///
+/// Every fig4-6 binary also takes the uniform bench CLI (same spelling
+/// as fig8/fig9): --transport=local|threaded|sharded|socket overrides
+/// the environment, and --pipeline-depth=N (N > 1) reroutes the measured
+/// loop through the async pipelined client -- the stubs' own
+/// encode_request/decode_reply entry points marshal unchanged, only the
+/// transport interaction switches from synchronous invoke to
+/// submit/demux with N calls in flight.  Unknown options or values are
+/// rejected with a diagnostic and exit code 2.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLICK_BENCH_ENDTOEND_H
@@ -33,6 +42,7 @@
 #include "runtime/Calibrate.h"
 #include "runtime/transport/LocalLink.h"
 #include "runtime/transport/Transport.h"
+#include <cstring>
 
 // Work functions for both dispatchers (payload is discarded; the paper's
 // methods are one-way data pushes with a void reply).
@@ -45,10 +55,57 @@ int N_send_dirents_1_svc(const N_direntseq *) { return 0; }
 
 namespace flickbench {
 
+/// The uniform bench command line shared by fig4-6 (and spelled the same
+/// way by fig8/fig9): transport selection plus the pipelining depth.
+struct E2EOptions {
+  const char *Transport = nullptr; ///< null: FLICK_BENCH_TRANSPORT or pump
+  unsigned Depth = 1;              ///< >1: async pipelined client driving
+};
+
+/// Parses --transport= / --pipeline-depth=; anything else (unknown flag,
+/// unknown transport name, non-positive depth) gets a diagnostic and
+/// exits with code 2, the usage-error convention of the gate scripts.
+inline E2EOptions parseEndToEndArgs(int argc, char **argv) {
+  E2EOptions O;
+  for (int I = 1; I != argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--transport=", 12) == 0) {
+      O.Transport = A + 12;
+    } else if (std::strncmp(A, "--pipeline-depth=", 17) == 0) {
+      char *End = nullptr;
+      long D = std::strtol(A + 17, &End, 10);
+      if (!End || *End || D < 1 || D > 65536) {
+        std::fprintf(stderr,
+                     "%s: bad --pipeline-depth '%s' (want an integer >= 1)\n",
+                     argv[0], A + 17);
+        std::exit(2);
+      }
+      O.Depth = static_cast<unsigned>(D);
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown option '%s' (supported: "
+                   "--transport=local|threaded|sharded|socket, "
+                   "--pipeline-depth=N)\n",
+                   argv[0], A);
+      std::exit(2);
+    }
+  }
+  if (O.Transport && std::strcmp(O.Transport, "local") != 0 &&
+      !flick::makeTransport(O.Transport)) {
+    std::fprintf(stderr,
+                 "%s: unknown transport '%s' (supported: local, threaded, "
+                 "sharded, socket)\n",
+                 argv[0], O.Transport);
+    std::exit(2);
+  }
+  return O;
+}
+
 /// One client/server pair over a modeled link.  By default the link is
 /// the deterministic LocalLink pump (wire time accrues on the SimClock);
-/// with FLICK_BENCH_TRANSPORT set it is a real Transport with one pool
-/// worker, and modeled wire time blocks the sender for real.
+/// with a transport named (--transport= beats FLICK_BENCH_TRANSPORT) it
+/// is a real Transport with one pool worker, and modeled wire time
+/// blocks the sender for real.  "local" names the pump explicitly.
 struct E2ERig {
   flick::LocalLink Link;
   flick::SimClock Clock;
@@ -57,9 +114,11 @@ struct E2ERig {
   flick_server Srv;
   flick_client Cli;
 
-  E2ERig(flick_dispatch_fn Dispatch, const flick::NetworkModel &Model) {
-    const char *T = std::getenv("FLICK_BENCH_TRANSPORT");
-    if (T && *T) {
+  E2ERig(flick_dispatch_fn Dispatch, const flick::NetworkModel &Model,
+         const char *TransportName = nullptr) {
+    const char *T =
+        TransportName ? TransportName : std::getenv("FLICK_BENCH_TRANSPORT");
+    if (T && *T && std::strcmp(T, "local") != 0) {
       Tp = flick::makeTransport(T);
       if (!Tp) {
         std::fprintf(stderr, "bench: unknown FLICK_BENCH_TRANSPORT '%s'\n",
@@ -117,11 +176,84 @@ double e2eThroughput(E2ERig &Rig, const char *Workload, const char *Series,
   return MbitPerSec;
 }
 
+/// Pipelined round-trip throughput (--pipeline-depth=N > 1): up to
+/// \p Depth calls ride in flight through flick_async_client while the
+/// stub's own marshal entry points run unchanged -- \p Enc fills the
+/// staged request buffer (given the fresh xid) and \p Dec must accept
+/// each reply payload.  Completions demultiplex in arrival order inside
+/// the blocking submit; the measured per-call time is therefore the
+/// amortized pipelined cost, and the drain tail after the timing loop is
+/// not charged.  The JSON row keeps the sync row's shape plus a
+/// "pipeline_depth" key field, so depth-1 baselines never collide.
+template <typename Encode>
+double e2ePipelinedThroughput(E2ERig &Rig, const char *Workload,
+                              const char *Series, size_t PayloadBytes,
+                              unsigned Depth, Encode Enc,
+                              int (*Dec)(flick_buf *)) {
+  flick_async_opts Opts;
+  Opts.window = Depth;
+  flick_async_client A;
+  if (flick_async_client_init(&A, Rig.Cli.chan, &Opts) != FLICK_OK) {
+    std::fprintf(stderr, "bench: async client init failed\n");
+    std::exit(1);
+  }
+  A.endpoint = Rig.Cli.endpoint;
+  struct Completion {
+    flick_async_client *A;
+    int (*Dec)(flick_buf *);
+    bool Failed = false;
+  } Done{&A, Dec, false};
+  flick_call_fn OnDone = [](flick_call *Call, void *Ctx) {
+    auto *C = static_cast<Completion *>(Ctx);
+    if (Call->status != FLICK_OK || C->Dec(&Call->rep) != FLICK_OK)
+      C->Failed = true;
+    flick_async_release(C->A, Call);
+  };
+  Rig.Clock.reset();
+  uint32_t Xid = 0;
+  size_t Calls = 0;
+  TimeStats T = timeIt([&] {
+    ++Calls;
+    Enc(flick_async_begin(&A), ++Xid);
+    flick_call *Call = nullptr;
+    if (flick_async_submit(&A, &Call, OnDone, &Done) != FLICK_OK)
+      Done.Failed = true;
+  });
+  if (flick_async_drain(&A) != FLICK_OK)
+    Done.Failed = true;
+  flick_async_client_destroy(&A);
+  if (Done.Failed) {
+    std::fprintf(stderr, "bench: pipelined %s/%s depth=%u failed\n", Workload,
+                 Series, Depth);
+    std::exit(1);
+  }
+  double SimSecsPerCall = Calls ? Rig.Clock.totalUs() * 1e-6 /
+                                      static_cast<double>(Calls)
+                                : 0;
+  double Total = T.Best + SimSecsPerCall;
+  double MbitPerSec = static_cast<double>(PayloadBytes) * 8.0 / Total / 1e6;
+  JsonReport::Row R;
+  R.str("workload", Workload)
+      .str("series", Series)
+      .num("payload_bytes", PayloadBytes)
+      .num("pipeline_depth", static_cast<size_t>(Depth))
+      .time(T)
+      .num("sim_wire_secs_per_call", SimSecsPerCall)
+      .num("rate_mbit_per_s", MbitPerSec);
+  JsonReport::get().add(R);
+  return MbitPerSec;
+}
+
 /// Runs the full figure for one network model and finishes the JSON
 /// report (written only when FLICK_BENCH_JSON is set).  Returns the
-/// process exit code.
-inline int runEndToEndFigure(const char *Title, const char *JsonName,
+/// process exit code.  The argv vector is the uniform bench CLI
+/// (parseEndToEndArgs): --transport= overrides the environment and
+/// --pipeline-depth=N > 1 switches the measured loop to the async
+/// pipelined client.
+inline int runEndToEndFigure(int argc, char **argv, const char *Title,
+                             const char *JsonName,
                              flick::NetworkModel PaperModel) {
+  E2EOptions Opts = parseEndToEndArgs(argc, argv);
   flick_metrics *Metrics = benchMetricsIfJson();
   double HostBw = flick::measureCopyBandwidth();
   flick::NetworkModel Model =
@@ -130,30 +262,52 @@ inline int runEndToEndFigure(const char *Title, const char *JsonName,
       "=== %s ===\n"
       "paper model: %.1f Mbit/s effective; host copy bw %.1f MB/s;\n"
       "scaled model: %.0f Mbit/s effective (keeps the paper's wire/memory"
-      " ratio)\n\n",
+      " ratio)\n",
       Title, PaperModel.EffectiveBitsPerSec / 1e6, HostBw / 1e6,
       Model.EffectiveBitsPerSec / 1e6);
+  if (Opts.Transport)
+    std::printf("transport: %s (--transport)\n", Opts.Transport);
+  if (Opts.Depth > 1)
+    std::printf("pipelined: %u calls in flight (--pipeline-depth)\n",
+                Opts.Depth);
+  std::printf("\n");
 
   auto RunWorkload = [&](const char *Name, bool Rects) {
     std::printf("%s\n%8s %14s %14s %12s\n", Name, "size", "flick(Mb/s)",
                 "naive(Mb/s)", "flick/naive");
     for (size_t Bytes : arraySizes()) {
-      E2ERig FR(F_BENCHPROG_dispatch, Model);
-      E2ERig NR(N_BENCHPROG_dispatch, Model);
+      E2ERig FR(F_BENCHPROG_dispatch, Model, Opts.Transport);
+      E2ERig NR(N_BENCHPROG_dispatch, Model, Opts.Transport);
       // Latency anatomy attributes by endpoint: both compilers' rigs
       // share the workload's endpoint so "ints" vs "rects" is the axis.
       FR.Cli.endpoint = NR.Cli.endpoint =
           flick_endpoint_intern(Rects ? "rects" : "ints");
+      unsigned D = Opts.Depth;
       double FT, NT;
       if (!Rects) {
         uint32_t N = static_cast<uint32_t>(Bytes / 4);
         std::vector<int32_t> Data(N, 42);
         F_intseq FS{N, Data.data()};
         N_intseq NS{N, Data.data()};
-        FT = e2eThroughput(FR, "ints", "flick", Bytes,
-                           [&] { F_send_ints_1(&FS, &FR.Cli); });
-        NT = e2eThroughput(NR, "ints", "naive", Bytes,
-                           [&] { N_send_ints_1(&NS, &NR.Cli); });
+        if (D > 1) {
+          FT = e2ePipelinedThroughput(
+              FR, "ints", "flick", Bytes, D,
+              [&](flick_buf *B, uint32_t X) {
+                F_send_ints_1_encode_request(B, X, &FS);
+              },
+              F_send_ints_1_decode_reply);
+          NT = e2ePipelinedThroughput(
+              NR, "ints", "naive", Bytes, D,
+              [&](flick_buf *B, uint32_t X) {
+                N_send_ints_1_encode_request(B, X, &NS);
+              },
+              N_send_ints_1_decode_reply);
+        } else {
+          FT = e2eThroughput(FR, "ints", "flick", Bytes,
+                             [&] { F_send_ints_1(&FS, &FR.Cli); });
+          NT = e2eThroughput(NR, "ints", "naive", Bytes,
+                             [&] { N_send_ints_1(&NS, &NR.Cli); });
+        }
       } else {
         uint32_t N = static_cast<uint32_t>(Bytes / sizeof(F_rect));
         if (!N)
@@ -162,10 +316,25 @@ inline int runEndToEndFigure(const char *Title, const char *JsonName,
         F_rectseq FS{N, Data.data()};
         N_rectseq NS{N, reinterpret_cast<N_rect *>(Data.data())};
         size_t Payload = N * sizeof(F_rect);
-        FT = e2eThroughput(FR, "rects", "flick", Payload,
-                           [&] { F_send_rects_1(&FS, &FR.Cli); });
-        NT = e2eThroughput(NR, "rects", "naive", Payload,
-                           [&] { N_send_rects_1(&NS, &NR.Cli); });
+        if (D > 1) {
+          FT = e2ePipelinedThroughput(
+              FR, "rects", "flick", Payload, D,
+              [&](flick_buf *B, uint32_t X) {
+                F_send_rects_1_encode_request(B, X, &FS);
+              },
+              F_send_rects_1_decode_reply);
+          NT = e2ePipelinedThroughput(
+              NR, "rects", "naive", Payload, D,
+              [&](flick_buf *B, uint32_t X) {
+                N_send_rects_1_encode_request(B, X, &NS);
+              },
+              N_send_rects_1_decode_reply);
+        } else {
+          FT = e2eThroughput(FR, "rects", "flick", Payload,
+                             [&] { F_send_rects_1(&FS, &FR.Cli); });
+          NT = e2eThroughput(NR, "rects", "naive", Payload,
+                             [&] { N_send_rects_1(&NS, &NR.Cli); });
+        }
       }
       std::printf("%8s %14.1f %14.1f %11.2fx\n", fmtBytes(Bytes).c_str(),
                   FT, NT, NT > 0 ? FT / NT : 0.0);
@@ -181,6 +350,10 @@ inline int runEndToEndFigure(const char *Title, const char *JsonName,
       .num("paper_mbit_per_s", PaperModel.EffectiveBitsPerSec / 1e6)
       .num("scaled_mbit_per_s", Model.EffectiveBitsPerSec / 1e6)
       .num("host_copy_mb_per_s", HostBw / 1e6);
+  if (Opts.Transport)
+    Cfg.str("transport", Opts.Transport);
+  if (Opts.Depth > 1)
+    Cfg.num("config_pipeline_depth", static_cast<size_t>(Opts.Depth));
   JsonReport::get().add(Cfg);
   return JsonReport::get().write(JsonName, Metrics) ? 0 : 1;
 }

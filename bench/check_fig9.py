@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Gate the fig9 open-loop export (the PR-10 acceptance criteria).
+
+Two checks over a fig9_open_loop JSON export:
+
+1. Pipelining capacity (the headline gate): for each transport named by
+   --require-transport (default sharded and socket), the depth-16
+   pipelined capacity row must reach --min-ratio (default 3, overridable
+   with FLICK_FIG9_MIN_RATIO) times that transport's closed-loop
+   capacity row.  Closed-loop driving pays a full round trip of
+   cross-thread (or cross-socket) latency per call; the pipelined client
+   keeps the window full so the server-side service rate binds instead.
+   The ratio needs real parallelism to exist, so the check is skipped
+   (with a notice) when the machine has fewer than 4 CPUs -- on one or
+   two cores the client, the demultiplexer, and the workers time-slice
+   one another and the window buys little.
+
+2. Curve shape (always on): every transport in the export must carry
+   open-loop rows at each offered_pct, with consistent percentiles
+   (p50 <= p99 <= p999 <= max) and positive goodput.  A generator bug
+   that stops submitting or a demultiplexer that drops replies shows up
+   here before it corrupts a committed baseline.
+
+Stdlib only; exit 0 on pass/skip, 1 on a failed gate, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: no 'rows' array")
+    return [r for r in rows if isinstance(r, dict)]
+
+
+def capacity(rows, transport, kind):
+    """rpcs_per_s of the '<transport>-<kind>' capacity row, or None."""
+    for r in rows:
+        if (r.get("workload") == "capacity"
+                and r.get("series") == f"{transport}-{kind}"):
+            rate = r.get("rpcs_per_s")
+            if isinstance(rate, (int, float)) and rate > 0:
+                return rate
+    return None
+
+
+def check_pipelining(rows, transports, min_ratio):
+    failures = []
+    for t in transports:
+        closed = capacity(rows, t, "closed")
+        piped = capacity(rows, t, "pipelined")
+        if closed is None or piped is None:
+            failures.append(f"transport {t}: missing closed/pipelined "
+                            "capacity rows")
+            continue
+        ratio = piped / closed
+        if ratio < min_ratio:
+            failures.append(
+                f"transport {t}: pipelined {piped:.0f} rpc/s is only "
+                f"{ratio:.2f}x closed-loop {closed:.0f} rpc/s; gate "
+                f"requires >= {min_ratio}x.  The window is not keeping "
+                "the server busy across round trips.")
+        else:
+            print(f"check_fig9: {t} pipelined/closed = {ratio:.2f}x "
+                  f"(gate {min_ratio}x): OK")
+    return failures
+
+
+def check_curves(rows):
+    failures = []
+    by_transport = {}
+    for r in rows:
+        if r.get("workload") != "open_loop":
+            continue
+        by_transport.setdefault(r.get("transport"), []).append(r)
+    if not by_transport:
+        return ["no open_loop rows found; cannot gate curve shape"]
+    for t, trs in sorted(by_transport.items(), key=str):
+        for r in trs:
+            tag = f"{t}@{r.get('offered_pct')}%"
+            good = r.get("goodput_rps")
+            if not isinstance(good, (int, float)) or good <= 0:
+                failures.append(f"{tag}: no goodput recorded")
+                continue
+            pcts = [r.get("p50_us"), r.get("p99_us"), r.get("p999_us"),
+                    r.get("max_us")]
+            if any(not isinstance(p, (int, float)) or p < 0 for p in pcts):
+                failures.append(f"{tag}: missing latency percentiles")
+                continue
+            if not (pcts[0] <= pcts[1] <= pcts[2] <= pcts[3]):
+                failures.append(f"{tag}: inconsistent percentiles "
+                                f"p50={pcts[0]} p99={pcts[1]} "
+                                f"p999={pcts[2]} max={pcts[3]}")
+        print(f"check_fig9: {t} open-loop curve has {len(trs)} offered-load "
+              "points with consistent percentiles")
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results", help="fig9_open_loop JSON export")
+    ap.add_argument("--require-transport", action="append", default=[],
+                    help="transports the capacity gate covers (default: "
+                         "sharded and socket)")
+    ap.add_argument("--min-ratio", type=float,
+                    default=float(os.environ.get("FLICK_FIG9_MIN_RATIO",
+                                                 "3")))
+    args = ap.parse_args(argv)
+    transports = args.require_transport or ["sharded", "socket"]
+
+    try:
+        rows = load_rows(args.results)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_fig9: {e}", file=sys.stderr)
+        return 2
+
+    failures = check_curves(rows)
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        print(f"check_fig9: pipelining-capacity gate SKIPPED ({cpus} "
+              "CPU(s); needs >= 4 for the closed-loop round trip and the "
+              "window to run on distinct cores)")
+    else:
+        failures.extend(check_pipelining(rows, transports, args.min_ratio))
+
+    for f in failures:
+        print(f"check_fig9: FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Compare a bench JSON export against a committed baseline.
 
-Rows are matched by (workload, series, payload_bytes) and compared on one
-metric (--metric, default rate_mb_per_s; fig5 rows carry rate_mbit_per_s).
+Rows are matched by (workload, series, payload_bytes) -- plus, when a row
+carries them, the pipeline/offered-load key fields (pipeline_depth,
+offered_pct, offered_rps), so latency-vs-load curves compare point by
+point -- and compared on one metric (--metric, default rate_mb_per_s;
+fig5 rows carry rate_mbit_per_s).
 The check fails only when a matched row regressed by more than
 --max-regression (default 2x): perf smoke across heterogeneous CI hardware
 can only catch order-of-magnitude breakage, not percent-level drift.
@@ -34,13 +37,30 @@ import json
 import sys
 
 
+# Optional key fields beyond the classic 3-tuple: benches that sweep the
+# pipelining window (fig4-6/fig8 --pipeline-depth) or an offered-load
+# curve (fig9) add these to their rows, and each present field joins the
+# row key as a (name, value) pair -- so a depth-16 row can never collide
+# with a depth-1 baseline row, while rows without the fields keep their
+# original keys.  offered_pct (load as a percentage of measured capacity)
+# rather than a raw rate keeps the keys stable across hardware.
+EXTRA_KEY_FIELDS = ("pipeline_depth", "offered_pct", "offered_rps")
+
+
 def key(row):
-    return (row.get("workload"), row.get("series"), row.get("payload_bytes"))
+    base = (row.get("workload"), row.get("series"), row.get("payload_bytes"))
+    extras = tuple((f, row.get(f)) for f in EXTRA_KEY_FIELDS
+                   if isinstance(row.get(f), (int, float))
+                   and not isinstance(row.get(f), bool))
+    return base + extras
 
 
 def fmt_key(k):
-    workload, series, payload = k
-    return f"workload={workload} series={series} payload_bytes={payload}"
+    workload, series, payload = k[:3]
+    out = f"workload={workload} series={series} payload_bytes={payload}"
+    for name, val in k[3:]:
+        out += f" {name}={val}"
+    return out
 
 
 def resolve(row, path):

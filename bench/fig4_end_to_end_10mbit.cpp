@@ -7,8 +7,9 @@
 
 #include "EndToEnd.h"
 
-int main() {
+int main(int argc, char **argv) {
   return flickbench::runEndToEndFigure(
+      argc, argv,
       "Figure 4: end-to-end throughput, 10 Mbit Ethernet "
       "(paper: all compilers tie at ~6-7.5 Mbit)",
       "fig4_end_to_end_10mbit", flick::NetworkModel::ethernet10());

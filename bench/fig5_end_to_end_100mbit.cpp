@@ -7,8 +7,9 @@
 
 #include "EndToEnd.h"
 
-int main() {
+int main(int argc, char **argv) {
   return flickbench::runEndToEndFigure(
+      argc, argv,
       "Figure 5: end-to-end throughput, 100 Mbit Ethernet "
       "(paper: flick 2-3x for medium, up to 3.2x for large messages)",
       "fig5_end_to_end_100mbit", flick::NetworkModel::ethernet100());

@@ -7,8 +7,9 @@
 
 #include "EndToEnd.h"
 
-int main() {
+int main(int argc, char **argv) {
   return flickbench::runEndToEndFigure(
+      argc, argv,
       "Figure 6: end-to-end throughput, 640 Mbit Myrinet "
       "(84.5 Mbit effective; paper: flick up to 3.7x on large messages)",
       "fig6_end_to_end_myrinet", flick::NetworkModel::myrinet640());

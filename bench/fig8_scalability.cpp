@@ -26,7 +26,11 @@
 /// perf-smoke CI).  FLICK_FIG8_QUICK=1 shrinks the measurement window
 /// for smoke runs (sanitizer CI).  --transport=NAME or
 /// FLICK_BENCH_TRANSPORT restricts the sweep to one transport; the
-/// default runs all three.  JSON rows keep the same shape either way.
+/// default runs all three.  --pipeline-depth=N (N > 1) reroutes every
+/// driver thread through the async pipelined client with N calls in
+/// flight (the uniform bench CLI; fig4-6 and fig9 spell it the same
+/// way); such rows gain a "pipeline_depth" key field.  Unknown options
+/// are rejected with a diagnostic and exit code 2.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,9 +74,12 @@ struct ComboResult {
 };
 
 /// Runs \p Workers client threads against \p Workers pool workers over
-/// transport \p TransportName for \p WindowSecs.
+/// transport \p TransportName for \p WindowSecs.  \p Depth > 1 switches
+/// each driver from synchronous invoke to the async pipelined client
+/// with that many calls in flight (the stub's encode/decode entry points
+/// marshal unchanged).
 ComboResult runCombo(const char *TransportName, unsigned Workers,
-                     size_t PayloadBytes, double WindowSecs,
+                     size_t PayloadBytes, double WindowSecs, unsigned Depth,
                      flick_metrics *MergeInto) {
   ComboResult Res;
   auto Link = flick::makeTransport(TransportName);
@@ -127,21 +134,63 @@ ComboResult runCombo(const char *TransportName, unsigned Workers,
   auto T0 = Clock::now();
   for (auto &D : Drivers) {
     Driver *DP = D.get();
-    DP->Thread = std::thread([DP, &Data, N, Deadline] {
+    DP->Thread = std::thread([DP, &Data, N, Deadline, Depth] {
       flick_metrics_enable(&DP->Metrics);
       if (!DP->Spans.empty())
         flick_trace_enable_thread(&DP->Tracer, DP->Spans.data(),
                                   static_cast<uint32_t>(DP->Spans.size()));
       C_IntSeq Seq{0, N, const_cast<int32_t *>(Data.data())};
-      CORBA_Environment Ev{};
-      while (Clock::now() < Deadline) {
-        C_Transfer_send_ints(reinterpret_cast<C_Transfer>(&DP->Obj), &Seq,
-                             &Ev);
-        if (Ev._major != CORBA_NO_EXCEPTION) {
+      if (Depth > 1) {
+        // Pipelined driving: Depth calls in flight per connection, the
+        // completion callback decoding each reply as it demultiplexes.
+        flick_async_opts AO;
+        AO.window = Depth;
+        flick_async_client A;
+        if (flick_async_client_init(&A, DP->Cli.chan, &AO) != FLICK_OK) {
           DP->Failed = true;
-          break;
+        } else {
+          A.endpoint = DP->Cli.endpoint;
+          struct Done {
+            flick_async_client *A;
+            bool Failed = false;
+          } Ctx{&A, false};
+          flick_call_fn OnDone = [](flick_call *Call, void *P) {
+            auto *C = static_cast<Done *>(P);
+            CORBA_Environment Ev{};
+            if (Call->status != FLICK_OK ||
+                C_Transfer_send_ints_decode_reply(&Call->rep, &Ev) !=
+                    FLICK_OK ||
+                Ev._major != CORBA_NO_EXCEPTION)
+              C->Failed = true;
+            flick_async_release(C->A, Call);
+          };
+          uint32_t Xid = 0;
+          while (Clock::now() < Deadline && !Ctx.Failed) {
+            C_Transfer_send_ints_encode_request(flick_async_begin(&A),
+                                                ++Xid, &Seq);
+            flick_call *Call = nullptr;
+            if (flick_async_submit(&A, &Call, OnDone, &Ctx) != FLICK_OK) {
+              Ctx.Failed = true;
+              break;
+            }
+            ++DP->Calls;
+          }
+          if (flick_async_drain(&A) != FLICK_OK)
+            Ctx.Failed = true;
+          flick_async_client_destroy(&A);
+          DP->Failed |= Ctx.Failed;
         }
-        ++DP->Calls;
+      } else {
+        CORBA_Environment Ev{};
+        while (Clock::now() < Deadline) {
+          C_Transfer_send_ints(reinterpret_cast<C_Transfer>(&DP->Obj), &Seq,
+                               &Ev);
+          if (Ev._major != CORBA_NO_EXCEPTION) {
+            DP->Failed = true;
+            break;
+          }
+          ++DP->Calls;
+        }
       }
       if (!DP->Spans.empty())
         flick_trace_disable();
@@ -189,12 +238,35 @@ int main(int argc, char **argv) {
   double WindowSecs = Quick ? 0.1 : 0.5;
 
   // Transport selection: --transport=NAME wins, then FLICK_BENCH_TRANSPORT,
-  // else the full three-way comparison.
+  // else the full three-way comparison.  --pipeline-depth=N > 1 reroutes
+  // the drivers through the async pipelined client.  Anything else on the
+  // command line is a usage error (exit 2), same as fig4-6 and fig9.
   std::vector<const char *> Transports = {"threaded", "sharded", "socket"};
   const char *Only = std::getenv("FLICK_BENCH_TRANSPORT");
-  for (int I = 1; I != argc; ++I)
-    if (std::strncmp(argv[I], "--transport=", 12) == 0)
+  unsigned Depth = 1;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--transport=", 12) == 0) {
       Only = argv[I] + 12;
+    } else if (std::strncmp(argv[I], "--pipeline-depth=", 17) == 0) {
+      char *End = nullptr;
+      long D = std::strtol(argv[I] + 17, &End, 10);
+      if (!End || *End || D < 1 || D > 65536) {
+        std::fprintf(stderr,
+                     "fig8: bad --pipeline-depth '%s' (want an integer "
+                     ">= 1)\n",
+                     argv[I] + 17);
+        return 2;
+      }
+      Depth = static_cast<unsigned>(D);
+    } else {
+      std::fprintf(stderr,
+                   "fig8: unknown option '%s' (supported: "
+                   "--transport=threaded|sharded|socket, "
+                   "--pipeline-depth=N)\n",
+                   argv[I]);
+      return 2;
+    }
+  }
   if (Only && *Only) {
     if (!flick::makeTransport(Only)) {
       std::fprintf(stderr, "fig8: unknown transport '%s'\n", Only);
@@ -219,6 +291,10 @@ int main(int argc, char **argv) {
                 "speedup measures\noverlap of wire waits across connections."
               : "with no wire model the transport itself binds: queue "
                 "mutex vs\nlock-free rings vs socket syscalls.");
+  if (Depth > 1)
+    std::printf("pipelined: %u calls in flight per driver "
+                "(--pipeline-depth)\n",
+                Depth);
   std::printf("%10s %8s %8s %11s %13s %9s %8s\n", "transport", "size",
               "workers", "rpc/s", "payload", "speedup", "cp/rpc");
 
@@ -226,7 +302,7 @@ int main(int argc, char **argv) {
     for (size_t Payload : {1024u, 16384u, 65536u}) {
       double Base = 0;
       for (unsigned W : WorkerCounts) {
-        ComboResult R = runCombo(T, W, Payload, WindowSecs, M);
+        ComboResult R = runCombo(T, W, Payload, WindowSecs, Depth, M);
         if (R.RpcsPerSec < 0) {
           std::fprintf(stderr, "fig8: combo %s w=%u payload=%zu failed\n",
                        T, W, Payload);
@@ -246,8 +322,12 @@ int main(int argc, char **argv) {
             .str("series", Series)
             .str("transport", T)
             .num("payload_bytes", Payload)
-            .num("workers", static_cast<size_t>(W))
-            .num("rpcs_per_s", R.RpcsPerSec)
+            .num("workers", static_cast<size_t>(W));
+        // Depth joins the row key only when pipelining is on, so the
+        // committed depth-1 baselines keep their original 3-tuple keys.
+        if (Depth > 1)
+          Row.num("pipeline_depth", static_cast<size_t>(Depth));
+        Row.num("rpcs_per_s", R.RpcsPerSec)
             .num("rate_mb_per_s", BytesPerSec / 1e6)
             .num("speedup_vs_1", Speedup)
             .num("copies_per_rpc", R.CopiesPerRpc);

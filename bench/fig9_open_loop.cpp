@@ -1,0 +1,456 @@
+//===- bench/fig9_open_loop.cpp - latency under offered load --------------===//
+//
+// Part of the Flick reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Latency-under-load curves for the async pipelined client: an
+/// open-loop Poisson-arrival generator drives int-array RPCs through one
+/// connection per transport (threaded queue, sharded rings, Unix
+/// sockets + epoll) into a small worker pool, and reports the latency
+/// distribution at each offered load.
+///
+/// Closed-loop driving (the fig4-8 benches) can never observe queueing
+/// collapse: the client only submits after the previous reply lands, so
+/// offered load falls automatically as the server slows -- coordinated
+/// omission.  Here arrivals are scheduled by an exponential inter-arrival
+/// clock that does not care how the server is doing, each call's latency
+/// is measured from its *scheduled* arrival (so time spent blocked on the
+/// flow-control window counts), and the curve shows the saturation knee:
+/// flat p99 at low load, a sharp climb as offered load approaches the
+/// pipelined capacity.
+///
+/// Three measurements per transport, all over unmodeled links (no wire
+/// model: the subject is pipelining and queueing mechanics, not the
+/// paper's 1997 wire):
+///   1. closed-loop capacity: one client, synchronous stub calls.
+///   2. pipelined capacity: one client, async submits at --pipeline-depth
+///      (default 16) calls in flight.  The acceptance gate
+///      (check_fig9.py) requires >= 3x closed-loop on sharded and socket
+///      when the machine has >= 4 cores.
+///   3. the open-loop sweep at 50/80/95% of the pipelined capacity,
+///      emitting p50/p99/p999 (scheduled-arrival latency), goodput, and
+///      the window_stalls count per row.
+///
+/// Uniform bench CLI: --transport=threaded|sharded|socket restricts the
+/// sweep (FLICK_BENCH_TRANSPORT is the fallback), --pipeline-depth=N
+/// sets the window; unknown options exit 2.  FLICK_FIG9_QUICK=1 shrinks
+/// the measurement windows for smoke runs.  Open-loop JSON rows carry
+/// {pipeline_depth, offered_pct} key fields (offered_pct rather than the
+/// raw rate so keys survive hardware changes; compare_baseline.py folds
+/// both into the row key).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "b_cdr.h"
+#include "runtime/transport/Transport.h"
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace flickbench;
+
+// Work functions so the generated dispatcher links; decode has already
+// happened when these run, so empty bodies still measure the full path.
+void C_Transfer_send_ints_server(const C_IntSeq *, CORBA_Environment *) {}
+void C_Transfer_send_rects_server(const C_RectSeq *, CORBA_Environment *) {}
+void C_Transfer_send_dirents_server(const C_DirentSeq *,
+                                    CORBA_Environment *) {}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+constexpr size_t PayloadBytes = 1024;
+
+/// One transport + pool + connected client, torn down per measurement so
+/// rows are independent.
+struct Rig {
+  std::unique_ptr<flick::Transport> Link;
+  flick_server_pool Pool;
+  flick_client Cli;
+  bool Ok = false;
+
+  Rig(const char *Transport, unsigned Workers) {
+    Link = flick::makeTransport(Transport);
+    if (!Link)
+      return;
+    if (flick_server_pool_start(&Pool, Link.get(), C_Transfer_dispatch,
+                                Workers) != FLICK_OK)
+      return;
+    flick_client_init(&Cli, &Link->connect());
+    char EpName[32];
+    std::snprintf(EpName, sizeof(EpName), "openloop@%s", Transport);
+    Cli.endpoint = flick_endpoint_intern(EpName);
+    Ok = true;
+  }
+  ~Rig() {
+    if (Ok) {
+      flick_client_destroy(&Cli);
+      flick_server_pool_stop(&Pool);
+    }
+  }
+};
+
+/// Closed-loop capacity: synchronous calls back to back on one client.
+double closedLoopRate(const char *Transport, unsigned Workers,
+                      const C_IntSeq *Seq, double WindowSecs) {
+  Rig R(Transport, Workers);
+  if (!R.Ok)
+    return -1;
+  flick_obj Obj;
+  Obj.client = &R.Cli;
+  CORBA_Environment Ev{};
+  auto T0 = Clock::now();
+  auto Deadline = T0 + std::chrono::duration<double>(WindowSecs);
+  uint64_t Calls = 0;
+  while (Clock::now() < Deadline) {
+    C_Transfer_send_ints(reinterpret_cast<C_Transfer>(&Obj),
+                         const_cast<C_IntSeq *>(Seq), &Ev);
+    if (Ev._major != CORBA_NO_EXCEPTION)
+      return -1;
+    ++Calls;
+  }
+  double Secs = secsSince(T0);
+  return Secs > 0 ? static_cast<double>(Calls) / Secs : -1;
+}
+
+struct OpenLoopState;
+
+/// Completion context for one in-flight open-loop call: the scheduled
+/// arrival it is measured from, recycled through a free list sized to
+/// the window (completions bound outstanding contexts).
+struct Arrival {
+  double SchedNs = 0;
+  OpenLoopState *St = nullptr;
+  Arrival *Next = nullptr;
+};
+
+struct OpenLoopState {
+  flick_async_client *A = nullptr;
+  flick_latency_hist Hist; ///< scheduled-arrival -> completion, us
+  Clock::time_point T0;
+  uint64_t Completed = 0;
+  bool Failed = false;
+  Arrival *Free = nullptr;
+};
+
+/// Shared reply validation: decode with the stub and flag any failure.
+bool replyOk(flick_call *Call) {
+  CORBA_Environment Ev{};
+  return Call->status == FLICK_OK &&
+         C_Transfer_send_ints_decode_reply(&Call->rep, &Ev) == FLICK_OK &&
+         Ev._major == CORBA_NO_EXCEPTION;
+}
+
+/// Capacity-flood completion: validate and recycle, nothing measured
+/// per call (the flood's own submit count is the metric).
+void onFloodDone(flick_call *Call, void *P) {
+  auto *St = static_cast<OpenLoopState *>(P);
+  if (!replyOk(Call))
+    St->Failed = true;
+  ++St->Completed;
+  flick_async_release(St->A, Call);
+}
+
+/// Open-loop completion: the ctx is this call's Arrival, carrying the
+/// scheduled time the latency is measured from.
+void onOpenLoopDone(flick_call *Call, void *P) {
+  auto *Ar = static_cast<Arrival *>(P);
+  OpenLoopState *St = Ar->St;
+  if (!replyOk(Call))
+    St->Failed = true;
+  double NowNs =
+      std::chrono::duration<double, std::nano>(Clock::now() - St->T0)
+          .count();
+  flick_hist_record(&St->Hist, (NowNs - Ar->SchedNs) * 1e-3);
+  ++St->Completed;
+  Ar->Next = St->Free;
+  St->Free = Ar;
+  flick_async_release(St->A, Call);
+}
+
+/// Pipelined capacity: async submits as fast as the window allows.
+double pipelinedRate(const char *Transport, unsigned Workers,
+                     const C_IntSeq *Seq, unsigned Depth,
+                     double WindowSecs) {
+  Rig R(Transport, Workers);
+  if (!R.Ok)
+    return -1;
+  flick_async_opts Opts;
+  Opts.window = Depth;
+  flick_async_client A;
+  if (flick_async_client_init(&A, R.Cli.chan, &Opts) != FLICK_OK)
+    return -1;
+  A.endpoint = R.Cli.endpoint;
+  OpenLoopState St;
+  St.A = &A;
+  uint32_t Xid = 0;
+  uint64_t Calls = 0;
+  auto T0 = Clock::now();
+  auto Deadline = T0 + std::chrono::duration<double>(WindowSecs);
+  while (Clock::now() < Deadline && !St.Failed) {
+    C_Transfer_send_ints_encode_request(flick_async_begin(&A), ++Xid, Seq);
+    flick_call *Call = nullptr;
+    if (flick_async_submit(&A, &Call, onFloodDone, &St) != FLICK_OK) {
+      St.Failed = true;
+      break;
+    }
+    ++Calls;
+  }
+  if (flick_async_drain(&A) != FLICK_OK)
+    St.Failed = true;
+  double Secs = secsSince(T0);
+  flick_async_client_destroy(&A);
+  if (St.Failed || Secs <= 0)
+    return -1;
+  return static_cast<double>(Calls) / Secs;
+}
+
+struct OpenLoopResult {
+  double TargetRps = 0;   ///< the Poisson process's rate parameter
+  double AchievedRps = 0; ///< submits per second actually issued
+  double GoodputRps = 0;  ///< completions per second
+  double P50Us = 0, P99Us = 0, P999Us = 0, MaxUs = 0;
+  uint64_t Stalls = 0; ///< submits that found the window full
+  bool Ok = false;
+};
+
+/// One open-loop run: exponential inter-arrival times at \p TargetRps;
+/// each call's latency is recorded from its scheduled arrival, so both
+/// window-stall time (client-side queueing) and server-side queueing
+/// land in the histogram -- the open-loop number closed-loop driving
+/// cannot produce.
+OpenLoopResult openLoopRun(const char *Transport, unsigned Workers,
+                           const C_IntSeq *Seq, unsigned Depth,
+                           double TargetRps, double WindowSecs,
+                           uint64_t Seed) {
+  OpenLoopResult Res;
+  Res.TargetRps = TargetRps;
+  if (TargetRps <= 0)
+    return Res;
+  Rig R(Transport, Workers);
+  if (!R.Ok)
+    return Res;
+  flick_async_opts Opts;
+  Opts.window = Depth;
+  flick_async_client A;
+  if (flick_async_client_init(&A, R.Cli.chan, &Opts) != FLICK_OK)
+    return Res;
+  A.endpoint = R.Cli.endpoint;
+
+  OpenLoopState St;
+  St.A = &A;
+  // Window+1 arrival contexts cover every call that can be outstanding.
+  std::vector<Arrival> Slab(Depth + 1);
+  for (auto &Ar : Slab) {
+    Ar.St = &St;
+    Ar.Next = St.Free;
+    St.Free = &Ar;
+  }
+
+  std::mt19937_64 Rng(Seed);
+  std::exponential_distribution<double> Gap(TargetRps);
+  uint64_t Stalls0 =
+      flick_gauges_global.window_stalls.load(std::memory_order_relaxed);
+
+  St.T0 = Clock::now();
+  auto T0 = St.T0;
+  double NextNs = 0; // scheduled arrival, ns since T0
+  uint64_t Submitted = 0;
+  double WindowNs = WindowSecs * 1e9;
+  while (NextNs < WindowNs && !St.Failed) {
+    // Wait out the gap to the scheduled arrival.  Spinning keeps the
+    // schedule honest at microsecond gaps; the window is short.
+    while (std::chrono::duration<double, std::nano>(Clock::now() - T0)
+               .count() < NextNs)
+      ;
+    Arrival *Ar = St.Free;
+    St.Free = Ar->Next;
+    Ar->SchedNs = NextNs;
+    C_Transfer_send_ints_encode_request(flick_async_begin(&A),
+                                        static_cast<uint32_t>(++Submitted),
+                                        Seq);
+    flick_call *Call = nullptr;
+    // Blocking submit: when the window is full this pumps completions
+    // first (counted in window_stalls), exactly the client-side queueing
+    // the scheduled-arrival latency is meant to expose.  Each submit
+    // carries its own Arrival as the completion context.
+    if (flick_async_submit(&A, &Call, onOpenLoopDone, Ar) != FLICK_OK) {
+      St.Failed = true;
+      break;
+    }
+    NextNs += Gap(Rng) * 1e9;
+  }
+  if (flick_async_drain(&A) != FLICK_OK)
+    St.Failed = true;
+  double Secs = secsSince(T0);
+  flick_async_client_destroy(&A);
+  if (St.Failed || Secs <= 0 || !St.Hist.count)
+    return Res;
+  Res.AchievedRps = static_cast<double>(Submitted) / Secs;
+  Res.GoodputRps = static_cast<double>(St.Completed) / Secs;
+  Res.P50Us = flick_hist_percentile(&St.Hist, 0.50);
+  Res.P99Us = flick_hist_percentile(&St.Hist, 0.99);
+  Res.P999Us = flick_hist_percentile(&St.Hist, 0.999);
+  Res.MaxUs = St.Hist.max_us;
+  Res.Stalls =
+      flick_gauges_global.window_stalls.load(std::memory_order_relaxed) -
+      Stalls0;
+  Res.Ok = true;
+  return Res;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  flick_metrics *M = benchMetricsIfJson();
+  flick_gauges_enable(); // window_stalls per open-loop row
+  bool Quick = std::getenv("FLICK_FIG9_QUICK") != nullptr;
+  double WindowSecs = Quick ? 0.1 : 0.4;
+
+  std::vector<const char *> Transports = {"threaded", "sharded", "socket"};
+  const char *Only = std::getenv("FLICK_BENCH_TRANSPORT");
+  unsigned Depth = 16;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--transport=", 12) == 0) {
+      Only = argv[I] + 12;
+    } else if (std::strncmp(argv[I], "--pipeline-depth=", 17) == 0) {
+      char *End = nullptr;
+      long D = std::strtol(argv[I] + 17, &End, 10);
+      if (!End || *End || D < 1 || D > 65536) {
+        std::fprintf(stderr,
+                     "fig9: bad --pipeline-depth '%s' (want an integer "
+                     ">= 1)\n",
+                     argv[I] + 17);
+        return 2;
+      }
+      Depth = static_cast<unsigned>(D);
+    } else {
+      std::fprintf(stderr,
+                   "fig9: unknown option '%s' (supported: "
+                   "--transport=threaded|sharded|socket, "
+                   "--pipeline-depth=N)\n",
+                   argv[I]);
+      return 2;
+    }
+  }
+  if (Only && *Only) {
+    if (!flick::makeTransport(Only)) {
+      std::fprintf(stderr, "fig9: unknown transport '%s'\n", Only);
+      return 2;
+    }
+    Transports = {Only};
+  }
+
+  unsigned Workers = std::thread::hardware_concurrency();
+  if (Workers < 2)
+    Workers = 2;
+  if (Workers > 4)
+    Workers = 4;
+
+  uint32_t N = static_cast<uint32_t>(PayloadBytes / 4);
+  std::vector<int32_t> Data(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Data[I] = static_cast<int32_t>(I * 2654435761u);
+  C_IntSeq Seq{0, N, Data.data()};
+
+  std::printf("=== Open-loop latency under load (async pipelined client) "
+              "===\nPoisson arrivals into one connection, %u pool workers, "
+              "%zu B int arrays,\ndepth %u, unmodeled links; latency is "
+              "measured from each call's *scheduled*\narrival, so queueing "
+              "(window stalls included) cannot hide.\n\n",
+              Workers, PayloadBytes, Depth);
+  std::printf("%10s %9s %11s %11s %11s %9s %9s %9s %8s\n", "transport",
+              "offered", "target/s", "goodput/s", "p50(us)", "p99(us)",
+              "p999(us)", "max(us)", "stalls");
+
+  for (const char *T : Transports) {
+    double Closed = closedLoopRate(T, Workers, &Seq, WindowSecs);
+    if (Closed <= 0) {
+      std::fprintf(stderr, "fig9: closed-loop run failed on %s\n", T);
+      return 1;
+    }
+    double Piped = pipelinedRate(T, Workers, &Seq, Depth, WindowSecs);
+    if (Piped <= 0) {
+      std::fprintf(stderr, "fig9: pipelined run failed on %s\n", T);
+      return 1;
+    }
+    double Speedup = Piped / Closed;
+    std::printf("%10s  capacity: closed %.0f rpc/s, pipelined %.0f rpc/s "
+                "(%.2fx)\n",
+                T, Closed, Piped, Speedup);
+    char Series[48];
+    std::snprintf(Series, sizeof(Series), "%s-closed", T);
+    JsonReport::Row RowC;
+    RowC.str("workload", "capacity")
+        .str("series", Series)
+        .str("transport", T)
+        .num("payload_bytes", PayloadBytes)
+        .num("pipeline_depth", static_cast<size_t>(1))
+        .num("rpcs_per_s", Closed);
+    JsonReport::get().add(RowC);
+    std::snprintf(Series, sizeof(Series), "%s-pipelined", T);
+    JsonReport::Row RowP;
+    RowP.str("workload", "capacity")
+        .str("series", Series)
+        .str("transport", T)
+        .num("payload_bytes", PayloadBytes)
+        .num("pipeline_depth", static_cast<size_t>(Depth))
+        .num("rpcs_per_s", Piped)
+        .num("speedup_vs_closed", Speedup);
+    JsonReport::get().add(RowP);
+
+    for (unsigned Pct : {50u, 80u, 95u}) {
+      double Target = Piped * Pct / 100.0;
+      OpenLoopResult R = openLoopRun(T, Workers, &Seq, Depth, Target,
+                                     WindowSecs,
+                                     0x9E3779B97F4A7C15ull + Pct);
+      if (!R.Ok) {
+        std::fprintf(stderr, "fig9: open-loop run failed on %s at %u%%\n",
+                     T, Pct);
+        return 1;
+      }
+      std::printf("%10s %8u%% %11.0f %11.0f %11.1f %9.1f %9.1f %9.1f "
+                  "%8llu\n",
+                  T, Pct, R.TargetRps, R.GoodputRps, R.P50Us, R.P99Us,
+                  R.P999Us, R.MaxUs,
+                  static_cast<unsigned long long>(R.Stalls));
+      JsonReport::Row Row;
+      Row.str("workload", "open_loop")
+          .str("series", T)
+          .str("transport", T)
+          .num("payload_bytes", PayloadBytes)
+          .num("pipeline_depth", static_cast<size_t>(Depth))
+          .num("offered_pct", static_cast<size_t>(Pct))
+          .num("target_rps", R.TargetRps)
+          .num("achieved_rps", R.AchievedRps)
+          .num("goodput_rps", R.GoodputRps)
+          .num("p50_us", R.P50Us)
+          .num("p99_us", R.P99Us)
+          .num("p999_us", R.P999Us)
+          .num("max_us", R.MaxUs)
+          .num("window_stalls", R.Stalls);
+      JsonReport::get().add(Row);
+    }
+    std::printf("\n");
+  }
+
+  JsonReport::Row Cfg;
+  Cfg.str("workload", "config")
+      .str("series", "open_loop")
+      .num("config_pipeline_depth", static_cast<size_t>(Depth))
+      .num("workers", static_cast<size_t>(Workers))
+      .num("window_secs", WindowSecs);
+  JsonReport::get().add(Cfg);
+  return JsonReport::get().write("fig9_open_loop", M) ? 0 : 1;
+}

@@ -105,6 +105,49 @@ class TestCompare(unittest.TestCase):
         self.assertTrue(any("new in current" in n for n in notes))
 
 
+class TestCurveKeys(unittest.TestCase):
+    """The pipeline/offered-load key extension: rows carrying
+    pipeline_depth / offered_pct / offered_rps compare point by point,
+    and never collide with classic 3-tuple rows."""
+
+    def test_plain_rows_keep_the_classic_key(self):
+        self.assertEqual(cb.key(row()), ("ints", "optimized", 1024))
+
+    def test_depth_and_offered_fields_join_the_key(self):
+        k = cb.key(row(pipeline_depth=16, offered_pct=80))
+        self.assertEqual(k, ("ints", "optimized", 1024,
+                             ("pipeline_depth", 16), ("offered_pct", 80)))
+        self.assertIn("pipeline_depth=16", cb.fmt_key(k))
+        self.assertIn("offered_pct=80", cb.fmt_key(k))
+
+    def test_non_numeric_extras_are_ignored(self):
+        self.assertEqual(cb.key(row(pipeline_depth="deep", offered_pct=True)),
+                         ("ints", "optimized", 1024))
+
+    def test_depth_rows_do_not_collide_with_depth1_baseline(self):
+        base = rows_by_key([row(rate_mb_per_s=100.0)])
+        cur = rows_by_key([row(rate_mb_per_s=1.0, pipeline_depth=16)])
+        checked, _, failures, notes = cb.compare(base, cur)
+        # Different keys: the slow depth-16 row is "new", never compared
+        # against the depth-1 baseline.
+        self.assertEqual((checked, failures), (0, []))
+        self.assertTrue(any("missing in current" in n for n in notes))
+        self.assertTrue(any("new in current" in n and "pipeline_depth=16"
+                            in n for n in notes))
+
+    def test_offered_load_curves_compare_point_by_point(self):
+        def curve(p99_at_95):
+            return [row(series="socket", offered_pct=50, p99_us=200.0),
+                    row(series="socket", offered_pct=95, p99_us=p99_at_95)]
+        base = rows_by_key(curve(1000.0))
+        cur = rows_by_key(curve(9000.0))
+        checked, _, failures, _ = cb.compare(
+            base, cur, metric="p99_us", direction="lower")
+        self.assertEqual(checked, 2)
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(failures[0]["key"][3], ("offered_pct", 95))
+
+
 class TestNestedMetrics(unittest.TestCase):
     def test_resolve_walks_dotted_paths(self):
         r = {"rpc_latency": {"p99_us": 12.5, "name": "x"}}

@@ -1,0 +1,44 @@
+# Runs the fig9 open-loop bench (quick window) with FLICK_BENCH_JSON
+# pointed at OUT, then gates the export with bench/check_fig9.py: the
+# open-loop curves must be structurally sound on every transport, and --
+# on machines with >= 4 CPUs -- the depth-16 pipelined capacity must
+# reach the required multiple of closed-loop capacity on the sharded and
+# socket transports.  This is the CI proof that the async client's
+# window actually overlaps round trips, run as the fig9_open_loop_gate
+# ctest.
+#
+# Usage:
+#   cmake -DBENCH=<fig9_open_loop> -DCHECKER=<check_fig9.py>
+#         -DPYTHON=<python3> -DOUT=<fig9.json> -P CheckFig9.cmake
+
+foreach(VAR BENCH CHECKER PYTHON OUT)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "CheckFig9.cmake: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT}")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          FLICK_BENCH_JSON=${OUT} FLICK_FIG9_QUICK=1
+          "${BENCH}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "bench run failed (rc=${RC}):\n${STDERR}")
+endif()
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "bench did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "fig9 open-loop gate failed (rc=${RC}):\n"
+                      "${STDOUT}${STDERR}")
+endif()
+message(STATUS "${STDOUT}")

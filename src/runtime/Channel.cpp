@@ -79,6 +79,14 @@ int Channel::recvInto(flick_buf *Into) {
 
 void Channel::release(flick_buf *) {}
 
+int Channel::sendBatch(const flick_iov *const *Segs, const size_t *Counts,
+                       size_t NMsgs) {
+  for (size_t I = 0; I != NMsgs; ++I)
+    if (int Err = sendv(Segs[I], Counts[I]))
+      return Err;
+  return FLICK_OK;
+}
+
 //===----------------------------------------------------------------------===//
 // WireBufPool
 //===----------------------------------------------------------------------===//

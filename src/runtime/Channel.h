@@ -71,6 +71,39 @@ public:
   /// ping-ponging between two; others leave the buffer's storage alone
   /// for flick_buf's own reuse.  The buffer stays valid either way.
   virtual void release(flick_buf *Buf);
+
+  /// Queues \p NMsgs whole messages in one call, each given as its own
+  /// scatter-gather segment list (Segs[i], Counts[i] segments).  Used by
+  /// the async client's oneway corking: transports that can amortize
+  /// per-send cost override this (SocketLink issues one sendmsg over all
+  /// frames); the default just loops sendv per message.  Stops at the
+  /// first failure and returns its status.
+  virtual int sendBatch(const flick_iov *const *Segs, const size_t *Counts,
+                        size_t NMsgs);
+
+  //===--------------------------------------------------------------------===//
+  // Out-of-band request correlation (DESIGN.md §15)
+  //
+  // The async pipelined client tags every outgoing request with a nonzero
+  // correlation id; the transport carries it *next to* the payload (in
+  // the queue transports' Msg struct / SocketLink's frame header, exactly
+  // where the trace context already rides) so payload bytes are identical
+  // whether or not the caller pipelines.  A worker-side channel that
+  // receives a request auto-echoes the id onto its next reply, so servers
+  // need no changes.  Synchronous clients never call setCorrelation and
+  // the id stays 0 throughout.
+  //===--------------------------------------------------------------------===//
+
+  /// Sets the correlation id stamped on subsequent outgoing messages.
+  void setCorrelation(uint64_t Id) { CorrOut = Id; }
+
+  /// The correlation id carried by the most recently received message
+  /// (0 when the sender did not tag it).
+  uint64_t lastCorrelation() const { return CorrIn; }
+
+protected:
+  uint64_t CorrOut = 0; ///< id stamped on the next send
+  uint64_t CorrIn = 0;  ///< id carried by the last received message
 };
 
 /// Fixed-size free list of malloc'd wire-message allocations (DESIGN.md

@@ -52,6 +52,7 @@ void flick_metrics_merge(flick_metrics *dst, const flick_metrics *src) {
   dst->pool_hits += src->pool_hits;
   dst->pool_misses += src->pool_misses;
   dst->queue_full += src->queue_full;
+  dst->corr_drops += src->corr_drops;
   dst->wire_time_us += src->wire_time_us;
   flick_hist_merge(&dst->rpc_latency, &src->rpc_latency);
   for (int E = 0; E != FLICK_MAX_ENDPOINTS; ++E) {
@@ -213,6 +214,7 @@ std::string flick_metrics_to_json(const flick_metrics *m,
       {"pool_hits", m->pool_hits},
       {"pool_misses", m->pool_misses},
       {"queue_full", m->queue_full},
+      {"corr_drops", m->corr_drops},
   };
   std::string Out = "{\n";
   Out += indent;

@@ -47,7 +47,8 @@ void flick_gauges_enable() {
         &G.queue_dequeues, &G.queue_wait_ns, &G.lock_wait_ns, &G.lock_acquires,
         &G.queue_full_waits, &G.pool_gauge_hits, &G.pool_gauge_misses,
         &G.worker_busy_ns, &G.stalls_detected, &G.ring_wait_ns, &G.steals,
-        &G.sock_syscalls, &G.sock_eagain, &G.shard_slots_live})
+        &G.sock_syscalls, &G.sock_eagain, &G.window_stalls,
+        &G.shard_slots_live})
     F->store(0, std::memory_order_relaxed);
   for (std::atomic<uint64_t> &F : G.shard_depth)
     F.store(0, std::memory_order_relaxed);
@@ -177,6 +178,7 @@ void takeSample(Sampler &S) {
   Smp.steals = Ld(G.steals);
   Smp.sock_syscalls = Ld(G.sock_syscalls);
   Smp.sock_eagain = Ld(G.sock_eagain);
+  Smp.window_stalls = Ld(G.window_stalls);
   uint64_t DepthSum = 0;
   for (const std::atomic<uint64_t> &F : G.shard_depth) {
     uint64_t V = Ld(F);
@@ -425,7 +427,8 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       "\"enqueues_per_s\": %.1f, \"queue_wait_avg_us\": %.3f, "
       "\"lock_wait_frac\": %.4f, \"ring_wait_frac\": %.4f, "
       "\"steals_per_s\": %.1f, \"syscalls_per_rpc\": %.2f, "
-      "\"eagain_retries\": %llu, \"worker_busy_frac\": %.4f, "
+      "\"eagain_retries\": %llu, \"window_stalls\": %llu, "
+      "\"worker_busy_frac\": %.4f, "
       "\"pool_hit_rate\": %.3f, \"m_rpcs_sent\": %llu, "
       "\"m_rpcs_handled\": %llu, \"m_request_bytes\": %llu, "
       "\"m_queue_full\": %llu, \"slo_met\": %llu, "
@@ -451,6 +454,7 @@ std::string sampleJson(const flick_sample &Smp, const flick_sample &Prev,
       static_cast<double>(DSteals) * PerS,
       DRpcs ? static_cast<double>(DSys) / static_cast<double>(DRpcs) : 0.0,
       static_cast<unsigned long long>(DEagain),
+      static_cast<unsigned long long>(Smp.window_stalls),
       IntervalNs > 0 ? static_cast<double>(DBusyNs) /
                            (IntervalNs * static_cast<double>(Workers))
                      : 0.0,
@@ -645,6 +649,9 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m,
          m->pool_misses},
         {"flick_queue_full_total", "Sends that met a full request queue.",
          m->queue_full},
+        {"flick_corr_drops_total",
+         "Replies whose correlation id matched no pending call.",
+         m->corr_drops},
         {"flick_interp_dispatches_total",
          "Dynamic dispatches run by the interpretive marshaler.",
          m->interp_dispatches},
@@ -819,6 +826,9 @@ std::string flick_metrics_to_prometheus(const flick_metrics *m,
              "Socket-transport syscalls issued.", Ld(G.sock_syscalls));
   promMetric(Out, "flick_sock_eagain_total", "counter",
              "Socket-transport send EAGAIN retries.", Ld(G.sock_eagain));
+  promMetric(Out, "flick_window_stalls_total", "counter",
+             "Async-client submits that found the pipeline window full.",
+             Ld(G.window_stalls));
   {
     Out += "# HELP flick_shard_depth Requests queued per transport shard.\n";
     Out += "# TYPE flick_shard_depth gauge\n";

@@ -90,6 +90,9 @@ struct flick_gauges {
   // Socket transport.
   std::atomic<uint64_t> sock_syscalls{0};  ///< sendmsg/recv/epoll_wait issued
   std::atomic<uint64_t> sock_eagain{0};    ///< EAGAIN retries on the send path
+  // Async pipelined client: submits that found the flow-control window
+  // full (and either pumped a completion or failed fast).
+  std::atomic<uint64_t> window_stalls{0};
   // Instantaneous per-shard occupancy (ShardedLink).
   std::atomic<uint64_t> shard_depth[FLICK_GAUGE_SHARD_SLOTS] = {};
   /// Shard slots actually in use by the live ShardedLink (<= the slot
@@ -219,6 +222,7 @@ struct flick_sample {
   uint64_t steals = 0;
   uint64_t sock_syscalls = 0;
   uint64_t sock_eagain = 0;
+  uint64_t window_stalls = 0;
   uint64_t shard_depth_max = 0; ///< deepest shard slot at this tick
   uint64_t shard_slots_live = 0; ///< shard slots in use (0: none reported)
   double shard_depth_avg = 0; ///< mean occupancy over the live slots only

@@ -46,6 +46,7 @@ enum {
   FLICK_ERR_NO_SUCH_OP = 3,///< demux found no matching operation
   FLICK_ERR_EXCEPTION = 4, ///< reply carried a user exception
   FLICK_ERR_ALLOC = 5,     ///< allocation failure
+  FLICK_ERR_WOULD_BLOCK = 6, ///< fail-fast submit found the window full
 };
 
 /// Reply-status discriminator marshaled at the front of every reply body.
@@ -123,6 +124,10 @@ struct flick_metrics {
   // Threaded request queue backpressure (ThreadedLink): sends that found
   // the bounded queue full and had to wait for a worker to drain it.
   uint64_t queue_full = 0;
+  // Async client demultiplexer: replies whose correlation id matched no
+  // pending call (duplicate or unknown id) -- dropped and counted, never
+  // fatal.
+  uint64_t corr_drops = 0;
   // Simulated wire time accumulated by modeled links (SimClock).
   double wire_time_us = 0;
   // Per-call round-trip latency distribution: flick_client_invoke records
@@ -564,6 +569,111 @@ int flick_client_invoke(flick_client *c);
 
 /// Sends the request buffer without expecting a reply.
 int flick_client_send_oneway(flick_client *c);
+
+//===----------------------------------------------------------------------===//
+// Async pipelined client
+//===----------------------------------------------------------------------===//
+//
+// Keeps up to `window` requests in flight on one connection.  Each submit
+// stamps a fresh nonzero correlation id that rides *out of band* next to
+// the trace context (transport Msg / SocketLink frame header -- DESIGN.md
+// §15), so the CDR payload bytes are identical to the synchronous stubs'.
+// The server end echoes the request's id onto its reply; the client-side
+// demultiplexer (the pump inside wait/drain/blocking-submit) receives
+// replies in whatever order they arrive and completes the matching call.
+// Replies matching no pending call are dropped and counted (corr_drops).
+
+struct flick_call;
+
+/// Completion callback, run on the pumping thread the moment the call's
+/// reply (or a transport failure) lands.  The call is already off the
+/// pending list; releasing it from inside the callback is legal.
+typedef void (*flick_call_fn)(flick_call *call, void *ctx);
+
+/// One in-flight (or completed, not-yet-released) pipelined call.  Slots
+/// have stable addresses and are recycled through a free list; the window
+/// bounds calls *in flight*, so a completed-but-unreleased handle costs an
+/// extra slot rather than wedging a blocking submit.
+struct flick_call {
+  uint64_t id = 0;        ///< correlation id (unique per client, nonzero)
+  int status = FLICK_OK;  ///< completion status; valid once done
+  int done = 0;           ///< reply landed or the call failed
+  flick_buf rep;          ///< reply payload once done (adopted wire storage)
+  uint64_t submit_ns = 0; ///< per-call submit stamp: rpc_latency stays
+                          ///< correct under out-of-order completion
+  flick_call_fn on_complete = nullptr;
+  void *ctx = nullptr;
+  flick_call *next = nullptr; ///< intrusive pending/free list
+};
+
+/// Tuning knobs for flick_async_client_init (null means all defaults).
+struct flick_async_opts {
+  uint32_t window = 16;  ///< max two-way calls in flight
+  int fail_fast = 0;     ///< full window: FLICK_ERR_WOULD_BLOCK, don't pump
+  uint32_t cork_max = 64;///< corked oneways per batch before auto-flush
+                         ///< (bounded well under IOV_MAX)
+};
+
+/// Client-side state for one pipelined connection.  Single-threaded like
+/// flick_client: submits and pumps happen on one thread (the channel's
+/// thread contract); concurrency comes from many requests in flight, not
+/// from many threads sharing a client.
+struct flick_async_client {
+  flick_channel *chan = nullptr;
+  flick_buf req;         ///< staging buffer for the next submit/oneway
+  uint32_t endpoint = 0; ///< trace/anatomy tag, as in flick_client
+  uint32_t window = 0;
+  int fail_fast = 0;
+  uint32_t inflight = 0; ///< two-way calls currently pending
+  uint64_t next_id = 0;  ///< last correlation id issued
+  void *impl = nullptr;  ///< call slots, pending/free lists, cork state
+};
+
+/// Allocates the call-slot arena and cork state.  Returns FLICK_OK or
+/// FLICK_ERR_ALLOC.
+int flick_async_client_init(flick_async_client *c, flick_channel *chan,
+                            const flick_async_opts *opts = nullptr);
+
+/// Destroys all slots and buffers.  Safe with calls still in flight (their
+/// replies, if any ever arrive, die with the connection); prefer
+/// flick_async_drain first when the transport is still up.
+void flick_async_client_destroy(flick_async_client *c);
+
+/// Resets and returns the reused request staging buffer; marshal the next
+/// request into it, then submit or oneway it.
+flick_buf *flick_async_begin(flick_async_client *c);
+
+/// Sends the staged request with a fresh correlation id and returns its
+/// handle in *out.  When the window is full: pumps completions until a
+/// slot frees (default), or fails with FLICK_ERR_WOULD_BLOCK (fail_fast) --
+/// either way one window_stalls gauge event is recorded.  The staging
+/// buffer is reusable as soon as this returns.
+int flick_async_submit(flick_async_client *c, flick_call **out,
+                       flick_call_fn on_complete = nullptr,
+                       void *ctx = nullptr);
+
+/// Pumps replies until \p call completes; other calls completing meanwhile
+/// are demultiplexed to their own handles (and callbacks) as a side effect.
+/// Returns the call's status.
+int flick_async_wait(flick_async_client *c, flick_call *call);
+
+/// Flushes corked oneways, then pumps until no two-way call is pending.
+/// Returns the first error seen (pending calls are still all completed --
+/// with FLICK_ERR_TRANSPORT -- when the transport dies mid-drain).
+int flick_async_drain(flick_async_client *c);
+
+/// Returns a completed call's slot (and its reply storage) to the client
+/// for reuse.  Must not be called on a call still in flight.
+void flick_async_release(flick_async_client *c, flick_call *call);
+
+/// Corks the staged request as a oneway: the bytes are staged into the
+/// batch arena and nothing is sent until flush (or until cork_max oneways
+/// accumulate).  Cheap calls coalesce into one sendv/sendmsg on the wire.
+int flick_async_oneway(flick_async_client *c);
+
+/// Sends every corked oneway as ONE batch (a single sendmsg on
+/// SocketLink).  No-op when nothing is corked.
+int flick_async_flush(flick_async_client *c);
 
 struct flick_server;
 

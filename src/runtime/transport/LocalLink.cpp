@@ -51,6 +51,7 @@ int LocalLink::End::send(const uint8_t *Data, size_t Len) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.account(Len);
   (IsClient ? Link.ToB : Link.ToA).push_back(M);
   return FLICK_OK;
@@ -78,6 +79,7 @@ int LocalLink::End::sendv(const flick_iov *Segs, size_t Count) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.account(Total);
   (IsClient ? Link.ToB : Link.ToA).push_back(M);
   return FLICK_OK;
@@ -93,6 +95,9 @@ int LocalLink::End::recv(std::vector<uint8_t> &Out) {
   }
   Msg M = Queue.front();
   Queue.pop_front();
+  CorrIn = M.Corr;
+  if (!IsClient)
+    CorrOut = M.Corr; // echo the request's id onto the reply
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
@@ -112,6 +117,9 @@ int LocalLink::End::recvInto(flick_buf *Into) {
   }
   Msg M = Queue.front();
   Queue.pop_front();
+  CorrIn = M.Corr;
+  if (!IsClient)
+    CorrOut = M.Corr; // echo the request's id onto the reply
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   // Hand the pooled wire buffer to the caller whole and park the caller's

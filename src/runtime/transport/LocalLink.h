@@ -73,7 +73,10 @@ private:
   /// (trace id, span id) ride beside the bytes, never inside them, so
   /// tracing cannot perturb the wire format.  The wire bytes live in a
   /// pool-managed malloc allocation so a receiver can adopt it whole
-  /// (recvInto) instead of copying it out.
+  /// (recvInto) instead of copying it out.  Corr carries the async
+  /// client's correlation id the same out-of-band way (echoed onto the
+  /// reply by the server end), so correlation unit tests run on this
+  /// deterministic link too.
   struct Msg {
     uint8_t *Data = nullptr;
     size_t Cap = 0;
@@ -81,6 +84,7 @@ private:
     uint64_t TraceId = 0;
     uint64_t ParentSpan = 0;
     uint32_t Endpoint = 0;
+    uint64_t Corr = 0;
   };
 
   void account(size_t Len);

@@ -364,6 +364,7 @@ int ShardedLink::Conn::send(const uint8_t *Data, size_t Len) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.wireDelay(Len);
   return Link.pushRequest(this, M);
 }
@@ -390,6 +391,7 @@ int ShardedLink::Conn::sendv(const flick_iov *Segs, size_t Count) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.wireDelay(Total);
   return Link.pushRequest(this, M);
 }
@@ -398,6 +400,7 @@ int ShardedLink::Conn::recv(std::vector<uint8_t> &Out) {
   Msg M;
   if (int Err = awaitReply(&M))
     return Err;
+  CorrIn = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
@@ -413,6 +416,7 @@ int ShardedLink::Conn::recvInto(flick_buf *Into) {
   Msg M;
   if (int Err = awaitReply(&M))
     return Err;
+  CorrIn = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);
@@ -462,6 +466,7 @@ int ShardedLink::WorkerChan::send(const uint8_t *Data, size_t Len) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   return sendReply(M);
 }
 
@@ -487,6 +492,7 @@ int ShardedLink::WorkerChan::sendv(const flick_iov *Segs, size_t Count) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   return sendReply(M);
 }
 
@@ -496,6 +502,10 @@ int ShardedLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
   if (int Err = Link.popRequest(this, &From, &M))
     return Err;
   CurConn = From;
+  // Auto-echo: the reply this worker sends next carries the request's
+  // correlation id, so servers stay untouched by pipelining.
+  CorrIn = M.Corr;
+  CorrOut = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
@@ -513,6 +523,8 @@ int ShardedLink::WorkerChan::recvInto(flick_buf *Into) {
   if (int Err = Link.popRequest(this, &From, &M))
     return Err;
   CurConn = From;
+  CorrIn = M.Corr;
+  CorrOut = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);

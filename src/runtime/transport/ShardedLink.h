@@ -67,8 +67,9 @@ public:
 
 private:
   /// As in ThreadedLink: pooled wire bytes plus out-of-band trace context
-  /// (with the sender's endpoint tag) and the enqueue stamp for the flight
-  /// recorder's queue-wait gauge and the dequeue side's QUEUE span.
+  /// (with the sender's endpoint tag), the enqueue stamp for the flight
+  /// recorder's queue-wait gauge and the dequeue side's QUEUE span, and
+  /// the async client's correlation id (0 for synchronous callers).
   struct Msg {
     uint8_t *Data = nullptr;
     size_t Cap = 0;
@@ -77,6 +78,7 @@ private:
     uint64_t ParentSpan = 0;
     uint32_t Endpoint = 0;
     uint64_t EnqNs = 0;
+    uint64_t Corr = 0;
   };
 
   class Conn final : public Channel {

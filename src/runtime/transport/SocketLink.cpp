@@ -191,38 +191,10 @@ SocketLink::Conn::~Conn() {
     ::close(Fd);
 }
 
-int SocketLink::Conn::sendFrame(const flick_iov *Segs, size_t Count,
-                                size_t Total) {
-  if (Fd < 0 || Link.Down.load(std::memory_order_acquire))
-    return FLICK_ERR_TRANSPORT;
-  FrameHdr H = {Total, 0, 0, 0, 0, 0};
-  if (flick_trace_active)
-    flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
-  Link.wireDelay(Total);
-  // Stamp after the modeled wire sleep: the receiver's queue-wait
-  // attribution then covers only real kernel-buffer time, never the
-  // already-accounted WIRE span.
-  if (H.TraceId)
-    H.SendNs = flick_gauge_now_ns();
-
-  // One gather array: header first, then the caller's segments verbatim.
-  // No staging buffer -- this is the transport's zero-copy send path.
-  iovec Stack[9];
-  std::vector<iovec> Heap;
-  iovec *Io = Stack;
-  if (Count + 1 > sizeof Stack / sizeof Stack[0]) {
-    Heap.resize(Count + 1);
-    Io = Heap.data();
-  }
-  Io[0].iov_base = &H;
-  Io[0].iov_len = sizeof H;
-  for (size_t I = 0; I != Count; ++I) {
-    Io[I + 1].iov_base = const_cast<uint8_t *>(Segs[I].base);
-    Io[I + 1].iov_len = Segs[I].len;
-  }
+int SocketLink::Conn::writeIovs(iovec *Io, size_t NIov) {
   msghdr MH{};
   MH.msg_iov = Io;
-  MH.msg_iovlen = Count + 1;
+  MH.msg_iovlen = NIov;
 
   bool MetFull = false;
   while (MH.msg_iovlen) {
@@ -254,6 +226,79 @@ int SocketLink::Conn::sendFrame(const flick_iov *Segs, size_t Count,
     return FLICK_ERR_TRANSPORT;
   }
   return FLICK_OK;
+}
+
+int SocketLink::Conn::sendFrame(const flick_iov *Segs, size_t Count,
+                                size_t Total) {
+  if (Fd < 0 || Link.Down.load(std::memory_order_acquire))
+    return FLICK_ERR_TRANSPORT;
+  FrameHdr H = {Total, 0, 0, 0, 0, 0, CorrOut};
+  if (flick_trace_active)
+    flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
+  Link.wireDelay(Total);
+  // Stamp after the modeled wire sleep: the receiver's queue-wait
+  // attribution then covers only real kernel-buffer time, never the
+  // already-accounted WIRE span.
+  if (H.TraceId)
+    H.SendNs = flick_gauge_now_ns();
+
+  // One gather array: header first, then the caller's segments verbatim.
+  // No staging buffer -- this is the transport's zero-copy send path.
+  iovec Stack[9];
+  std::vector<iovec> Heap;
+  iovec *Io = Stack;
+  if (Count + 1 > sizeof Stack / sizeof Stack[0]) {
+    Heap.resize(Count + 1);
+    Io = Heap.data();
+  }
+  Io[0].iov_base = &H;
+  Io[0].iov_len = sizeof H;
+  for (size_t I = 0; I != Count; ++I) {
+    Io[I + 1].iov_base = const_cast<uint8_t *>(Segs[I].base);
+    Io[I + 1].iov_len = Segs[I].len;
+  }
+  return writeIovs(Io, Count + 1);
+}
+
+int SocketLink::Conn::sendBatch(const flick_iov *const *Segs,
+                                const size_t *Counts, size_t NMsgs) {
+  if (Fd < 0 || Link.Down.load(std::memory_order_acquire))
+    return FLICK_ERR_TRANSPORT;
+  // One header per frame, one iovec gather over ALL frames, ONE sendmsg
+  // in the common case: the receiver parses the concatenated frames
+  // sequentially off the stream, so corked oneways amortize the per-send
+  // syscall (and wakeup) cost across the whole batch.
+  std::vector<FrameHdr> Hdrs(NMsgs);
+  size_t NIov = NMsgs, GrandTotal = 0;
+  for (size_t I = 0; I != NMsgs; ++I)
+    NIov += Counts[I];
+  std::vector<iovec> Io(NIov);
+  size_t At = 0;
+  for (size_t I = 0; I != NMsgs; ++I) {
+    size_t Total = 0;
+    for (size_t S = 0; S != Counts[I]; ++S)
+      Total += Segs[I][S].len;
+    GrandTotal += Total;
+    FrameHdr &H = Hdrs[I];
+    H = FrameHdr{Total, 0, 0, 0, 0, 0, CorrOut};
+    if (flick_trace_active)
+      flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
+    Io[At].iov_base = &H;
+    Io[At].iov_len = sizeof H;
+    ++At;
+    for (size_t S = 0; S != Counts[I]; ++S) {
+      Io[At].iov_base = const_cast<uint8_t *>(Segs[I][S].base);
+      Io[At].iov_len = Segs[I][S].len;
+      ++At;
+    }
+  }
+  // One modeled transit for the whole batch: corked frames share the wire.
+  Link.wireDelay(GrandTotal);
+  uint64_t Now = flick_trace_active ? flick_gauge_now_ns() : 0;
+  for (size_t I = 0; I != NMsgs; ++I)
+    if (Hdrs[I].TraceId)
+      Hdrs[I].SendNs = Now;
+  return writeIovs(Io.data(), NIov);
 }
 
 int SocketLink::Conn::send(const uint8_t *Data, size_t Len) {
@@ -313,6 +358,7 @@ int SocketLink::Conn::recv(std::vector<uint8_t> &Out) {
   FrameHdr H;
   if (int Err = recvHdr(&H))
     return Err;
+  CorrIn = H.Corr;
   Out.resize(H.Len);
   if (H.Len)
     if (int Err = readFullPolled(Link, Link.Down, Fd, Out.data(), H.Len))
@@ -326,6 +372,7 @@ int SocketLink::Conn::recvInto(flick_buf *Into) {
   FrameHdr H;
   if (int Err = recvHdr(&H))
     return Err;
+  CorrIn = H.Corr;
   size_t Cap = 0;
   uint8_t *Data = Pool.acquire(H.Len, &Cap);
   if (!Data) {
@@ -473,7 +520,7 @@ int SocketLink::WorkerChan::sendReply(const flick_iov *Segs, size_t Count,
   SConn *S = Cur;
   if (!S || S->Dead.load(std::memory_order_relaxed))
     return FLICK_ERR_TRANSPORT;
-  FrameHdr H = {Total, 0, 0, 0, 0, 0};
+  FrameHdr H = {Total, 0, 0, 0, 0, 0, CorrOut};
   if (flick_trace_active)
     flick_trace_stamp(&H.TraceId, &H.ParentSpan, &H.Endpoint);
   Link.wireDelay(Total);
@@ -533,6 +580,10 @@ int SocketLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
   size_t Cap = 0;
   if (int Err = recvFrame(&H, &Data, &Cap))
     return Err;
+  // Auto-echo: the reply this worker sends next carries the request's
+  // correlation id, so servers stay untouched by pipelining.
+  CorrIn = H.Corr;
+  CorrOut = H.Corr;
   if (flick_trace_active)
     flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   Out.assign(Data, Data + H.Len);
@@ -550,6 +601,8 @@ int SocketLink::WorkerChan::recvInto(flick_buf *Into) {
   size_t Cap = 0;
   if (int Err = recvFrame(&H, &Data, &Cap))
     return Err;
+  CorrIn = H.Corr;
+  CorrOut = H.Corr;
   if (flick_trace_active)
     flick_trace_deposit(H.TraceId, H.ParentSpan, H.Endpoint);
   flick_buf_reset(Into);

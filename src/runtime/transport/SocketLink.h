@@ -8,9 +8,10 @@
 /// \file
 /// SocketLink: the first transport whose messages cross a real kernel
 /// boundary.  Every connect() makes an AF_UNIX SOCK_STREAM socketpair;
-/// requests and replies travel as length-prefixed frames whose 40-byte
-/// header carries the trace context out of band (the CDR payload bytes
-/// are identical to every other transport).  Worker-side fds sit behind
+/// requests and replies travel as length-prefixed frames whose 48-byte
+/// header carries the trace context and the async client's correlation id
+/// out of band (the CDR payload bytes are identical to every other
+/// transport).  Worker-side fds sit behind
 /// one shared epoll instance: each is armed EPOLLIN|EPOLLONESHOT so
 /// exactly one worker claims a readable connection, reads exactly one
 /// frame, and re-arms it before dispatching -- the kernel does the
@@ -40,6 +41,11 @@
 #include <memory>
 #include <mutex>
 #include <vector>
+
+/// POSIX scatter-gather element (sys/uio.h), forward-declared at global
+/// scope so this header stays free of system includes and the elaborated
+/// `struct iovec` below cannot inject a new type into namespace flick.
+struct iovec;
 
 namespace flick {
 
@@ -79,13 +85,15 @@ public:
   void debugCloseClient(Channel &C);
 
 private:
-  /// The 40-byte wire frame header.  Len counts payload bytes only;
+  /// The 48-byte wire frame header.  Len counts payload bytes only;
   /// TraceId/ParentSpan/Endpoint carry the sender's trace context beside
   /// the payload, never inside it.  SendNs (gauge clock, stamped *after*
   /// the sender's modeled wire sleep so the two never double-count) lets
   /// the receive side attribute time spent queued in the kernel socket
   /// buffer, this transport's request queue.  Zero when the sender had no
-  /// tracer.
+  /// tracer.  Corr is the async client's request correlation id (0 for
+  /// synchronous callers), in the header for the same reason the trace
+  /// context is: payload bytes never change.
   struct FrameHdr {
     uint64_t Len;
     uint64_t TraceId;
@@ -93,6 +101,7 @@ private:
     uint64_t SendNs;
     uint32_t Endpoint;
     uint32_t Pad;
+    uint64_t Corr;
   };
 
   /// Server-side half of one connection: the epoll-registered fd plus a
@@ -114,6 +123,11 @@ private:
     int sendv(const flick_iov *Segs, size_t Count) override;
     int recvInto(flick_buf *Into) override;
     void release(flick_buf *Buf) override;
+    /// Corked oneway batch: all frames (header + payload segments each)
+    /// leave in ONE sendmsg, so N small requests pay one syscall.  The
+    /// receiver parses them sequentially off the stream as usual.
+    int sendBatch(const flick_iov *const *Segs, const size_t *Counts,
+                  size_t NMsgs) override;
 
   private:
     friend class SocketLink;
@@ -121,6 +135,9 @@ private:
     /// \p Total payload bytes) to the non-blocking client fd, polling
     /// through EAGAIN.
     int sendFrame(const flick_iov *Segs, size_t Count, size_t Total);
+    /// Writes an arbitrary iovec array (already framed) to the fd,
+    /// polling through EAGAIN; shared by sendFrame and sendBatch.
+    int writeIovs(struct iovec *Iov, size_t NIov);
     /// Blocks (poll + Down checks) for the next reply frame header.
     int recvHdr(FrameHdr *H);
 

@@ -179,6 +179,7 @@ int ThreadedLink::Conn::send(const uint8_t *Data, size_t Len) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.wireDelay(Len);
   return Link.pushRequest(this, M);
 }
@@ -205,6 +206,7 @@ int ThreadedLink::Conn::sendv(const flick_iov *Segs, size_t Count) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   Link.wireDelay(Total);
   return Link.pushRequest(this, M);
 }
@@ -213,6 +215,7 @@ int ThreadedLink::Conn::recv(std::vector<uint8_t> &Out) {
   Msg M;
   if (int Err = awaitReply(&M))
     return Err;
+  CorrIn = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
@@ -228,6 +231,7 @@ int ThreadedLink::Conn::recvInto(flick_buf *Into) {
   Msg M;
   if (int Err = awaitReply(&M))
     return Err;
+  CorrIn = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   // Adopt the wire allocation whole, as in LocalLink; the buffer migrates
@@ -279,6 +283,7 @@ int ThreadedLink::WorkerChan::send(const uint8_t *Data, size_t Len) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   return sendReply(M);
 }
 
@@ -304,6 +309,7 @@ int ThreadedLink::WorkerChan::sendv(const flick_iov *Segs, size_t Count) {
   }
   if (flick_trace_active)
     flick_trace_stamp(&M.TraceId, &M.ParentSpan, &M.Endpoint);
+  M.Corr = CorrOut;
   return sendReply(M);
 }
 
@@ -313,6 +319,10 @@ int ThreadedLink::WorkerChan::recv(std::vector<uint8_t> &Out) {
   if (int Err = Link.popRequest(&From, &M))
     return Err;
   CurConn = From;
+  // Auto-echo: the reply this worker sends next carries the request's
+  // correlation id, so servers stay untouched by pipelining.
+  CorrIn = M.Corr;
+  CorrOut = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   Out.assign(M.Data, M.Data + M.Len);
@@ -330,6 +340,8 @@ int ThreadedLink::WorkerChan::recvInto(flick_buf *Into) {
   if (int Err = Link.popRequest(&From, &M))
     return Err;
   CurConn = From;
+  CorrIn = M.Corr;
+  CorrOut = M.Corr;
   if (flick_trace_active)
     flick_trace_deposit(M.TraceId, M.ParentSpan, M.Endpoint);
   flick_buf_reset(Into);

@@ -85,7 +85,9 @@ private:
   /// of band, as in LocalLink.  EnqNs stamps when the request entered the
   /// MPSC queue (gauge clock, 0 when neither the flight recorder nor the
   /// sender's tracer is on) so the dequeue side can account the
-  /// enqueue-to-dequeue wait.
+  /// enqueue-to-dequeue wait.  Corr is the async client's request
+  /// correlation id (0 for synchronous callers), riding out of band next
+  /// to the trace context so payload bytes never change.
   struct Msg {
     uint8_t *Data = nullptr;
     size_t Cap = 0;
@@ -94,6 +96,7 @@ private:
     uint64_t ParentSpan = 0;
     uint32_t Endpoint = 0;
     uint64_t EnqNs = 0;
+    uint64_t Corr = 0;
   };
 
   class Conn final : public Channel {
